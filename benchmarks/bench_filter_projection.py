@@ -1,0 +1,92 @@
+"""E7 — projection/filter views: the non-aggregate path (paper §2 step 3,
+"false multiplicity without aggregate").
+
+Selection and projection are their own incremental forms (DBSP linearity),
+so maintaining a filtered projection costs O(|ΔT|) while recomputation
+costs O(|T|).  The materialized table stores counted rows (the Z-set
+representation), so deletions are exact scalar operations.
+"""
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro.workloads import generate_change_stream, generate_groups_rows
+
+BASE_ROWS = 20_000
+
+VIEW = (
+    "CREATE MATERIALIZED VIEW hot AS "
+    "SELECT group_index, group_value * 2 AS doubled "
+    "FROM groups WHERE group_value > 500"
+)
+RECOMPUTE = (
+    "SELECT group_index, group_value * 2 AS doubled "
+    "FROM groups WHERE group_value > 500"
+)
+
+
+def _build():
+    con = Connection()
+    extension = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    table = con.table("groups")
+    rows = generate_groups_rows(BASE_ROWS, seed=17)
+    for row in rows:
+        table.insert(row, coerce=False)
+    con.execute(VIEW)
+    return con, extension, rows
+
+
+@pytest.mark.parametrize("delta_rows", [10, 500])
+def test_projection_ivm_refresh(benchmark, delta_rows):
+    con, ext, rows = _build()
+    stream = iter(
+        generate_change_stream(rows, batch_size=delta_rows, batches=100, seed=4)
+    )
+    base = con.table("groups")
+    delta = con.table("delta_groups")
+
+    def setup():
+        batch = next(stream)
+        for row in batch.inserts:
+            base.insert(row, coerce=False)
+            delta.insert(row + (True,), coerce=False)
+        removable = set(batch.deletes)
+        for row_id, row in list(base.scan_with_ids()):
+            if row in removable:
+                base.delete_row(row_id)
+                removable.discard(row)
+                delta.insert(row + (False,), coerce=False)
+        return (), {}
+
+    benchmark.pedantic(lambda: ext.refresh("hot"), setup=setup, rounds=8, iterations=1)
+    benchmark.extra_info["delta_rows"] = delta_rows
+
+
+def test_projection_recompute(benchmark):
+    con, ext, rows = _build()
+    benchmark.pedantic(lambda: con.execute(RECOMPUTE), rounds=5, iterations=1)
+
+
+def test_projection_shape(report_lines):
+    from repro.workloads import time_call
+
+    con, ext, rows = _build()
+    recompute_time, _ = time_call(lambda: con.execute(RECOMPUTE), repeat=2)
+    con.execute("INSERT INTO groups VALUES ('fresh', 900)")
+    con.execute("DELETE FROM groups WHERE group_index = 'g000001'")
+    refresh_time, _ = time_call(lambda: ext.refresh("hot"))
+    report_lines.append(
+        f"E7  projection  refresh={refresh_time * 1e3:8.2f}ms  "
+        f"recompute={recompute_time * 1e3:8.2f}ms  "
+        f"speedup={recompute_time / refresh_time:6.1f}x"
+    )
+    got = con.execute(
+        "SELECT group_index, doubled, _duckdb_ivm_count FROM hot"
+    ).sorted()
+    want = con.execute(
+        "SELECT group_index, group_value * 2, COUNT(*) FROM groups "
+        "WHERE group_value > 500 GROUP BY group_index, group_value * 2"
+    ).sorted()
+    assert got == want
+    assert refresh_time < recompute_time

@@ -1,0 +1,93 @@
+"""E6 — incremental joins: the three-join delta rule (paper's extension).
+
+"the incremental form of a join consists of three relational join
+operators" (§2); joins are the announced work-in-progress.  This bench
+measures maintaining a two-table join-aggregation view incrementally
+versus recomputing the join, across delta sizes.
+
+Expected shape: for small deltas the three delta joins (each with one tiny
+input) are far cheaper than the full join; the gap narrows as deltas grow
+because the A⋈ΔB / ΔA⋈B terms scan a full base side.
+"""
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro.workloads import generate_sales_workload
+
+ORDERS = 15_000
+
+VIEW = (
+    "CREATE MATERIALIZED VIEW rev AS "
+    "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+RECOMPUTE = (
+    "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+
+
+def _build():
+    workload = generate_sales_workload(num_orders=ORDERS, seed=21)
+    con = Connection()
+    extension = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+    con.execute(workload.SCHEMA)
+    customers = con.table("customers")
+    for row in workload.customers:
+        customers.insert(row, coerce=False)
+    orders = con.table("orders")
+    for row in workload.orders:
+        orders.insert(row, coerce=False)
+    con.execute(VIEW)
+    return con, extension, workload
+
+
+def _apply_delta(con, workload, start_oid, rows):
+    base = con.table("orders")
+    delta = con.table("delta_orders")
+    for i in range(rows):
+        cust = workload.customers[(start_oid + i) % len(workload.customers)][0]
+        row = (start_oid + i, cust, "p", (start_oid + i) % 100)
+        base.insert(row, coerce=False)
+        delta.insert(row + (True,), coerce=False)
+
+
+@pytest.mark.parametrize("delta_rows", [10, 200])
+def test_join_ivm_refresh(benchmark, delta_rows):
+    con, ext, workload = _build()
+    state = {"oid": workload.next_order_id()}
+
+    def setup():
+        _apply_delta(con, workload, state["oid"], delta_rows)
+        state["oid"] += delta_rows
+        return (), {}
+
+    benchmark.pedantic(lambda: ext.refresh("rev"), setup=setup, rounds=8, iterations=1)
+    benchmark.extra_info["delta_rows"] = delta_rows
+
+
+def test_join_recompute(benchmark):
+    con, ext, workload = _build()
+    benchmark.pedantic(lambda: con.execute(RECOMPUTE), rounds=5, iterations=1)
+
+
+def test_join_shape(report_lines):
+    from repro.workloads import time_call
+
+    con, ext, workload = _build()
+    recompute_time, _ = time_call(lambda: con.execute(RECOMPUTE), repeat=2)
+    oid = workload.next_order_id()
+    _apply_delta(con, workload, oid, 10)
+    refresh_time, _ = time_call(lambda: ext.refresh("rev"))
+    report_lines.append(
+        f"E6  join delta=10  refresh={refresh_time * 1e3:8.2f}ms  "
+        f"recompute={recompute_time * 1e3:8.2f}ms  "
+        f"speedup={recompute_time / refresh_time:6.1f}x"
+    )
+    got = con.execute("SELECT region, revenue, n FROM rev").sorted()
+    want = con.execute(RECOMPUTE).sorted()
+    assert got == want
+    assert refresh_time < recompute_time

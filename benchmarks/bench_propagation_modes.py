@@ -1,0 +1,81 @@
+"""E5 — eager vs. lazy vs. batched propagation (paper §1 and §3).
+
+"Batching changes together, for example, can amortize part of this cost
+but comes at the price of reduced recency" (§1); "These SQL commands can
+either be run eagerly, i.e. every time a change is registered on the base
+table, or lazily, i.e. refreshing the materialized view when it is
+queried" (§3).
+
+Measured: total cost of applying K single-row changes and then querying
+the view once, under each mode.  Expected shape: eager pays K propagation
+rounds (highest total), lazy pays one round at query time (lowest),
+batch-N sits in between with K/N rounds.
+"""
+
+import pytest
+
+from repro.core.flags import PropagationMode
+from benchmarks.conftest import build_groups_connection
+
+BASE_ROWS = 10_000
+CHANGES = 64
+
+
+def _run_changes_then_query(con):
+    for i in range(CHANGES):
+        con.execute(f"INSERT INTO groups VALUES ('gmode{i % 7}', {i})")
+    return con.execute("SELECT COUNT(*) FROM q")
+
+
+@pytest.mark.parametrize(
+    "mode,batch_size",
+    [
+        (PropagationMode.EAGER, 0),
+        (PropagationMode.BATCH, 8),
+        (PropagationMode.BATCH, 32),
+        (PropagationMode.LAZY, 0),
+    ],
+    ids=["eager", "batch8", "batch32", "lazy"],
+)
+def test_mode_total_cost(benchmark, mode, batch_size):
+    def setup():
+        flags = {"mode": mode}
+        if batch_size:
+            flags["batch_size"] = batch_size
+        con, _ = build_groups_connection(BASE_ROWS, **flags)
+        return (con,), {}
+
+    benchmark.pedantic(_run_changes_then_query, setup=setup, rounds=5, iterations=1)
+    benchmark.extra_info["mode"] = mode.value
+    benchmark.extra_info["batch_size"] = batch_size
+
+
+def test_mode_shape(report_lines):
+    """Eager ≥ batch ≥ lazy in total cost; all end at the same contents.
+    Recency is the inverse: eager keeps the stored table always fresh."""
+    from repro.workloads import time_call
+
+    totals = {}
+    contents = {}
+    refreshes = {}
+    for label, flags in (
+        ("eager", {"mode": PropagationMode.EAGER}),
+        ("batch8", {"mode": PropagationMode.BATCH, "batch_size": 8}),
+        ("lazy", {"mode": PropagationMode.LAZY}),
+    ):
+        con, ext = build_groups_connection(BASE_ROWS, **flags)
+        elapsed, _ = time_call(lambda: _run_changes_then_query(con))
+        totals[label] = elapsed
+        contents[label] = con.execute("SELECT * FROM q").sorted()
+        refreshes[label] = ext.view_state("q").refresh_count
+        report_lines.append(
+            f"E5  mode={label:<7} total={elapsed * 1e3:8.2f}ms "
+            f"refresh_rounds={refreshes[label]}"
+        )
+
+    baseline = next(iter(contents.values()))
+    assert all(rows == baseline for rows in contents.values())
+    assert refreshes["eager"] == CHANGES
+    assert refreshes["batch8"] == CHANGES // 8
+    assert refreshes["lazy"] == 1
+    assert totals["lazy"] < totals["eager"]

@@ -1,0 +1,95 @@
+"""E9 — per-step cost breakdown of incremental maintenance (paper §3).
+
+"We offer different benchmarks with sets of pre-written GROUP BY queries
+to show how computationally intensive each part of the incremental
+maintenance is."
+
+This bench times each post-processing step of the propagation script
+separately, for a set of pre-written GROUP BY views, answering exactly
+that question.  Expected shape: step 2 (folding ΔV into V) dominates;
+step 1 scales with |ΔT|; steps 3–4 are cheap scans/clears.
+"""
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro.workloads import generate_change_stream, generate_groups_rows, time_call
+
+BASE_ROWS = 20_000
+
+# The demo's "sets of pre-written GROUP BY queries".
+PREWRITTEN_VIEWS = {
+    "sum": "SELECT group_index, SUM(group_value) AS s FROM groups GROUP BY group_index",
+    "sum_count": (
+        "SELECT group_index, SUM(group_value) AS s, COUNT(*) AS c "
+        "FROM groups GROUP BY group_index"
+    ),
+    "avg": "SELECT group_index, AVG(group_value) AS a FROM groups GROUP BY group_index",
+    "minmax": (
+        "SELECT group_index, MIN(group_value) AS lo, MAX(group_value) AS hi "
+        "FROM groups GROUP BY group_index"
+    ),
+}
+
+
+def build(view_key: str):
+    con = Connection()
+    extension = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    table = con.table("groups")
+    data = generate_groups_rows(BASE_ROWS, seed=13)
+    for row in data:
+        table.insert(row, coerce=False)
+    con.execute(f"CREATE MATERIALIZED VIEW q AS {PREWRITTEN_VIEWS[view_key]}")
+    return con, extension, data
+
+
+def fill(con, batch):
+    base = con.table("groups")
+    delta = con.table("delta_groups")
+    for row in batch.inserts:
+        base.insert(row, coerce=False)
+        delta.insert(row + (True,), coerce=False)
+    removable = set(batch.deletes)
+    for row_id, row in list(base.scan_with_ids()):
+        if row in removable:
+            base.delete_row(row_id)
+            removable.discard(row)
+            delta.insert(row + (False,), coerce=False)
+
+
+@pytest.mark.parametrize("view_key", sorted(PREWRITTEN_VIEWS))
+def test_full_refresh_per_view(benchmark, view_key):
+    """End-to-end refresh cost per pre-written GROUP BY query."""
+    con, ext, data = build(view_key)
+    batches = iter(
+        generate_change_stream(data, batch_size=100, batches=200, seed=5)
+    )
+
+    def setup():
+        fill(con, next(batches))
+        return (), {}
+
+    benchmark.pedantic(lambda: ext.refresh("q"), setup=setup, rounds=8, iterations=1)
+    benchmark.extra_info["view"] = view_key
+
+
+def test_step_breakdown_shape(report_lines):
+    """Time each propagation step separately for the sum_count view."""
+    con, ext, data = build("sum_count")
+    compiled = ext.compiled("q")
+    batches = list(generate_change_stream(data, batch_size=100, batches=3, seed=6))
+
+    totals: dict[str, float] = {}
+    for batch in batches:
+        fill(con, batch)
+        for label, sql in compiled.propagation:
+            step = label.split(":")[0]
+            elapsed, _ = time_call(lambda: con.execute(sql))
+            totals[step] = totals.get(step, 0.0) + elapsed
+    for step, total in sorted(totals.items()):
+        report_lines.append(
+            f"E9  {step:<6} total over 3 batches = {total * 1e3:8.2f}ms"
+        )
+    # Steps 1+2 (compute + fold ΔV) must dominate the clears.
+    assert totals["step1"] + totals["step2"] > totals["step4"]

@@ -1,0 +1,72 @@
+"""E4 — materialization-strategy ablation (paper §2's compiler switches).
+
+"one can think of various relational strategies ... replacing the
+materialized table with a UNION and regrouping, or through a
+full-outer-join, or maintaining it with a left-join with an UPSERT ...
+choosing one is controlled manually using compiler switches."
+
+Expected shape: LEFT_JOIN_UPSERT touches only delta groups (cost bounded
+by |ΔV|), while UNION_REGROUP and FULL_OUTER_JOIN rewrite the whole
+materialized table (cost bounded by the number of groups), so upsert wins
+whenever deltas touch few groups and the gap narrows as the touched-group
+fraction grows.
+"""
+
+import pytest
+
+from repro import MaterializationStrategy
+from benchmarks.conftest import build_groups_connection, change_batches, fill_delta
+
+BASE_ROWS = 20_000
+NUM_GROUPS = 2_000
+
+
+@pytest.mark.parametrize("strategy", list(MaterializationStrategy))
+@pytest.mark.parametrize("delta_rows", [10, 500])
+def test_strategy_refresh(benchmark, strategy, delta_rows):
+    con, ext = build_groups_connection(
+        BASE_ROWS, num_groups=NUM_GROUPS, strategy=strategy
+    )
+    batches = iter(change_batches(BASE_ROWS, delta_rows, batches=100))
+
+    def setup():
+        fill_delta(con, next(batches))
+        return (), {}
+
+    benchmark.pedantic(lambda: ext.refresh("q"), setup=setup, rounds=8, iterations=1)
+    benchmark.extra_info["strategy"] = strategy.value
+    benchmark.extra_info["delta_rows"] = delta_rows
+
+
+def test_strategy_shape(report_lines):
+    """Upsert must win for tiny deltas over many groups; all strategies
+    must produce identical view contents."""
+    from repro.workloads import time_call
+
+    timings = {}
+    contents = {}
+    for strategy in MaterializationStrategy:
+        con, ext = build_groups_connection(
+            BASE_ROWS, num_groups=NUM_GROUPS, strategy=strategy
+        )
+        batches = change_batches(BASE_ROWS, 10, batches=3)
+        times = []
+        for batch in batches:
+            fill_delta(con, batch)
+            elapsed, _ = time_call(lambda: ext.refresh("q"))
+            times.append(elapsed)
+        timings[strategy] = min(times)
+        contents[strategy] = con.execute(
+            "SELECT group_index, total_value FROM q"
+        ).sorted()
+
+    baseline = next(iter(contents.values()))
+    assert all(rows == baseline for rows in contents.values())
+    for strategy, elapsed in timings.items():
+        report_lines.append(
+            f"E4  strategy={strategy.value:<18} delta=10  "
+            f"refresh={elapsed * 1e3:8.2f}ms"
+        )
+    upsert = timings[MaterializationStrategy.LEFT_JOIN_UPSERT]
+    assert upsert < timings[MaterializationStrategy.UNION_REGROUP]
+    assert upsert < timings[MaterializationStrategy.FULL_OUTER_JOIN]

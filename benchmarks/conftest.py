@@ -1,0 +1,79 @@
+"""Shared builders for the benchmark harness.
+
+Every benchmark constructs engines through these helpers so that scales,
+seeds and view definitions stay consistent across experiments (E1–E7 in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CompilerFlags,
+    Connection,
+    CrossSystemPipeline,
+    MaterializationStrategy,
+    OLTPSystem,
+    PropagationMode,
+    load_ivm,
+)
+from repro.workloads import generate_change_stream, generate_groups_rows
+
+GROUPS_VIEW = (
+    "CREATE MATERIALIZED VIEW q AS "
+    "SELECT group_index, SUM(group_value) AS total_value "
+    "FROM groups GROUP BY group_index"
+)
+
+
+def build_groups_connection(
+    rows: int,
+    num_groups: int = 100,
+    seed: int = 42,
+    **flag_overrides,
+):
+    """Engine + extension + populated ``groups`` table + the Listing-1 view."""
+    flag_overrides.setdefault("mode", PropagationMode.LAZY)
+    con = Connection()
+    extension = load_ivm(con, CompilerFlags(**flag_overrides))
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    table = con.table("groups")
+    for row in generate_groups_rows(rows, num_groups=num_groups, seed=seed):
+        table.insert(row, coerce=False)
+    con.execute(GROUPS_VIEW)
+    return con, extension
+
+
+def fill_delta(con: Connection, batch) -> None:
+    """Write one ChangeBatch straight into the delta table (and the base),
+    bypassing per-statement overhead so benchmarks time propagation itself."""
+    base = con.table("groups")
+    delta = con.table("delta_groups")
+    for row in batch.inserts:
+        base.insert(row, coerce=False)
+        delta.insert(row + (True,), coerce=False)
+    removable = {row for row in batch.deletes}
+    for row_id, row in list(base.scan_with_ids()):
+        if row in removable:
+            base.delete_row(row_id)
+            removable.discard(row)
+            delta.insert(row + (False,), coerce=False)
+
+
+def change_batches(rows, batch_size, batches, seed=7):
+    initial = generate_groups_rows(rows, seed=seed)
+    return list(
+        generate_change_stream(
+            initial, batch_size=batch_size, batches=batches, seed=seed
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def report_lines():
+    """Collector for paper-style summary rows printed at session end."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

@@ -1,0 +1,227 @@
+"""Standalone experiment harness: regenerates every E-series result table.
+
+``pytest benchmarks/ --benchmark-only`` gives per-operation statistics;
+this script produces the paper-style summary tables (series over sweep
+parameters) in one run:
+
+    python benchmarks/run_experiments.py [--quick]
+
+``--quick`` shrinks scales ~4x for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    CompilerFlags,
+    Connection,
+    CrossSystemPipeline,
+    MaterializationStrategy,
+    OLTPSystem,
+    PropagationMode,
+    load_ivm,
+)
+from repro.workloads import (
+    format_table,
+    generate_change_stream,
+    generate_groups_rows,
+    generate_sales_workload,
+    time_call,
+)
+
+
+def build_groups(rows, num_groups=100, **flags):
+    flags.setdefault("mode", PropagationMode.LAZY)
+    con = Connection()
+    ext = load_ivm(con, CompilerFlags(**flags))
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    table = con.table("groups")
+    data = generate_groups_rows(rows, num_groups=num_groups)
+    for row in data:
+        table.insert(row, coerce=False)
+    con.execute(
+        "CREATE MATERIALIZED VIEW q AS SELECT group_index, "
+        "SUM(group_value) AS total_value FROM groups GROUP BY group_index"
+    )
+    return con, ext, data
+
+
+def fill_delta(con, batch):
+    base = con.table("groups")
+    delta = con.table("delta_groups")
+    for row in batch.inserts:
+        base.insert(row, coerce=False)
+        delta.insert(row + (True,), coerce=False)
+    removable = set(batch.deletes)
+    for row_id, row in list(base.scan_with_ids()):
+        if row in removable:
+            base.delete_row(row_id)
+            removable.discard(row)
+            delta.insert(row + (False,), coerce=False)
+
+
+def experiment_e1(scale):
+    base_rows = 20_000 // scale
+    con, ext, data = build_groups(base_rows)
+    recompute, _ = time_call(
+        lambda: con.execute(
+            "SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index"
+        ),
+        repeat=3,
+    )
+    rows = []
+    for delta in (10, 100, 1000, base_rows // 4):
+        batches = list(
+            generate_change_stream(data, batch_size=delta, batches=3, seed=delta)
+        )
+        times = []
+        for batch in batches:
+            fill_delta(con, batch)
+            elapsed, _ = time_call(lambda: ext.refresh("q"))
+            times.append(elapsed)
+        best = min(times)
+        rows.append([base_rows, delta, best, recompute, f"{recompute / best:.1f}x"])
+    print("\nE1 — incremental vs recompute (GROUP BY SUM)")
+    print(format_table(["base", "delta", "refresh", "recompute", "speedup"], rows))
+
+
+def experiment_e2(scale):
+    from repro.storage.art import ARTIndex
+    from repro.storage.keys import encode_key
+
+    rows = 20_000 // scale
+    data = generate_groups_rows(rows, num_groups=rows // 10, seed=9)
+    entries = [(encode_key([k]), i) for i, (k, _) in enumerate(data)]
+
+    def naive():
+        art = ARTIndex()
+        for key, value in entries:
+            art.insert(key, value)
+
+    build, _ = time_call(naive)
+    chunked, _ = time_call(lambda: ARTIndex.build_chunked(entries, chunk_size=2048))
+    con, ext, base_data = build_groups(rows)
+    batch = next(iter(generate_change_stream(base_data, batch_size=50, batches=1)))
+    fill_delta(con, batch)
+    refresh, _ = time_call(lambda: ext.refresh("q"))
+    print("\nE2 — ART index overhead")
+    print(
+        format_table(
+            ["operation", "time"],
+            [
+                [f"first build ({rows} keys)", build],
+                ["chunked build + merge", chunked],
+                ["one refresh reusing the index", refresh],
+            ],
+        )
+    )
+
+
+def experiment_e3(scale):
+    workload = generate_sales_workload(num_orders=20_000 // scale, seed=3)
+    oltp = OLTPSystem()
+    oltp.execute(workload.SCHEMA)
+    for row in workload.customers:
+        oltp.connection.table("customers").insert(row, coerce=False)
+    for row in workload.orders:
+        oltp.connection.table("orders").insert(row, coerce=False)
+    pipe = CrossSystemPipeline(oltp=oltp)
+    pipe.create_materialized_view(
+        "CREATE MATERIALIZED VIEW region_revenue AS "
+        "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+        "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+        "GROUP BY c.region"
+    )
+    next_oid = workload.next_order_id()
+    for i in range(100):
+        cust = workload.customers[i % len(workload.customers)][0]
+        oltp.execute(f"INSERT INTO orders VALUES ({next_oid + i}, '{cust}', 'p', 7)")
+    ivm, _ = time_call(lambda: pipe.query("SELECT * FROM region_revenue"))
+    steady, _ = time_call(
+        lambda: pipe.query("SELECT * FROM region_revenue"), repeat=3
+    )
+    recompute_sql = (
+        "SELECT c.region, SUM(o.amount), COUNT(*) FROM oltp.orders o "
+        "JOIN oltp.customers c ON o.cust_id = c.cust_id GROUP BY c.region"
+    )
+    recompute, _ = time_call(lambda: pipe.query(recompute_sql, refresh=False))
+    oltp_sql = (
+        "SELECT c.region, SUM(o.amount), COUNT(*) FROM orders o "
+        "JOIN customers c ON o.cust_id = c.cust_id GROUP BY c.region"
+    )
+    pure_oltp, _ = time_call(lambda: oltp.execute(oltp_sql))
+    print("\nE3 — cross-system comparison (after a 100-change burst)")
+    print(
+        format_table(
+            ["configuration", "latency"],
+            [
+                ["cross-system IVM (incl. transfer + refresh)", ivm],
+                ["cross-system IVM (steady state)", steady],
+                ["cross-system, no IVM (recompute)", recompute],
+                ["pure OLTP recompute", pure_oltp],
+            ],
+        )
+    )
+
+
+def experiment_e4(scale):
+    rows = []
+    for strategy in MaterializationStrategy:
+        con, ext, data = build_groups(
+            20_000 // scale, num_groups=2_000 // scale, strategy=strategy
+        )
+        batches = list(generate_change_stream(data, batch_size=10, batches=3))
+        times = []
+        for batch in batches:
+            fill_delta(con, batch)
+            elapsed, _ = time_call(lambda: ext.refresh("q"))
+            times.append(elapsed)
+        rows.append([strategy.value, min(times)])
+    print("\nE4 — materialization strategies (delta=10)")
+    print(format_table(["strategy", "refresh"], rows))
+
+
+def experiment_e5(scale):
+    changes = 64
+    rows = []
+    for label, flags in (
+        ("eager", {"mode": PropagationMode.EAGER}),
+        ("batch(8)", {"mode": PropagationMode.BATCH, "batch_size": 8}),
+        ("batch(32)", {"mode": PropagationMode.BATCH, "batch_size": 32}),
+        ("lazy", {"mode": PropagationMode.LAZY}),
+    ):
+        con, ext, _ = build_groups(10_000 // scale, **flags)
+
+        def run():
+            for i in range(changes):
+                con.execute(f"INSERT INTO groups VALUES ('gm{i % 7}', {i})")
+            con.execute("SELECT COUNT(*) FROM q")
+
+        elapsed, _ = time_call(run)
+        rows.append([label, elapsed, ext.view_state("q").refresh_count])
+    print(f"\nE5 — propagation modes ({changes} changes + 1 query)")
+    print(format_table(["mode", "total", "refresh rounds"], rows))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="~4x smaller scales")
+    args = parser.parse_args(argv)
+    scale = 4 if args.quick else 1
+    for experiment in (
+        experiment_e1,
+        experiment_e2,
+        experiment_e3,
+        experiment_e4,
+        experiment_e5,
+    ):
+        experiment(scale)
+    print("\n(E6/E7 join and projection sweeps: see benchmarks/bench_join_ivm.py "
+          "and benchmarks/bench_filter_projection.py)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

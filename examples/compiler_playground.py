@@ -1,0 +1,65 @@
+"""Inspect the compiler's output across dialects and strategies.
+
+The demo lets visitors "examine the compiled output"; this script compiles
+the same view definition for every combination of target dialect and
+materialization strategy and prints the emitted SQL side by side — the
+cross-DBMS portability argument of the paper in one screen.
+
+Run:  python examples/compiler_playground.py
+"""
+
+from repro import CompilerFlags, MaterializationStrategy, OpenIVMCompiler
+
+SCHEMA = """
+CREATE TABLE sales (
+    region VARCHAR,
+    product VARCHAR,
+    amount INTEGER,
+    discount DOUBLE
+)
+"""
+
+VIEW = """
+CREATE MATERIALIZED VIEW product_stats AS
+SELECT region, product,
+       SUM(amount) AS total_amount,
+       COUNT(*) AS order_count,
+       AVG(discount) AS avg_discount
+FROM sales
+WHERE amount > 0
+GROUP BY region, product
+"""
+
+
+def main() -> None:
+    for dialect in ("duckdb", "postgres"):
+        for strategy in MaterializationStrategy:
+            flags = CompilerFlags(dialect=dialect, strategy=strategy)
+            compiler = OpenIVMCompiler.from_schema(SCHEMA, flags)
+            compiled = compiler.compile(VIEW)
+            banner = f" dialect={dialect} strategy={strategy.value} "
+            print("=" * 78)
+            print(banner.center(78, "="))
+            print("=" * 78)
+            print(compiled.script())
+            print()
+
+    # MIN/MAX views compile too (the paper's announced extension), with a
+    # rescan step for deletions:
+    flags = CompilerFlags()
+    compiler = OpenIVMCompiler.from_schema(SCHEMA, flags)
+    compiled = compiler.compile(
+        "CREATE MATERIALIZED VIEW price_range AS "
+        "SELECT region, MIN(amount) AS lo, MAX(amount) AS hi "
+        "FROM sales GROUP BY region"
+    )
+    print("=" * 78)
+    print(" MIN/MAX extension (rescan on deletions) ".center(78, "="))
+    print("=" * 78)
+    for label, sql in compiled.propagation:
+        print(f"-- {label}")
+        print(sql + ";")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: the paper's Listing 1/2 walkthrough.
+
+Creates the ``groups`` table, defines a materialized GROUP BY SUM view
+through the OpenIVM extension, applies changes, and shows that the view
+is maintained incrementally — including the compiled SQL the paper prints
+in Listing 2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Connection, load_ivm
+from repro.workloads import format_table
+
+
+def main() -> None:
+    con = Connection()
+    ivm = load_ivm(con)
+
+    # Listing 1: DDL for the IVM setup.
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    con.execute(
+        "CREATE MATERIALIZED VIEW query_groups AS "
+        "SELECT group_index, SUM(group_value) AS total_value "
+        "FROM groups GROUP BY group_index"
+    )
+
+    # The paper's running example: V = {apple -> 5, banana -> 2}.
+    con.execute("INSERT INTO groups VALUES ('apple', 5), ('banana', 2)")
+    result = con.execute("SELECT * FROM query_groups ORDER BY group_index")
+    print("initial view:")
+    print(format_table(result.columns, result.rows))
+
+    # ΔV = {apple -> (false, 3), banana -> (true, 1)}: remove 3 units of
+    # apple, add 1 unit of banana.  Expected V' = {apple -> 2, banana -> 3}.
+    con.execute("DELETE FROM groups WHERE group_index = 'apple'")
+    con.execute("INSERT INTO groups VALUES ('apple', 2), ('banana', 1)")
+    result = con.execute("SELECT * FROM query_groups ORDER BY group_index")
+    print("\nafter the paper's example delta (−3 apple, +1 banana):")
+    print(format_table(result.columns, result.rows))
+
+    # Listing 2: the generated SQL instructions.
+    print("\ncompiled propagation script (Listing 2):")
+    for label, sql in ivm.compiled("query_groups").propagation:
+        print(f"-- {label}")
+        print(sql + ";")
+
+    # The correctness check visitors run at the demo: incremental result
+    # equals recomputation from scratch.
+    incremental = con.execute(
+        "SELECT * FROM query_groups ORDER BY group_index"
+    ).rows
+    recomputed = con.execute(
+        "SELECT group_index, SUM(group_value) FROM groups "
+        "GROUP BY group_index ORDER BY group_index"
+    ).rows
+    assert incremental == recomputed, (incremental, recomputed)
+    print("\nincremental result matches full recomputation ✓")
+
+
+if __name__ == "__main__":
+    main()

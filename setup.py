@@ -1,0 +1,5 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so editable
+installs must go through `setup.py develop` (pip --no-use-pep517)."""
+from setuptools import setup
+
+setup()

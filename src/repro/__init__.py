@@ -1,0 +1,67 @@
+"""OpenIVM reproduction: a SQL-to-SQL compiler for incremental computations.
+
+The package has three layers:
+
+* **Substrate** — an embeddable SQL engine (:class:`repro.Connection`)
+  with parser, planner, optimizer, executor, ART-indexed storage,
+  triggers and an extension registry; the stand-in for DuckDB/PostgreSQL.
+* **Compiler** — :class:`repro.OpenIVMCompiler` turns ``CREATE
+  MATERIALIZED VIEW`` definitions into delta-table DDL and DBSP-style
+  propagation SQL, in a chosen dialect and materialization strategy.
+* **Deployments** — :func:`repro.load_ivm` wires the compiler into a
+  connection as a native-IVM extension; :class:`repro.CrossSystemPipeline`
+  runs it across two systems (OLTP delta capture → OLAP materialized
+  views), the paper's HTAP scenario.
+
+Quickstart::
+
+    from repro import Connection, load_ivm
+
+    con = Connection()
+    load_ivm(con)
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    con.execute("CREATE MATERIALIZED VIEW query_groups AS "
+                "SELECT group_index, SUM(group_value) AS total_value "
+                "FROM groups GROUP BY group_index")
+    con.execute("INSERT INTO groups VALUES ('apple', 5)")
+    print(con.execute("SELECT * FROM query_groups").rows)
+"""
+
+from repro.engine.connection import Connection
+from repro.engine.result import Result
+from repro.core.compiler import CompiledView, OpenIVMCompiler
+from repro.core.flags import (
+    CompilerFlags,
+    MaterializationStrategy,
+    PropagationMode,
+)
+from repro.extension.ivm_extension import IVMExtension, load_ivm
+from repro.htap.oltp import OLTPSystem
+from repro.htap.pipeline import CrossSystemPipeline
+from repro.zset.zset import ZSet
+from repro.errors import (
+    IVMError,
+    ReproError,
+    UnsupportedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledView",
+    "CompilerFlags",
+    "Connection",
+    "CrossSystemPipeline",
+    "IVMError",
+    "IVMExtension",
+    "MaterializationStrategy",
+    "OLTPSystem",
+    "OpenIVMCompiler",
+    "PropagationMode",
+    "ReproError",
+    "Result",
+    "UnsupportedError",
+    "ZSet",
+    "load_ivm",
+    "__version__",
+]

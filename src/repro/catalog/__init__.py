@@ -1,0 +1,6 @@
+"""Catalog: schemas for tables/views/indexes and their registry."""
+
+from repro.catalog.schema import Column, IndexSchema, TableSchema, ViewSchema
+from repro.catalog.catalog import Catalog
+
+__all__ = ["Catalog", "Column", "IndexSchema", "TableSchema", "ViewSchema"]

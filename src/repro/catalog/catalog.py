@@ -1,0 +1,145 @@
+"""In-memory catalog of tables, views and indexes.
+
+One :class:`Catalog` per engine instance.  Lookup is case-insensitive, as
+in DuckDB/PostgreSQL with unquoted identifiers.  Attached foreign catalogs
+(the HTAP scanner bridge) are registered here under an alias so that
+``alias.table`` resolves across systems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.catalog.schema import IndexSchema, TableSchema, ViewSchema
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:
+    from repro.storage.table import Table
+
+
+class Catalog:
+    """Registry mapping names to storage objects."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, "Table"] = {}
+        self._views: dict[str, ViewSchema] = {}
+        self._indexes: dict[str, IndexSchema] = {}
+        self._attached: dict[str, "Catalog"] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def create_table(self, table: "Table", if_not_exists: bool = False) -> None:
+        key = table.schema.name.lower()
+        if key in self._tables or key in self._views:
+            if if_not_exists:
+                return
+            raise CatalogError(f"object {table.schema.name!r} already exists")
+        self._tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        self._indexes = {
+            iname: idx for iname, idx in self._indexes.items() if idx.table.lower() != key
+        }
+
+    def table(self, name: str, schema: str | None = None) -> "Table":
+        if schema is not None:
+            return self.attached(schema).table(name)
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator["Table"]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(t.schema.name for t in self._tables.values())
+
+    # -- views ------------------------------------------------------------
+
+    def create_view(self, view: ViewSchema, if_not_exists: bool = False) -> None:
+        key = view.name.lower()
+        if key in self._views or key in self._tables:
+            if if_not_exists:
+                return
+            raise CatalogError(f"object {view.name!r} already exists")
+        self._views[key] = view
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise CatalogError(f"view {name!r} does not exist")
+        del self._views[key]
+
+    def view(self, name: str) -> ViewSchema:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"view {name!r} does not exist") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    # -- indexes ---------------------------------------------------------
+
+    def create_index(self, index: IndexSchema, if_not_exists: bool = False) -> None:
+        key = index.name.lower()
+        if key in self._indexes:
+            if if_not_exists:
+                return
+            raise CatalogError(f"index {index.name!r} already exists")
+        if not self.has_table(index.table):
+            raise CatalogError(f"table {index.table!r} does not exist")
+        self._indexes[key] = index
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._indexes:
+            if if_exists:
+                return
+            raise CatalogError(f"index {name!r} does not exist")
+        del self._indexes[key]
+
+    def index(self, name: str) -> IndexSchema:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"index {name!r} does not exist") from None
+
+    def indexes_on(self, table: str) -> list[IndexSchema]:
+        key = table.lower()
+        return [idx for idx in self._indexes.values() if idx.table.lower() == key]
+
+    # -- attached catalogs -------------------------------------------------
+
+    def attach(self, alias: str, other: "Catalog") -> None:
+        key = alias.lower()
+        if key in self._attached:
+            raise CatalogError(f"database alias {alias!r} already attached")
+        self._attached[key] = other
+
+    def detach(self, alias: str) -> None:
+        try:
+            del self._attached[alias.lower()]
+        except KeyError:
+            raise CatalogError(f"database alias {alias!r} is not attached") from None
+
+    def attached(self, alias: str) -> "Catalog":
+        try:
+            return self._attached[alias.lower()]
+        except KeyError:
+            raise CatalogError(f"database alias {alias!r} is not attached") from None
+
+    def attached_aliases(self) -> list[str]:
+        return sorted(self._attached)

@@ -1,0 +1,84 @@
+"""Schema value objects: columns, tables, views, indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.datatypes.types import DataType
+from repro.errors import BinderError
+
+if TYPE_CHECKING:
+    from repro.sql.ast import Select
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type: DataType
+    not_null: bool = False
+
+    def __str__(self) -> str:
+        suffix = " NOT NULL" if self.not_null else ""
+        return f"{self.name} {self.type}{suffix}"
+
+
+@dataclass
+class TableSchema:
+    """Column layout and primary key of a stored table."""
+
+    name: str
+    columns: list[Column]
+    primary_key: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._index_by_name = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        for key in self.primary_key:
+            if key.lower() not in self._index_by_name:
+                raise BinderError(
+                    f"primary key column {key!r} not in table {self.name!r}"
+                )
+
+    def column_index(self, name: str) -> int:
+        """Ordinal of ``name`` (case-insensitive); raises BinderError if absent."""
+        try:
+            return self._index_by_name[name.lower()]
+        except KeyError:
+            raise BinderError(
+                f"column {name!r} does not exist in table {self.name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index_by_name
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key_indexes(self) -> list[int]:
+        return [self.column_index(name) for name in self.primary_key]
+
+
+@dataclass
+class ViewSchema:
+    """A non-materialized view: a named stored query."""
+
+    name: str
+    query: "Select"
+    sql: str
+
+
+@dataclass
+class IndexSchema:
+    """Metadata for a secondary (ART) index."""
+
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False

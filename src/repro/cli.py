@@ -1,0 +1,157 @@
+"""The standalone OpenIVM command-line compiler.
+
+Paper §2: "the OpenIVM SQL-to-SQL compiler can be used as a standalone
+command-line tool".  Subcommands:
+
+* ``openivm compile`` — schema + view definition in, compiled SQL out.
+* ``openivm demo`` — the Listing 1/2 walkthrough executed end to end.
+* ``openivm bench`` — a quick incremental-vs-recompute comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core import CompilerFlags, MaterializationStrategy, OpenIVMCompiler
+from repro.engine import Connection
+from repro.extension import load_ivm
+from repro.workloads import format_table, generate_groups_rows, time_call
+
+
+def _read_arg(value: str) -> str:
+    """Treat the argument as a path if it exists, else as literal SQL."""
+    path = pathlib.Path(value)
+    if path.exists():
+        return path.read_text(encoding="utf-8")
+    return value
+
+
+def _flags_from_args(args: argparse.Namespace) -> CompilerFlags:
+    return CompilerFlags(
+        dialect=args.dialect,
+        strategy=MaterializationStrategy(args.strategy),
+        hidden_count=args.hidden_count,
+    )
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    schema_sql = _read_arg(args.schema)
+    view_sql = _read_arg(args.view)
+    compiler = OpenIVMCompiler.from_schema(schema_sql, _flags_from_args(args))
+    compiled = compiler.compile(view_sql)
+    output = compiled.script()
+    if args.output:
+        pathlib.Path(args.output).write_text(output + "\n", encoding="utf-8")
+    else:
+        print(output)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    con = Connection()
+    load_ivm(con)
+    print("-- Listing 1: schema and materialized view")
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    con.execute("INSERT INTO groups VALUES ('apple', 5), ('banana', 2)")
+    con.execute(
+        "CREATE MATERIALIZED VIEW query_groups AS SELECT group_index, "
+        "SUM(group_value) AS total_value FROM groups GROUP BY group_index"
+    )
+    result = con.execute("SELECT * FROM query_groups ORDER BY 1")
+    print(format_table(result.columns, result.sorted()))
+    print()
+    print("-- applying changes: -3 apple, +1 banana (the paper's example)")
+    con.execute("INSERT INTO groups VALUES ('banana', 1)")
+    con.execute("DELETE FROM groups WHERE group_index = 'apple' AND group_value = 5")
+    con.execute("INSERT INTO groups VALUES ('apple', 2)")
+    result = con.execute("SELECT * FROM query_groups ORDER BY 1")
+    print(format_table(result.columns, result.sorted()))
+    print()
+    extension = con.extensions.loaded("openivm")
+    print("-- compiled propagation script")
+    for label, sql in extension.compiled("query_groups").propagation:
+        print(f"-- {label}")
+        print(sql + ";")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    rows = generate_groups_rows(args.rows, num_groups=args.groups)
+    con = Connection()
+    load_ivm(con)
+    con.execute("CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)")
+    table = con.table("groups")
+    for row in rows:
+        table.insert(row, coerce=False)
+    con.execute(
+        "CREATE MATERIALIZED VIEW q AS SELECT group_index, "
+        "SUM(group_value) AS total_value FROM groups GROUP BY group_index"
+    )
+    extension = con.extensions.loaded("openivm")
+
+    def change_and_refresh() -> None:
+        con.execute("INSERT INTO groups VALUES ('gfresh', 1)")
+        extension.refresh("q")
+
+    incremental, _ = time_call(change_and_refresh, repeat=3)
+    recompute, _ = time_call(
+        lambda: con.execute(
+            "SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index"
+        ),
+        repeat=3,
+    )
+    print(
+        format_table(
+            ["approach", "latency", "speedup"],
+            [
+                ["incremental refresh (1-row delta)", incremental, ""],
+                ["full recomputation", recompute, f"{recompute / incremental:.1f}x"],
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="openivm",
+        description="OpenIVM: a SQL-to-SQL compiler for incremental computations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile a view definition")
+    compile_parser.add_argument("--schema", required=True,
+                                help="schema DDL (SQL text or a file path)")
+    compile_parser.add_argument("--view", required=True,
+                                help="CREATE MATERIALIZED VIEW statement (or file)")
+    compile_parser.add_argument("--dialect", default="duckdb",
+                                choices=["duckdb", "postgres"])
+    compile_parser.add_argument(
+        "--strategy",
+        default="left_join_upsert",
+        choices=[s.value for s in MaterializationStrategy],
+    )
+    compile_parser.add_argument("--hidden-count", action="store_true",
+                                help="maintain a hidden COUNT(*) for exact liveness")
+    compile_parser.add_argument("--output", help="write the script to this file")
+    compile_parser.set_defaults(fn=cmd_compile)
+
+    demo_parser = sub.add_parser("demo", help="run the Listing 1/2 walkthrough")
+    demo_parser.set_defaults(fn=cmd_demo)
+
+    bench_parser = sub.add_parser("bench", help="incremental vs recompute timing")
+    bench_parser.add_argument("--rows", type=int, default=50000)
+    bench_parser.add_argument("--groups", type=int, default=100)
+    bench_parser.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""OpenIVM: the SQL-to-SQL compiler for incremental view maintenance.
+
+This package is the paper's contribution.  Given a database schema and a
+``CREATE MATERIALIZED VIEW`` definition, :class:`OpenIVMCompiler` produces
+a :class:`CompiledView`: the DDL for delta tables, the materialized-view
+table and its index, plus the SQL propagation script (the paper's
+post-processing steps 1–4) in the target dialect.
+
+Example::
+
+    from repro.core import OpenIVMCompiler, CompilerFlags
+
+    compiler = OpenIVMCompiler.from_schema(
+        "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+    )
+    compiled = compiler.compile(
+        "CREATE MATERIALIZED VIEW query_groups AS "
+        "SELECT group_index, SUM(group_value) AS total_value "
+        "FROM groups GROUP BY group_index"
+    )
+    print(compiled.script())
+"""
+
+from repro.core.flags import CompilerFlags, MaterializationStrategy, PropagationMode
+from repro.core.compiler import CompiledView, OpenIVMCompiler
+from repro.core.analyze import ViewAnalysis, ViewClass, analyze_view
+
+__all__ = [
+    "CompiledView",
+    "CompilerFlags",
+    "MaterializationStrategy",
+    "OpenIVMCompiler",
+    "PropagationMode",
+    "ViewAnalysis",
+    "ViewClass",
+    "analyze_view",
+]

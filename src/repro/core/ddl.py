@@ -1,0 +1,121 @@
+"""DDL generation: delta tables, the materialized table, indexes, metadata.
+
+Paper §1: "Our implementation takes in input a database schema and view
+definition, and generates from there the DDL to create delta tables,
+possibly intermediate tables and index structures."  And §2: "Internally,
+we store materialized views as tables and save their additional
+properties – query plan, SQL string, query type – in metadata tables."
+"""
+
+from __future__ import annotations
+
+from repro.datatypes.types import BOOLEAN, DataType
+from repro.datatypes.values import sql_format_literal
+from repro.sql.dialect import Dialect
+from repro.storage.table import Table
+from repro.core.model import MVModel
+
+# Name of the metadata table (one per database, created lazily).
+METADATA_TABLE = "_duckdb_ivm_views"
+
+
+def render_create_table(
+    name: str,
+    columns: list[tuple[str, DataType]],
+    dialect: Dialect,
+    primary_key: list[str] | None = None,
+    if_not_exists: bool = False,
+) -> str:
+    """Render a CREATE TABLE statement in ``dialect``."""
+    quoted = dialect.quote_identifier
+    pieces = [
+        f"{quoted(col_name)} {dialect.type_name(col_type)}"
+        for col_name, col_type in columns
+    ]
+    if primary_key:
+        keys = ", ".join(quoted(k) for k in primary_key)
+        pieces.append(f"PRIMARY KEY ({keys})")
+    exists = "IF NOT EXISTS " if if_not_exists else ""
+    body = ", ".join(pieces)
+    return f"CREATE TABLE {exists}{quoted(name)} ({body})"
+
+
+def delta_table_ddl(model: MVModel, table: Table, dialect: Dialect) -> str:
+    """ΔT for one base table: the base columns plus the multiplicity column.
+
+    Emitted with IF NOT EXISTS because several views over the same base
+    table share one delta table.
+    """
+    columns = [(c.name, c.type) for c in table.schema.columns]
+    columns.append((model.multiplicity, BOOLEAN))
+    return render_create_table(
+        model.flags.delta_table(table.schema.name),
+        columns,
+        dialect,
+        if_not_exists=True,
+    )
+
+
+def matview_table_ddl(model: MVModel, dialect: Dialect) -> str:
+    """The table materializing V, keyed on the view keys.
+
+    The PRIMARY KEY materializes the upsert index (the engine's ART); the
+    paper: "aggregation ... allows building an index on the materialized
+    aggregation table (using the GROUP BY columns as keys)".
+    """
+    columns = [(c.name, c.type) for c in model.columns]
+    keys = [c.name for c in model.key_columns()]
+    return render_create_table(model.mv_table, columns, dialect, primary_key=keys)
+
+
+def delta_view_table_ddl(model: MVModel, dialect: Dialect) -> str:
+    """ΔV staging table: delta columns plus the multiplicity column."""
+    columns = [(c.name, c.type) for c in model.delta_columns()]
+    columns.append((model.multiplicity, BOOLEAN))
+    return render_create_table(model.delta_view_table, columns, dialect)
+
+
+def key_index_ddl(model: MVModel, dialect: Dialect) -> str:
+    """Optional explicit unique index on the view keys (PostgreSQL upserts
+    resolve conflicts against a named unique index)."""
+    quoted = dialect.quote_identifier
+    keys = ", ".join(quoted(c.name) for c in model.key_columns())
+    index_name = f"{model.mv_table}__ivm_key_idx"
+    return (
+        f"CREATE UNIQUE INDEX IF NOT EXISTS {quoted(index_name)} "
+        f"ON {quoted(model.mv_table)} ({keys})"
+    )
+
+
+def metadata_ddl(dialect: Dialect) -> str:
+    """The metadata table holding each view's SQL string and properties."""
+    from repro.datatypes.types import VARCHAR
+
+    return render_create_table(
+        METADATA_TABLE,
+        [
+            ("view_name", VARCHAR),
+            ("view_sql", VARCHAR),
+            ("view_class", VARCHAR),
+            ("strategy", VARCHAR),
+            ("mode", VARCHAR),
+        ],
+        dialect,
+        primary_key=["view_name"],
+        if_not_exists=True,
+    )
+
+
+def metadata_insert(model: MVModel, view_sql: str, dialect: Dialect) -> str:
+    quoted = dialect.quote_identifier
+    values = ", ".join(
+        sql_format_literal(v)
+        for v in (
+            model.view_name,
+            view_sql,
+            model.analysis.view_class.value,
+            model.flags.strategy.value,
+            model.flags.mode.value,
+        )
+    )
+    return f"INSERT INTO {quoted(METADATA_TABLE)} VALUES ({values})"

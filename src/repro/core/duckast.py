@@ -1,0 +1,280 @@
+"""DuckAST: the compiler's intermediate tree and its building blocks.
+
+The paper: "our approach transforms a DuckDB logical plan into a simpler
+abstract tree (DuckAST), which is then rewritten to a string in the
+desired SQL dialect, chosen through a flag" (following LinkedIn's Coral).
+Here the abstract tree *is* the engine-independent statement AST of
+:mod:`repro.sql.ast`; this module provides the constructors the rewrite
+rules use to assemble it, and the leaf-substitution / re-qualification
+transforms ("we substitute bindings at the leaves such that the query is
+executed against the changes rather than the original table").
+
+Emission to a dialect string is :func:`emit` (a thin wrapper over the
+dialect-aware renderer).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterable
+
+from repro.errors import IVMError
+from repro.sql import ast
+from repro.sql.dialect import Dialect
+from repro.sql.render import render_expression, render_select
+
+
+# -- constructors ----------------------------------------------------------
+
+
+def col(name: str, table: str | None = None) -> ast.ColumnRef:
+    return ast.ColumnRef(name=name, table=table)
+
+
+def lit(value) -> ast.Literal:
+    return ast.Literal(value)
+
+
+def eq(left: ast.Expression, right: ast.Expression) -> ast.BinaryOp:
+    return ast.BinaryOp(op="=", left=left, right=right)
+
+
+def neq(left: ast.Expression, right: ast.Expression) -> ast.BinaryOp:
+    return ast.BinaryOp(op="<>", left=left, right=right)
+
+
+def conj(clauses: Iterable[ast.Expression]) -> ast.Expression:
+    """AND together one or more clauses."""
+    merged: ast.Expression | None = None
+    for clause in clauses:
+        merged = clause if merged is None else ast.BinaryOp("AND", merged, clause)
+    if merged is None:
+        raise IVMError("empty conjunction")
+    return merged
+
+
+def fn(name: str, *args: ast.Expression) -> ast.FunctionCall:
+    return ast.FunctionCall(name=name, args=list(args))
+
+
+def agg(name: str, arg: ast.Expression | None) -> ast.FunctionCall:
+    if arg is None:
+        return ast.FunctionCall(name=name, args=[ast.Star()])
+    return ast.FunctionCall(name=name, args=[arg])
+
+
+def coalesce(*args: ast.Expression) -> ast.FunctionCall:
+    return fn("COALESCE", *args)
+
+
+def add(left: ast.Expression, right: ast.Expression) -> ast.BinaryOp:
+    return ast.BinaryOp(op="+", left=left, right=right)
+
+
+def neg(expr: ast.Expression) -> ast.UnaryOp:
+    return ast.UnaryOp(op="-", operand=expr)
+
+
+def signed_by_multiplicity(value: ast.Expression, mult: ast.Expression) -> ast.Case:
+    """``CASE WHEN mult = FALSE THEN -value ELSE value END`` — the signed
+    combination from Listing 2."""
+    return ast.Case(
+        operand=None,
+        branches=[(eq(mult, lit(False)), neg(value))],
+        else_result=value,
+    )
+
+
+def only_inserts(value: ast.Expression, mult: ast.Expression) -> ast.Case:
+    """``CASE WHEN mult = TRUE THEN value END`` — NULL for deletions, used
+    by the MIN/MAX insert path."""
+    return ast.Case(
+        operand=None,
+        branches=[(eq(mult, lit(True)), value)],
+        else_result=None,
+    )
+
+
+def item(expr: ast.Expression, alias: str | None = None) -> ast.SelectItem:
+    return ast.SelectItem(expr=expr, alias=alias)
+
+
+def base_table(name: str, alias: str | None = None) -> ast.BaseTableRef:
+    return ast.BaseTableRef(name=name, alias=alias)
+
+
+def select(
+    items: list[ast.SelectItem],
+    from_clause: ast.TableRef | None = None,
+    where: ast.Expression | None = None,
+    group_by: list[ast.Expression] | None = None,
+    ctes: list[ast.CommonTableExpr] | None = None,
+) -> ast.Select:
+    return ast.Select(
+        items=items,
+        from_clause=from_clause,
+        where=where,
+        group_by=list(group_by or []),
+        ctes=list(ctes or []),
+    )
+
+
+# -- leaf substitution and re-qualification ---------------------------------
+
+
+def substitute_table(
+    expr_or_ref, old_name: str, new_name: str
+):
+    """Rename base-table leaves ``old_name`` → ``new_name`` in a FROM tree.
+
+    The alias is preserved (or set to the old name when absent) so that
+    qualified column references in the rest of the query keep resolving —
+    this is the compiler's "substitute bindings at the leaves" step.
+    """
+    ref = copy.deepcopy(expr_or_ref)
+
+    def visit(node: ast.TableRef) -> ast.TableRef:
+        if isinstance(node, ast.BaseTableRef):
+            if node.name.lower() == old_name.lower():
+                alias = node.alias or node.name
+                return ast.BaseTableRef(name=new_name, alias=alias)
+            return node
+        if isinstance(node, ast.JoinRef):
+            node.left = visit(node.left)
+            node.right = visit(node.right)
+            return node
+        return node
+
+    return visit(ref)
+
+
+class SourceNamespace:
+    """Resolves which base table owns each column (for re-qualification).
+
+    Built from the analysis' table list and their catalog schemas; used to
+    rewrite expressions into the ``src.<alias>__<column>`` namespace of the
+    three-way join-delta union subquery.
+    """
+
+    def __init__(self, tables: list[tuple[str, str, list[str]]]) -> None:
+        # tables: (table_name, alias, column_names)
+        self._by_alias = {alias.lower(): (alias, cols) for _, alias, cols in tables}
+        self._owners: dict[str, list[str]] = {}
+        for _, alias, cols in tables:
+            for column in cols:
+                self._owners.setdefault(column.lower(), []).append(alias)
+
+    def owner_alias(self, column: str, alias: str | None) -> str:
+        if alias is not None:
+            key = alias.lower()
+            if key not in self._by_alias:
+                raise IVMError(f"unknown table alias {alias!r} in view expression")
+            return self._by_alias[key][0]
+        owners = self._owners.get(column.lower(), [])
+        if len(owners) != 1:
+            raise IVMError(
+                f"column {column!r} is {'ambiguous' if owners else 'unknown'} "
+                "across the view's base tables"
+            )
+        return owners[0]
+
+    def src_name(self, column: str, alias: str | None) -> str:
+        owner = self.owner_alias(column, alias)
+        return f"{owner}__{column}"
+
+    def referenced_columns(self, exprs: Iterable[ast.Expression]) -> list[tuple[str, str]]:
+        """All (alias, column) pairs referenced by ``exprs``, deduplicated."""
+        seen: list[tuple[str, str]] = []
+        for expr in exprs:
+            for node in ast.walk_expression(expr):
+                if isinstance(node, ast.ColumnRef):
+                    owner = self.owner_alias(node.name, node.table)
+                    pair = (owner, node.name)
+                    if pair not in seen:
+                        seen.append(pair)
+        return seen
+
+
+def qualify_columns(
+    expr: ast.Expression, namespace: "SourceNamespace"
+) -> ast.Expression:
+    """Qualify unqualified column references with their owning alias.
+
+    Needed wherever the compiler joins extra relations (e.g. the MIN/MAX
+    rescan's "touched groups" subquery) next to the base tables: an
+    unqualified key column would become ambiguous.
+    """
+    rewritten = copy.deepcopy(expr)
+
+    def visit(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None:
+                return ast.ColumnRef(
+                    name=node.name, table=namespace.owner_alias(node.name, None)
+                )
+            return node
+        for field_name, value in list(vars(node).items()):
+            if isinstance(value, ast.Expression):
+                setattr(node, field_name, visit(value))
+            elif isinstance(value, list):
+                new_list = []
+                for entry in value:
+                    if isinstance(entry, ast.Expression):
+                        new_list.append(visit(entry))
+                    elif (
+                        isinstance(entry, tuple)
+                        and len(entry) == 2
+                        and isinstance(entry[0], ast.Expression)
+                    ):
+                        new_list.append((visit(entry[0]), visit(entry[1])))
+                    else:
+                        new_list.append(entry)
+                setattr(node, field_name, new_list)
+        return node
+
+    return visit(rewritten)
+
+
+def requalify_to_src(
+    expr: ast.Expression, namespace: SourceNamespace, src_alias: str = "src"
+) -> ast.Expression:
+    """Rewrite ``alias.column`` references to ``src.alias__column``."""
+    rewritten = copy.deepcopy(expr)
+
+    def visit(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.ColumnRef):
+            return ast.ColumnRef(
+                name=namespace.src_name(node.name, node.table), table=src_alias
+            )
+        for field_name, value in list(vars(node).items()):
+            if isinstance(value, ast.Expression):
+                setattr(node, field_name, visit(value))
+            elif isinstance(value, list):
+                new_list = []
+                for entry in value:
+                    if isinstance(entry, ast.Expression):
+                        new_list.append(visit(entry))
+                    elif (
+                        isinstance(entry, tuple)
+                        and len(entry) == 2
+                        and isinstance(entry[0], ast.Expression)
+                    ):
+                        new_list.append((visit(entry[0]), visit(entry[1])))
+                    else:
+                        new_list.append(entry)
+                setattr(node, field_name, new_list)
+        return node
+
+    return visit(rewritten)
+
+
+# -- emission -----------------------------------------------------------------
+
+
+def emit(select_node: ast.Select, dialect: Dialect) -> str:
+    """Render a DuckAST tree to SQL text in ``dialect``."""
+    return render_select(select_node, dialect)
+
+
+def emit_expression(expr: ast.Expression, dialect: Dialect) -> str:
+    return render_expression(expr, dialect)

@@ -1,0 +1,68 @@
+"""Compiler switches.
+
+The paper (Figure 1): "Users can specify the expected optimization
+strategies through flags" and §2: "choosing one is controlled manually
+using compiler switches".  These are those switches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MaterializationStrategy(enum.Enum):
+    """How ΔV is folded into the materialized table V (paper §2).
+
+    The paper enumerates: "replacing the materialized table with a UNION
+    and regrouping, or through a full-outer-join, or maintaining it with a
+    left-join with an UPSERT".
+    """
+
+    LEFT_JOIN_UPSERT = "left_join_upsert"
+    UNION_REGROUP = "union_regroup"
+    FULL_OUTER_JOIN = "full_outer_join"
+
+
+class PropagationMode(enum.Enum):
+    """When propagation runs (paper §3: eagerly on each change, or lazily
+    when the view is queried).  BATCH defers until ``batch_size`` base-table
+    changes accumulate — the recency/amortization trade-off from §1."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+    BATCH = "batch"
+
+
+@dataclass
+class CompilerFlags:
+    """All knobs accepted by :class:`~repro.core.compiler.OpenIVMCompiler`."""
+
+    # Target SQL dialect for emitted scripts ("duckdb" or "postgres").
+    dialect: str = "duckdb"
+    # ΔV application strategy for aggregate views.
+    strategy: MaterializationStrategy = MaterializationStrategy.LEFT_JOIN_UPSERT
+    # Eager / lazy / batched refresh (used by the extension module).
+    mode: PropagationMode = PropagationMode.LAZY
+    # Batch size for PropagationMode.BATCH.
+    batch_size: int = 64
+    # Name of the boolean multiplicity column (paper's spelling).
+    multiplicity_column: str = "_duckdb_ivm_multiplicity"
+    # Maintain a hidden COUNT(*) column for exact group liveness.  The
+    # paper's Listing 2 instead deletes rows whose SUM is 0; that form is
+    # kept when this flag is False.  MIN/MAX/AVG and non-aggregate views
+    # force it on because they need exact liveness.
+    hidden_count: bool = False
+    # Prefix for delta tables (paper uses delta_<table>).
+    delta_prefix: str = "delta_"
+    # Prefix for internal (hidden) columns.
+    hidden_prefix: str = "_duckdb_ivm_"
+    # Emit an explicit unique index statement on the view keys in addition
+    # to the PRIMARY KEY (PostgreSQL upserts want a named unique index).
+    emit_key_index: bool | None = None  # None: follow the dialect default
+
+    def hidden_count_column(self) -> str:
+        return f"{self.hidden_prefix}count"
+
+    def delta_table(self, table: str) -> str:
+        return f"{self.delta_prefix}{table}"

@@ -1,0 +1,273 @@
+"""The materialized-view storage model derived from a view analysis.
+
+One :class:`MVModel` fixes the physical layout of the materialized table
+and its delta table, and the role of every column.  All SQL generation
+(DDL, populate, propagation steps) reads this model.
+
+Layout:
+
+* ``mv`` table — the view's visible columns in select-list order, followed
+  by hidden columns (AVG decompositions, the hidden liveness count).  The
+  view keys form the PRIMARY KEY, which is what makes ``INSERT OR
+  REPLACE`` work (the engine's ART index, as in the paper).
+* ``delta_<view>`` table — the same columns *minus* derived ones (AVG is
+  recomputed from its hidden sum/count), *plus* the boolean multiplicity
+  column at the end.
+
+Projection and join views (no aggregates) use the counted-bag scheme: all
+visible columns are keys and a hidden COUNT(*) column carries the bag
+multiplicity, which makes deletions exact scalar operations (post-
+processing step 3 reduces to ``DELETE ... WHERE count <= 0``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.datatypes.types import BIGINT, DOUBLE, DataType
+from repro.errors import UnsupportedError
+from repro.sql import ast
+from repro.core.analyze import ViewAnalysis, ViewClass
+from repro.core.flags import CompilerFlags, MaterializationStrategy
+
+
+class ColumnRole(enum.Enum):
+    KEY = "key"
+    SUM = "sum"
+    COUNT = "count"  # COUNT(x): counts non-NULL x
+    COUNT_STAR = "count_star"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"  # derived from hidden sum/count companions
+    AVG_SUM = "avg_sum"  # hidden
+    AVG_COUNT = "avg_count"  # hidden
+    HIDDEN_COUNT = "hidden_count"  # hidden COUNT(*) liveness column
+
+    @property
+    def is_additive(self) -> bool:
+        """Additive columns combine across deltas by signed summation."""
+        return self in (
+            ColumnRole.SUM,
+            ColumnRole.COUNT,
+            ColumnRole.COUNT_STAR,
+            ColumnRole.AVG_SUM,
+            ColumnRole.AVG_COUNT,
+            ColumnRole.HIDDEN_COUNT,
+        )
+
+    @property
+    def is_minmax(self) -> bool:
+        return self in (ColumnRole.MIN, ColumnRole.MAX)
+
+
+@dataclass
+class MVColumn:
+    """One column of the materialized table."""
+
+    name: str
+    type: DataType
+    role: ColumnRole
+    visible: bool = True
+    # Source-level expression: the key expression, or the aggregate
+    # argument (None for COUNT(*) / HIDDEN_COUNT).
+    expr: ast.Expression | None = None
+    # For AVG: the names of its hidden sum/count companions.
+    companion_sum: str = ""
+    companion_count: str = ""
+
+
+@dataclass
+class MVModel:
+    analysis: ViewAnalysis
+    flags: CompilerFlags
+    columns: list[MVColumn] = field(default_factory=list)
+
+    # -- derived accessors --------------------------------------------------
+
+    @property
+    def view_name(self) -> str:
+        return self.analysis.view_name
+
+    @property
+    def mv_table(self) -> str:
+        return self.analysis.view_name
+
+    @property
+    def delta_view_table(self) -> str:
+        return self.flags.delta_table(self.analysis.view_name)
+
+    @property
+    def multiplicity(self) -> str:
+        return self.flags.multiplicity_column
+
+    def key_columns(self) -> list[MVColumn]:
+        return [c for c in self.columns if c.role is ColumnRole.KEY]
+
+    def additive_columns(self) -> list[MVColumn]:
+        return [c for c in self.columns if c.role.is_additive]
+
+    def minmax_columns(self) -> list[MVColumn]:
+        return [c for c in self.columns if c.role.is_minmax]
+
+    def avg_columns(self) -> list[MVColumn]:
+        return [c for c in self.columns if c.role is ColumnRole.AVG]
+
+    def delta_columns(self) -> list[MVColumn]:
+        """Columns stored in the delta-view table (derived AVG excluded)."""
+        return [c for c in self.columns if c.role is not ColumnRole.AVG]
+
+    def liveness_column(self) -> MVColumn | None:
+        """The column used for exact group-liveness (step 3), if any."""
+        for column in self.columns:
+            if column.role is ColumnRole.HIDDEN_COUNT:
+                return column
+        for column in self.columns:
+            if column.role is ColumnRole.COUNT_STAR:
+                return column
+        return None
+
+    def paper_sum_columns(self) -> list[MVColumn]:
+        """Visible SUM columns, for the paper's ``WHERE sum = 0`` fallback."""
+        return [c for c in self.columns if c.role is ColumnRole.SUM and c.visible]
+
+    def column(self, name: str) -> MVColumn:
+        for candidate in self.columns:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+
+def source_namespace(model: MVModel):
+    """A :class:`~repro.core.duckast.SourceNamespace` over the view's base
+    tables, for column-ownership resolution during SQL generation."""
+    from repro.core import duckast
+    from repro.planner.logical import plan_source_tables
+
+    gets = {op.alias: op for op in plan_source_tables(model.analysis.plan)}
+    tables = []
+    for source in model.analysis.tables:
+        get = gets[source.alias]
+        tables.append(
+            (source.name, source.alias, [c.name for c in get.output_columns])
+        )
+    return duckast.SourceNamespace(tables)
+
+
+def build_model(analysis: ViewAnalysis, flags: CompilerFlags) -> MVModel:
+    """Derive the storage model for ``analysis`` under ``flags``."""
+    model = MVModel(analysis=analysis, flags=flags)
+    hidden = flags.hidden_prefix
+
+    if not analysis.view_class.has_aggregates:
+        # Counted-bag scheme for projection/join views.
+        for key in analysis.keys:
+            model.columns.append(
+                MVColumn(name=key.name, type=key.type, role=ColumnRole.KEY,
+                         expr=key.expr)
+            )
+        model.columns.append(
+            MVColumn(
+                name=flags.hidden_count_column(),
+                type=BIGINT,
+                role=ColumnRole.HIDDEN_COUNT,
+                visible=False,
+            )
+        )
+        return model
+
+    has_minmax = False
+    has_avg = False
+    visible: list[MVColumn] = []
+    hidden_columns: list[MVColumn] = []
+    for key in analysis.keys:
+        visible.append(
+            MVColumn(name=key.name, type=key.type, role=ColumnRole.KEY,
+                     expr=key.expr)
+        )
+    if not analysis.keys:
+        # Scalar aggregate view (no GROUP BY): a hidden constant key makes
+        # the single result row addressable by the upsert machinery.
+        from repro.datatypes.types import INTEGER
+
+        hidden_columns.append(
+            MVColumn(
+                name=f"{hidden}key",
+                type=INTEGER,
+                role=ColumnRole.KEY,
+                visible=False,
+                expr=ast.Cast(operand=ast.Literal(0), type_name="INTEGER"),
+            )
+        )
+    for agg in analysis.aggregates:
+        if agg.function == "SUM":
+            visible.append(
+                MVColumn(name=agg.name, type=agg.type, role=ColumnRole.SUM,
+                         expr=agg.argument)
+            )
+        elif agg.function == "COUNT":
+            role = ColumnRole.COUNT_STAR if agg.argument is None else ColumnRole.COUNT
+            visible.append(
+                MVColumn(name=agg.name, type=agg.type, role=role,
+                         expr=agg.argument)
+            )
+        elif agg.function in ("MIN", "MAX"):
+            has_minmax = True
+            visible.append(
+                MVColumn(
+                    name=agg.name,
+                    type=agg.type,
+                    role=ColumnRole.MIN if agg.function == "MIN" else ColumnRole.MAX,
+                    expr=agg.argument,
+                )
+            )
+        elif agg.function == "AVG":
+            has_avg = True
+            sum_name = f"{hidden}{agg.name}_sum"
+            count_name = f"{hidden}{agg.name}_count"
+            visible.append(
+                MVColumn(
+                    name=agg.name,
+                    type=DOUBLE,
+                    role=ColumnRole.AVG,
+                    expr=agg.argument,
+                    companion_sum=sum_name,
+                    companion_count=count_name,
+                )
+            )
+            hidden_columns.append(
+                MVColumn(name=sum_name, type=DOUBLE, role=ColumnRole.AVG_SUM,
+                         visible=False, expr=agg.argument)
+            )
+            hidden_columns.append(
+                MVColumn(name=count_name, type=BIGINT, role=ColumnRole.AVG_COUNT,
+                         visible=False, expr=agg.argument)
+            )
+        else:  # pragma: no cover - analyze already filters functions
+            raise UnsupportedError(f"aggregate {agg.function} is not supported")
+
+    model.columns = visible + hidden_columns
+
+    has_count_star = any(c.role is ColumnRole.COUNT_STAR for c in visible)
+    has_visible_sum = any(c.role is ColumnRole.SUM for c in visible)
+    needs_hidden_count = (
+        flags.hidden_count
+        or has_minmax
+        or (not has_count_star and not has_visible_sum)
+    ) and not has_count_star
+    if needs_hidden_count:
+        model.columns.append(
+            MVColumn(
+                name=flags.hidden_count_column(),
+                type=BIGINT,
+                role=ColumnRole.HIDDEN_COUNT,
+                visible=False,
+            )
+        )
+
+    if has_minmax and flags.strategy is not MaterializationStrategy.LEFT_JOIN_UPSERT:
+        raise UnsupportedError(
+            "MIN/MAX views require the LEFT_JOIN_UPSERT strategy (the "
+            "delete path rescans touched groups through the upsert index)"
+        )
+    return model

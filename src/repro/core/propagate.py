@@ -1,0 +1,85 @@
+"""Propagation-script assembly: the paper's post-processing steps 1–4.
+
+    (1) Insertion in ΔV of the tuples resulting from querying ΔT.
+    (2) Insertion or update in V of the newly-inserted tuples in ΔV,
+        removing the multiplicity column.
+    (3) Deletion of the invalid rows in V, e.g. the ones with SUM or COUNT
+        equal to 0, or false multiplicity without aggregate.
+    (4) Deletion from ΔT and ΔV after applying the changes.
+
+Step 1 comes from the DBSP rewrite (:mod:`repro.core.rewrite`), step 2
+from the selected materialization strategy
+(:mod:`repro.core.strategies`); this module adds steps 3 and 4 and
+assembles the labelled statement list.
+"""
+
+from __future__ import annotations
+
+from repro.sql.dialect import Dialect
+from repro.core import duckast as d
+from repro.core.model import MVModel
+from repro.core.rewrite import build_delta_view_insert
+from repro.core.strategies import apply_strategy
+
+Statement = tuple[str, str]
+
+
+def build_propagation(model: MVModel, dialect: Dialect) -> list[Statement]:
+    """The full propagation script, in execution order, labelled by step."""
+    statements: list[Statement] = [
+        ("step1: compute delta view from delta tables",
+         build_delta_view_insert(model, dialect)),
+    ]
+    statements.extend(apply_strategy(model, dialect))
+    invalid = _delete_invalid_rows(model, dialect)
+    if invalid is not None:
+        statements.append(("step3: delete invalid rows from view", invalid))
+    for table in model.analysis.tables:
+        statements.append(
+            (f"step4: clear delta table {model.flags.delta_table(table.name)}",
+             _clear(model.flags.delta_table(table.name), dialect))
+        )
+    statements.append(
+        ("step4: clear delta view", _clear(model.delta_view_table, dialect))
+    )
+    return statements
+
+
+def _delete_invalid_rows(model: MVModel, dialect: Dialect) -> str | None:
+    """Step 3 — remove groups that no longer exist.
+
+    With a liveness count (hidden COUNT(*) or a visible COUNT(*) column)
+    the test is exact: ``count <= 0``.  Otherwise the paper's form is
+    emitted — delete rows whose visible SUMs are all zero (Listing 2:
+    ``DELETE FROM query_groups WHERE total_value = 0``), accepting the
+    paper's known imprecision for groups whose values genuinely sum to 0.
+    """
+    quoted = dialect.quote_identifier
+    liveness = model.liveness_column()
+    if liveness is not None:
+        return (
+            f"DELETE FROM {quoted(model.mv_table)} "
+            f"WHERE {quoted(liveness.name)} <= 0"
+        )
+    sums = model.paper_sum_columns()
+    if not sums:
+        return None
+    predicate = " AND ".join(f"{quoted(c.name)} = 0" for c in sums)
+    return f"DELETE FROM {quoted(model.mv_table)} WHERE {predicate}"
+
+
+def clear_deltas(model: MVModel, dialect: Dialect) -> list[str]:
+    """Step 4 — empty ΔT for every base table, then ΔV."""
+    statements = [
+        _clear(model.flags.delta_table(table.name), dialect)
+        for table in model.analysis.tables
+    ]
+    statements.append(_clear(model.delta_view_table, dialect))
+    return statements
+
+
+def _clear(table: str, dialect: Dialect) -> str:
+    quoted = dialect.quote_identifier
+    if dialect.truncate_style == "truncate":
+        return f"TRUNCATE {quoted(table)}"
+    return f"DELETE FROM {quoted(table)}"

@@ -1,0 +1,211 @@
+"""DBSP rewrite rules: view plan → incremental delta query (step 1).
+
+The paper §2: "rewrite rules convert the relational operators to their
+incremental form.  Specifically, the incremental forms of selection and
+projection operators are the same as their relational form, and the
+incremental form of a join consists of three relational join operators.
+The input to the new logical plan is the change to the base table ΔT."
+
+Concretely this module produces the SELECT that computes ΔV from the
+delta tables, and the surrounding ``INSERT INTO delta_<view> ...``
+statement (post-processing step 1).  The rules:
+
+* **selection / filter** — applied unchanged to the delta input (linear).
+* **projection** — unchanged, with the multiplicity column carried along.
+* **aggregation** — grouped additionally by the multiplicity column, so
+  insert-weight and delete-weight partial aggregates stay separated
+  (exactly Listing 2's ``GROUP BY group_index, _duckdb_ivm_multiplicity``).
+* **join** — the three-term form over the *new* base state (base tables
+  are updated before propagation runs):
+
+      Δ(A ⋈ B) = ΔA ⋈ B  ∪  A ⋈ ΔB  ∪  sign-flipped(ΔA ⋈ ΔB)
+
+  The boolean multiplicities multiply as signs: the first two terms keep
+  the delta side's multiplicity, the third term's multiplicity is
+  ``mult_A <> mult_B`` (true·true and false·false both flip, because this
+  term is subtracted).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.sql import ast
+from repro.sql.dialect import Dialect
+from repro.core import duckast as d
+from repro.core.model import ColumnRole, MVColumn, MVModel
+
+
+def build_delta_view_insert(model: MVModel, dialect: Dialect) -> str:
+    """Step 1: ``INSERT INTO delta_<view> SELECT ... FROM Δ-inputs``."""
+    select = build_delta_view_select(model)
+    table = dialect.quote_identifier(model.delta_view_table)
+    return f"INSERT INTO {table} {d.emit(select, dialect)}"
+
+
+def build_delta_view_select(model: MVModel) -> ast.Select:
+    """The incremental query computing ΔV rows (with multiplicity)."""
+    if model.analysis.single_table:
+        return _single_table_delta_select(model)
+    return _join_delta_select(model)
+
+
+# ---------------------------------------------------------------------------
+# Single-table rewrite (paper's supported class)
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_item(column: MVColumn, mult_table: str | None = None) -> ast.SelectItem:
+    """Select item computing one delta-view column from delta-source rows."""
+    role = column.role
+    if role is ColumnRole.KEY:
+        return d.item(copy.deepcopy(column.expr), column.name)
+    if role is ColumnRole.SUM or role is ColumnRole.AVG_SUM:
+        return d.item(d.agg("SUM", copy.deepcopy(column.expr)), column.name)
+    if role is ColumnRole.COUNT or role is ColumnRole.AVG_COUNT:
+        return d.item(d.agg("COUNT", copy.deepcopy(column.expr)), column.name)
+    if role in (ColumnRole.COUNT_STAR, ColumnRole.HIDDEN_COUNT):
+        return d.item(d.agg("COUNT", None), column.name)
+    if role is ColumnRole.MIN:
+        return d.item(d.agg("MIN", copy.deepcopy(column.expr)), column.name)
+    if role is ColumnRole.MAX:
+        return d.item(d.agg("MAX", copy.deepcopy(column.expr)), column.name)
+    raise AssertionError(f"column role {role} has no delta item")
+
+
+def _single_table_delta_select(model: MVModel) -> ast.Select:
+    analysis = model.analysis
+    flags = model.flags
+    source = analysis.tables[0]
+    mult = flags.multiplicity_column
+
+    # Leaf substitution: scan the delta table under the original alias so
+    # every column reference in the view expressions keeps resolving.
+    from_clause = d.base_table(
+        flags.delta_table(source.name),
+        alias=source.alias if source.alias.lower() != flags.delta_table(source.name).lower() else None,
+    )
+
+    items = [_aggregate_item(column) for column in model.delta_columns()]
+    items.append(d.item(d.col(mult), None))
+    group_by: list[ast.Expression] = [
+        copy.deepcopy(key.expr) for key in model.key_columns()
+    ]
+    group_by.append(d.col(mult))
+    return d.select(
+        items=items,
+        from_clause=from_clause,
+        where=copy.deepcopy(analysis.where),
+        group_by=group_by,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Join rewrite (three-term delta)
+# ---------------------------------------------------------------------------
+
+
+def _join_delta_select(model: MVModel) -> ast.Select:
+    analysis = model.analysis
+    flags = model.flags
+    mult = flags.multiplicity_column
+    left, right = analysis.tables
+
+    namespace = _build_namespace(model)
+    referenced = namespace.referenced_columns(_all_source_expressions(model))
+
+    def term(
+        left_table: str, right_table: str, mult_expr: ast.Expression
+    ) -> ast.Select:
+        join = ast.JoinRef(
+            left=d.base_table(left_table, alias=left.alias),
+            right=d.base_table(right_table, alias=right.alias),
+            join_type="INNER",
+            condition=copy.deepcopy(analysis.join_condition),
+        )
+        items = [
+            d.item(d.col(column, table=alias), f"{alias}__{column}")
+            for alias, column in referenced
+        ]
+        items.append(d.item(mult_expr, mult))
+        return d.select(
+            items=items,
+            from_clause=join,
+            where=copy.deepcopy(analysis.where),
+        )
+
+    delta_left = flags.delta_table(left.name)
+    delta_right = flags.delta_table(right.name)
+    term1 = term(delta_left, right.name, d.col(mult, table=left.alias))
+    term2 = term(left.name, delta_right, d.col(mult, table=right.alias))
+    term3 = term(
+        delta_left,
+        delta_right,
+        d.neq(d.col(mult, table=left.alias), d.col(mult, table=right.alias)),
+    )
+    term1.set_ops = [("UNION ALL", term2), ("UNION ALL", term3)]
+    union_ref = ast.SubqueryRef(query=term1, alias="src")
+
+    items = []
+    for column in model.delta_columns():
+        rewritten = _requalified_item(column, namespace)
+        items.append(rewritten)
+    items.append(d.item(d.col(mult), None))
+    group_by: list[ast.Expression] = [
+        d.requalify_to_src(key.expr, namespace) for key in model.key_columns()
+    ]
+    group_by.append(d.col(mult))
+    return d.select(items=items, from_clause=union_ref, group_by=group_by)
+
+
+def _requalified_item(column: MVColumn, namespace) -> ast.SelectItem:
+    role = column.role
+    expr = (
+        d.requalify_to_src(column.expr, namespace)
+        if column.expr is not None
+        else None
+    )
+    if role is ColumnRole.KEY:
+        return d.item(expr, column.name)
+    if role is ColumnRole.SUM or role is ColumnRole.AVG_SUM:
+        return d.item(d.agg("SUM", expr), column.name)
+    if role is ColumnRole.COUNT or role is ColumnRole.AVG_COUNT:
+        return d.item(d.agg("COUNT", expr), column.name)
+    if role in (ColumnRole.COUNT_STAR, ColumnRole.HIDDEN_COUNT):
+        return d.item(d.agg("COUNT", None), column.name)
+    if role is ColumnRole.MIN:
+        return d.item(d.agg("MIN", expr), column.name)
+    if role is ColumnRole.MAX:
+        return d.item(d.agg("MAX", expr), column.name)
+    raise AssertionError(f"column role {role} has no delta item")
+
+
+def _build_namespace(model: MVModel):
+    tables = []
+    for source in model.analysis.tables:
+        plan_tables = {
+            op.alias: op for op in _plan_gets(model)
+        }
+        get = plan_tables[source.alias]
+        tables.append(
+            (source.name, source.alias, [c.name for c in get.output_columns])
+        )
+    return d.SourceNamespace(tables)
+
+
+def _plan_gets(model: MVModel):
+    from repro.planner.logical import plan_source_tables
+
+    return plan_source_tables(model.analysis.plan)
+
+
+def _all_source_expressions(model: MVModel) -> list[ast.Expression]:
+    exprs: list[ast.Expression] = []
+    for column in model.columns:
+        if column.expr is not None:
+            exprs.append(column.expr)
+    if model.analysis.where is not None:
+        exprs.append(model.analysis.where)
+    if model.analysis.join_condition is not None:
+        exprs.append(model.analysis.join_condition)
+    return exprs

@@ -1,0 +1,37 @@
+"""SQL type system: logical types, NULL semantics, casts and comparisons."""
+
+from repro.datatypes.types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    DataType,
+    TypeId,
+    common_super_type,
+    type_from_name,
+)
+from repro.datatypes.values import (
+    cast_value,
+    coerce_for_storage,
+    sql_compare,
+    sql_format_literal,
+)
+
+__all__ = [
+    "BIGINT",
+    "BOOLEAN",
+    "DATE",
+    "DOUBLE",
+    "INTEGER",
+    "VARCHAR",
+    "DataType",
+    "TypeId",
+    "cast_value",
+    "coerce_for_storage",
+    "common_super_type",
+    "sql_compare",
+    "sql_format_literal",
+    "type_from_name",
+]

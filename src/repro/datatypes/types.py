@@ -1,0 +1,122 @@
+"""Logical SQL data types.
+
+The engine models the small, portable type lattice that the OpenIVM paper's
+emitted SQL needs: booleans, two integer widths, double-precision floats,
+variable-length strings, and dates.  ``DECIMAL(p, s)`` is accepted in DDL
+and mapped to :data:`DOUBLE`, matching how a quick prototype on top of an
+analytical engine would treat it.
+
+Types are immutable value objects; identity of the lattice members is by
+:class:`TypeId`, so ``INTEGER == INTEGER`` regardless of how the instance
+was produced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TypeError_
+
+
+class TypeId(enum.Enum):
+    """Discriminator for the supported logical types."""
+
+    BOOLEAN = "BOOLEAN"
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    DOUBLE = "DOUBLE"
+    VARCHAR = "VARCHAR"
+    DATE = "DATE"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical SQL type.
+
+    ``width`` is retained for display purposes (e.g. ``VARCHAR(20)``) but
+    does not constrain stored values — the same permissive behaviour DuckDB
+    exhibits for string widths.
+    """
+
+    id: TypeId
+    width: int | None = None
+
+    def __str__(self) -> str:
+        if self.width is not None:
+            return f"{self.id.value}({self.width})"
+        return self.id.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.id in (TypeId.INTEGER, TypeId.BIGINT, TypeId.DOUBLE)
+
+    @property
+    def is_integral(self) -> bool:
+        return self.id in (TypeId.INTEGER, TypeId.BIGINT)
+
+
+BOOLEAN = DataType(TypeId.BOOLEAN)
+INTEGER = DataType(TypeId.INTEGER)
+BIGINT = DataType(TypeId.BIGINT)
+DOUBLE = DataType(TypeId.DOUBLE)
+VARCHAR = DataType(TypeId.VARCHAR)
+DATE = DataType(TypeId.DATE)
+
+_NAME_ALIASES = {
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "INT4": INTEGER,
+    "SMALLINT": INTEGER,
+    "TINYINT": INTEGER,
+    "BIGINT": BIGINT,
+    "INT8": BIGINT,
+    "LONG": BIGINT,
+    "DOUBLE": DOUBLE,
+    "FLOAT": DOUBLE,
+    "FLOAT8": DOUBLE,
+    "REAL": DOUBLE,
+    "DECIMAL": DOUBLE,
+    "NUMERIC": DOUBLE,
+    "VARCHAR": VARCHAR,
+    "TEXT": VARCHAR,
+    "STRING": VARCHAR,
+    "CHAR": VARCHAR,
+    "DATE": DATE,
+}
+
+# Numeric promotion order used by common_super_type.
+_NUMERIC_ORDER = [TypeId.INTEGER, TypeId.BIGINT, TypeId.DOUBLE]
+
+
+def type_from_name(name: str, width: int | None = None) -> DataType:
+    """Resolve a type name as written in DDL to a :class:`DataType`.
+
+    Raises :class:`~repro.errors.TypeError_` for unknown names.
+    """
+    base = _NAME_ALIASES.get(name.upper())
+    if base is None:
+        raise TypeError_(f"unknown type name: {name!r}")
+    if width is not None and base.id is TypeId.VARCHAR:
+        return DataType(base.id, width)
+    return base
+
+
+def common_super_type(left: DataType, right: DataType) -> DataType:
+    """The smallest type both operands promote to, for mixed expressions.
+
+    Follows the usual SQL lattice: INTEGER < BIGINT < DOUBLE; VARCHAR
+    unifies only with VARCHAR; BOOLEAN only with BOOLEAN; DATE unifies with
+    VARCHAR (dates are stored as ISO strings) and itself.
+    """
+    if left.id == right.id:
+        return DataType(left.id)
+    if left.is_numeric and right.is_numeric:
+        order = max(_NUMERIC_ORDER.index(left.id), _NUMERIC_ORDER.index(right.id))
+        return DataType(_NUMERIC_ORDER[order])
+    date_varchar = {left.id, right.id} == {TypeId.DATE, TypeId.VARCHAR}
+    if date_varchar:
+        return VARCHAR
+    raise TypeError_(f"no common type between {left} and {right}")

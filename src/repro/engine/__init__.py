@@ -1,0 +1,12 @@
+"""Embedded SQL engine: connection, results, triggers, extensions.
+
+This package is the stand-in for DuckDB in the reproduction: an embeddable
+engine with a parser, binder, optimizer and executor, an extension registry
+with fall-back parsers and optimizer/statement hooks, and trigger support
+(the delta-capture mechanism for the OLTP side of cross-system IVM).
+"""
+
+from repro.engine.connection import Connection
+from repro.engine.result import Result
+
+__all__ = ["Connection", "Result"]

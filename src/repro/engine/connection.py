@@ -1,0 +1,400 @@
+"""The embedded engine's user-facing connection.
+
+A :class:`Connection` owns a catalog, binder, optimizer, trigger manager
+and extension registry — the same shape as linking DuckDB as a library
+gives the paper's compiler access to "the DuckDB SQL parser, planner, and
+optimizer".
+
+Typical use::
+
+    con = Connection()
+    con.execute("CREATE TABLE t (a VARCHAR, b INTEGER)")
+    con.execute("INSERT INTO t VALUES ('x', 1), ('y', 2)")
+    rows = con.execute("SELECT a, SUM(b) FROM t GROUP BY a").fetchall()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, IndexSchema, TableSchema, ViewSchema
+from repro.datatypes.types import type_from_name
+from repro.errors import (
+    BinderError,
+    ExecutionError,
+    ParserError,
+    UnsupportedError,
+)
+from repro.execution.executor import ExecutionContext, execute_plan
+from repro.execution.expression import compile_expression
+from repro.planner.binder import Binder, bind_value_row
+from repro.planner.logical import LogicalOperator, explain
+from repro.planner.optimizer import Optimizer
+from repro.engine.extension import ExtensionRegistry
+from repro.engine.result import Result
+from repro.engine.triggers import TriggerManager
+from repro.sql import ast
+from repro.sql.dialect import Dialect, dialect_by_name
+from repro.sql.parser import parse_script
+from repro.sql.render import render_select
+from repro.storage.table import Table
+
+
+class Connection:
+    """An embedded database instance."""
+
+    def __init__(self, dialect: str | Dialect = "duckdb") -> None:
+        self.dialect = (
+            dialect if isinstance(dialect, Dialect) else dialect_by_name(dialect)
+        )
+        self.catalog = Catalog()
+        self.binder = Binder(self.catalog)
+        self.optimizer = Optimizer()
+        self.triggers = TriggerManager()
+        self.extensions = ExtensionRegistry()
+        self.pragmas: dict[str, Any] = {}
+        self._attached: dict[str, "Connection"] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> Result:
+        """Parse and execute a batch; returns the last statement's result."""
+        statements = self._parse(sql)
+        result = Result()
+        for statement in statements:
+            result = self.execute_statement(statement, parameters)
+        return result
+
+    def execute_statement(
+        self, statement: ast.Statement, parameters: Sequence[Any] = ()
+    ) -> Result:
+        """Execute one parsed statement (with extension pre/post hooks)."""
+        handled = self.extensions.run_pre_hooks(self, statement)
+        if handled is not None:
+            return handled
+        result = self._dispatch(statement, parameters)
+        self.extensions.run_post_hooks(self, statement, result)
+        return result
+
+    def query_plan(self, sql: str) -> LogicalOperator:
+        """Bind and optimize a SELECT, returning the logical plan."""
+        statement = self._parse_one(sql)
+        if not isinstance(statement, ast.Select):
+            raise UnsupportedError("query_plan requires a SELECT statement")
+        plan = self.binder.bind_select(statement)
+        return self.optimizer.optimize(plan)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style plan tree for a SELECT."""
+        return explain(self.query_plan(sql))
+
+    def attach(self, alias: str, other: "Connection") -> None:
+        """Attach another engine's catalog under ``alias`` (HTAP bridge)."""
+        self.catalog.attach(alias, other.catalog)
+        self._attached[alias.lower()] = other
+
+    def detach(self, alias: str) -> None:
+        self.catalog.detach(alias)
+        self._attached.pop(alias.lower(), None)
+
+    def attached_connection(self, alias: str) -> "Connection":
+        try:
+            return self._attached[alias.lower()]
+        except KeyError:
+            raise ExecutionError(f"database {alias!r} is not attached") from None
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- parsing with extension fall-back ----------------------------------
+
+    def _parse(self, sql: str) -> list[ast.Statement]:
+        try:
+            return parse_script(sql)
+        except ParserError:
+            fallback = self.extensions.try_fallback_parsers(sql)
+            if fallback is not None:
+                return fallback
+            raise
+
+    def _parse_one(self, sql: str) -> ast.Statement:
+        statements = self._parse(sql)
+        if len(statements) != 1:
+            raise ParserError("expected exactly one statement")
+        return statements[0]
+
+    # -- statement dispatch --------------------------------------------------
+
+    def _dispatch(
+        self, statement: ast.Statement, parameters: Sequence[Any]
+    ) -> Result:
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, parameters)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.catalog.drop_table(statement.name, if_exists=statement.if_exists)
+            return Result(statement_type="DROP TABLE")
+        if isinstance(statement, ast.CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropIndex):
+            return self._execute_drop_index(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._execute_create_view(statement)
+        if isinstance(statement, ast.DropView):
+            self.catalog.drop_view(statement.name, if_exists=statement.if_exists)
+            return Result(statement_type="DROP VIEW")
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, parameters)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, parameters)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, parameters)
+        if isinstance(statement, ast.Explain):
+            plan = self.optimizer.optimize(self.binder.bind_select(statement.query))
+            lines = explain(plan).split("\n")
+            return Result(
+                columns=["explain"],
+                rows=[(line,) for line in lines],
+                rowcount=len(lines),
+                statement_type="EXPLAIN",
+            )
+        if isinstance(statement, ast.Pragma):
+            self.pragmas[statement.name.lower()] = (
+                statement.value if statement.value is not None else True
+            )
+            return Result(statement_type="PRAGMA")
+        if isinstance(statement, ast.Transaction):
+            if statement.action == "ROLLBACK":
+                raise UnsupportedError(
+                    "ROLLBACK is not supported (statement-level autocommit)"
+                )
+            return Result(statement_type=statement.action)
+        if isinstance(statement, ast.Attach):
+            raise UnsupportedError(
+                "ATTACH via SQL requires the HTAP scanner extension; "
+                "use Connection.attach(alias, connection)"
+            )
+        if isinstance(statement, ast.RefreshView):
+            raise UnsupportedError(
+                "REFRESH MATERIALIZED VIEW requires the OpenIVM extension"
+            )
+        raise UnsupportedError(
+            f"cannot execute statement {type(statement).__name__}"
+        )
+
+    # -- SELECT -------------------------------------------------------------
+
+    def _execute_select(
+        self, select: ast.Select, parameters: Sequence[Any]
+    ) -> Result:
+        plan = self.binder.bind_select(select)
+        plan = self.optimizer.optimize(plan)
+        ctx = ExecutionContext(self.catalog, parameters)
+        rows = execute_plan(plan, ctx)
+        return Result(
+            columns=[c.name for c in plan.output_columns],
+            rows=rows,
+            rowcount=len(rows),
+            statement_type="SELECT",
+        )
+
+    # -- DDL -------------------------------------------------------------
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+        if statement.as_query is not None:
+            plan = self.binder.bind_select(statement.as_query)
+            plan = self.optimizer.optimize(plan)
+            ctx = ExecutionContext(self.catalog)
+            rows = execute_plan(plan, ctx)
+            columns = [
+                Column(c.name, c.type) for c in plan.output_columns
+            ]
+            schema = TableSchema(statement.name, columns)
+            table = Table(schema)
+            self.catalog.create_table(table, if_not_exists=statement.if_not_exists)
+            for row in rows:
+                table.insert(row, coerce=False)
+            return Result(statement_type="CREATE TABLE", rowcount=len(rows))
+        columns = [
+            Column(
+                col.name,
+                type_from_name(col.type_name, col.width),
+                not_null=col.not_null or col.name in statement.primary_key,
+            )
+            for col in statement.columns
+        ]
+        schema = TableSchema(
+            statement.name, columns, primary_key=list(statement.primary_key)
+        )
+        self.catalog.create_table(
+            Table(schema), if_not_exists=statement.if_not_exists
+        )
+        return Result(statement_type="CREATE TABLE")
+
+    def _execute_create_index(self, statement: ast.CreateIndex) -> Result:
+        table = self.catalog.table(statement.table)
+        key_indexes = [table.schema.column_index(c) for c in statement.columns]
+        chunked = bool(self.pragmas.get("ivm_chunked_index_build"))
+        table.add_index(
+            statement.name, key_indexes, unique=statement.unique, chunked=chunked
+        )
+        self.catalog.create_index(
+            IndexSchema(
+                name=statement.name,
+                table=statement.table,
+                columns=list(statement.columns),
+                unique=statement.unique,
+            ),
+            if_not_exists=statement.if_not_exists,
+        )
+        return Result(statement_type="CREATE INDEX")
+
+    def _execute_drop_index(self, statement: ast.DropIndex) -> Result:
+        try:
+            index = self.catalog.index(statement.name)
+        except Exception:
+            if statement.if_exists:
+                return Result(statement_type="DROP INDEX")
+            raise
+        self.catalog.table(index.table).drop_index(statement.name)
+        self.catalog.drop_index(statement.name)
+        return Result(statement_type="DROP INDEX")
+
+    def _execute_create_view(self, statement: ast.CreateView) -> Result:
+        if statement.materialized:
+            raise UnsupportedError(
+                "CREATE MATERIALIZED VIEW requires the OpenIVM extension"
+            )
+        # Bind now to validate; store the AST for later re-binding.
+        self.binder.bind_select(statement.query)
+        self.catalog.create_view(
+            ViewSchema(
+                name=statement.name,
+                query=statement.query,
+                sql=render_select(statement.query, self.dialect),
+            ),
+            if_not_exists=statement.if_not_exists,
+        )
+        return Result(statement_type="CREATE VIEW")
+
+    # -- DML -------------------------------------------------------------
+
+    def _execute_insert(
+        self, statement: ast.Insert, parameters: Sequence[Any]
+    ) -> Result:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        ctx = ExecutionContext(self.catalog, parameters)
+
+        if statement.query is not None:
+            plan = self.binder.bind_select(statement.query)
+            plan = self.optimizer.optimize(plan)
+            source_rows = execute_plan(plan, ctx)
+        else:
+            source_rows = []
+            for value_row in statement.values:
+                bound = bind_value_row(value_row, self.binder)
+                evaluators = [compile_expression(b) for b in bound]
+                source_rows.append(tuple(e((), ctx) for e in evaluators))
+
+        rows = [self._reorder_insert_row(schema, statement.columns, r) for r in source_rows]
+        inserted: list[tuple] = []
+        for row in rows:
+            if statement.or_replace:
+                table.upsert(row)
+            else:
+                table.insert(row)
+            inserted.append(row)
+        self.triggers.fire(self, "INSERT", schema.name, inserted)
+        return Result(statement_type="INSERT", rowcount=len(inserted))
+
+    @staticmethod
+    def _reorder_insert_row(
+        schema: TableSchema, columns: list[str], row: tuple
+    ) -> tuple:
+        if not columns:
+            if len(row) != len(schema.columns):
+                raise ExecutionError(
+                    f"INSERT into {schema.name!r} expects "
+                    f"{len(schema.columns)} values, got {len(row)}"
+                )
+            return tuple(row)
+        if len(columns) != len(row):
+            raise ExecutionError(
+                f"INSERT column list has {len(columns)} names but "
+                f"{len(row)} values"
+            )
+        by_name = {name.lower(): value for name, value in zip(columns, row)}
+        full = []
+        for column in schema.columns:
+            full.append(by_name.get(column.name.lower()))
+        return tuple(full)
+
+    def _execute_delete(
+        self, statement: ast.Delete, parameters: Sequence[Any]
+    ) -> Result:
+        table = self.catalog.table(statement.table)
+        ctx = ExecutionContext(self.catalog, parameters)
+        if statement.where is None:
+            victims = list(table.scan())
+            table.truncate()
+            self.triggers.fire(self, "DELETE", table.schema.name, victims)
+            return Result(statement_type="DELETE", rowcount=len(victims))
+        output = [
+            # Reuse the binder's scalar path with the table's own alias.
+            col
+            for col in _table_output_columns(table)
+        ]
+        predicate = self.binder.bind_scalar(statement.where, output)
+        evaluator = compile_expression(predicate)
+        victims: list[tuple] = []
+        victim_ids: list[int] = []
+        for row_id, row in table.scan_with_ids():
+            if evaluator(row, ctx) is True:
+                victims.append(row)
+                victim_ids.append(row_id)
+        for row_id in victim_ids:
+            table.delete_row(row_id)
+        self.triggers.fire(self, "DELETE", table.schema.name, victims)
+        return Result(statement_type="DELETE", rowcount=len(victims))
+
+    def _execute_update(
+        self, statement: ast.Update, parameters: Sequence[Any]
+    ) -> Result:
+        table = self.catalog.table(statement.table)
+        ctx = ExecutionContext(self.catalog, parameters)
+        output = _table_output_columns(table)
+        assignments: list[tuple[int, Any]] = []
+        for clause in statement.assignments:
+            index = table.schema.column_index(clause.column)
+            bound = self.binder.bind_scalar(clause.value, output)
+            assignments.append((index, compile_expression(bound)))
+        predicate_eval = None
+        if statement.where is not None:
+            predicate = self.binder.bind_scalar(statement.where, output)
+            predicate_eval = compile_expression(predicate)
+        targets = [
+            (row_id, row)
+            for row_id, row in table.scan_with_ids()
+            if predicate_eval is None or predicate_eval(row, ctx) is True
+        ]
+        pairs: list[tuple[tuple, tuple]] = []
+        for row_id, row in targets:
+            new_row = list(row)
+            for index, evaluator in assignments:
+                new_row[index] = evaluator(row, ctx)
+            old, new = table.update_row(row_id, new_row)
+            pairs.append((old, new))
+        self.triggers.fire(self, "UPDATE", table.schema.name, pairs)
+        return Result(statement_type="UPDATE", rowcount=len(pairs))
+
+
+def _table_output_columns(table: Table):
+    from repro.planner.logical import OutputColumn
+
+    return [
+        OutputColumn(col.name, col.type, table.schema.name)
+        for col in table.schema.columns
+    ]

@@ -1,0 +1,98 @@
+"""Extension registry: fall-back parsers and statement hooks.
+
+Reproduces DuckDB's extension mechanism as the paper uses it:
+
+* **Fall-back parsers** — "the DuckDB approach here is first to use its own
+  parser, but on syntax errors, try to re-parse a SQL statement with
+  fall-back parsers provided by extensions."  A registered
+  :class:`ParserExtension` gets the raw SQL after the core parser raises;
+  the first one returning statements wins.
+
+* **Statement hooks** — the stand-in for the optimizer rules the paper's
+  extension registers to "intercept INSERT/DELETE/UPDATE statements into
+  the base tables".  Hooks see each parsed statement before execution and
+  may handle it entirely (returning a Result) or let it fall through
+  (returning None).  Post-hooks run after execution with the affected
+  row count, which the IVM extension uses for eager refresh.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Protocol
+
+from repro.sql import ast
+
+if TYPE_CHECKING:
+    from repro.engine.connection import Connection
+    from repro.engine.result import Result
+
+
+class ParserExtension(Protocol):
+    """A fall-back parser tried when the core parser raises."""
+
+    def try_parse(self, sql: str) -> Optional[list[ast.Statement]]:
+        """Return statements if this extension understands ``sql``."""
+        ...
+
+
+# A pre-hook may fully handle the statement by returning a Result.
+StatementHook = Callable[["Connection", ast.Statement], Optional["Result"]]
+# A post-hook observes a statement after successful execution.
+PostStatementHook = Callable[["Connection", ast.Statement, "Result"], None]
+
+
+class ExtensionRegistry:
+    """Per-connection registry; extensions call the ``register_*`` methods.
+
+    This mirrors the paper: "An extension module registers its new
+    functionality by calling DuckDB registration functions.  These
+    registration functions can also be called directly from an application
+    that uses DuckDB as a library."
+    """
+
+    def __init__(self) -> None:
+        self._parser_extensions: list[ParserExtension] = []
+        self._pre_hooks: list[StatementHook] = []
+        self._post_hooks: list[PostStatementHook] = []
+        self._loaded: dict[str, object] = {}
+
+    # -- registration -------------------------------------------------
+
+    def register_parser(self, parser: ParserExtension) -> None:
+        self._parser_extensions.append(parser)
+
+    def register_pre_hook(self, hook: StatementHook) -> None:
+        self._pre_hooks.append(hook)
+
+    def register_post_hook(self, hook: PostStatementHook) -> None:
+        self._post_hooks.append(hook)
+
+    def mark_loaded(self, name: str, extension: object) -> None:
+        self._loaded[name] = extension
+
+    def loaded(self, name: str) -> object | None:
+        return self._loaded.get(name)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def try_fallback_parsers(self, sql: str) -> Optional[list[ast.Statement]]:
+        for parser in self._parser_extensions:
+            statements = parser.try_parse(sql)
+            if statements is not None:
+                return statements
+        return None
+
+    def run_pre_hooks(
+        self, connection: "Connection", statement: ast.Statement
+    ) -> Optional["Result"]:
+        for hook in self._pre_hooks:
+            result = hook(connection, statement)
+            if result is not None:
+                return result
+        return None
+
+    def run_post_hooks(
+        self, connection: "Connection", statement: ast.Statement, result: "Result"
+    ) -> None:
+        for hook in self._post_hooks:
+            hook(connection, statement, result)

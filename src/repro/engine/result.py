@@ -1,0 +1,47 @@
+"""Query results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class Result:
+    """Rows and metadata returned by :meth:`Connection.execute`.
+
+    DDL and DML return empty ``rows`` with ``rowcount`` set; queries return
+    ``columns`` and ``rows``.
+    """
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    statement_type: str = ""
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows)
+
+    def fetchone(self) -> tuple | None:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def sorted(self) -> list[tuple]:
+        """Rows sorted with None-safe keys — handy for order-insensitive tests."""
+        def key(row: tuple):
+            return tuple((v is None, str(type(v)), v) for v in row)
+        return sorted(self.rows, key=key)

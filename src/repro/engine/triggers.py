@@ -1,0 +1,76 @@
+"""AFTER-statement triggers.
+
+Triggers are the paper's delta-capture mechanism on the OLTP side of
+cross-system IVM ("for PostgreSQL ... users are required to configure
+these triggers").  A trigger fires after a DML statement commits, with the
+affected rows:
+
+* INSERT → the inserted row tuples,
+* DELETE → the deleted row tuples,
+* UPDATE → ``(old_row, new_row)`` pairs.
+
+Trigger callables receive ``(connection, event, table_name, rows)`` and may
+execute further SQL on the same connection (e.g. inserting into delta
+tables).  Recursive firing is suppressed per (table, event) while a trigger
+for it is running, which is how real systems avoid trigger loops.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:
+    from repro.engine.connection import Connection
+
+TriggerFn = Callable[["Connection", str, str, list], None]
+
+EVENTS = ("INSERT", "DELETE", "UPDATE")
+
+
+class TriggerManager:
+    """Per-connection registry of AFTER triggers."""
+
+    def __init__(self) -> None:
+        self._triggers: dict[tuple[str, str], list[tuple[str, TriggerFn]]] = {}
+        self._firing: set[tuple[str, str]] = set()
+
+    def register(
+        self, name: str, table: str, event: str, fn: TriggerFn
+    ) -> None:
+        event = event.upper()
+        if event not in EVENTS:
+            raise ValueError(f"unknown trigger event {event!r}")
+        key = (table.lower(), event)
+        self._triggers.setdefault(key, []).append((name, fn))
+
+    def unregister(self, name: str) -> None:
+        for key in list(self._triggers):
+            self._triggers[key] = [
+                (n, fn) for n, fn in self._triggers[key] if n != name
+            ]
+            if not self._triggers[key]:
+                del self._triggers[key]
+
+    def triggers_on(self, table: str) -> list[str]:
+        return sorted(
+            name
+            for (tbl, _), entries in self._triggers.items()
+            if tbl == table.lower()
+            for name, _ in entries
+        )
+
+    def fire(
+        self, connection: "Connection", event: str, table: str, rows: list[Any]
+    ) -> None:
+        if not rows:
+            return
+        key = (table.lower(), event.upper())
+        entries = self._triggers.get(key)
+        if not entries or key in self._firing:
+            return
+        self._firing.add(key)
+        try:
+            for _, fn in entries:
+                fn(connection, event.upper(), table, rows)
+        finally:
+            self._firing.discard(key)

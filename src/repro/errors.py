@@ -1,0 +1,54 @@
+"""Exception hierarchy shared by the engine substrate and the IVM compiler.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch a single base class.  The sub-classes mirror the
+stages of query processing: lexing/parsing, binding (name/type resolution),
+catalog lookups, constraint enforcement, execution, and IVM compilation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParserError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the offending position so callers (and the extension
+    fall-back-parser machinery) can report or recover from it.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class BinderError(ReproError):
+    """Raised when names or types in a parsed statement cannot be resolved."""
+
+
+class CatalogError(ReproError):
+    """Raised for missing/duplicate tables, views, or indexes."""
+
+
+class TypeError_(ReproError):
+    """Raised when a value cannot be coerced to the required SQL type."""
+
+
+class ConstraintError(ReproError):
+    """Raised on primary-key or not-null violations."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a bound plan fails at runtime (e.g. division by zero)."""
+
+
+class IVMError(ReproError):
+    """Raised when a view definition cannot be incrementally maintained."""
+
+
+class UnsupportedError(IVMError):
+    """Raised for SQL constructs outside the compiler's supported surface."""

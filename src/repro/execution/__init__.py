@@ -1,0 +1,5 @@
+"""Pull-based plan execution: expression closures, aggregates, joins."""
+
+from repro.execution.executor import ExecutionContext, execute_plan
+
+__all__ = ["ExecutionContext", "execute_plan"]

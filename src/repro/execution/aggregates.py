@@ -1,0 +1,153 @@
+"""Aggregate function state machines for hash aggregation.
+
+Each aggregate is a small class with ``update(value)`` and ``result()``.
+SQL semantics: NULL inputs are skipped; SUM/MIN/MAX/AVG over zero non-NULL
+inputs yield NULL; COUNT yields 0.  DISTINCT variants wrap a base state
+with a seen-set.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datatypes.values import sql_compare
+from repro.errors import ExecutionError
+
+
+class _SumState:
+    __slots__ = ("total", "seen")
+
+    def __init__(self) -> None:
+        self.total: Any = 0
+        self.seen = False
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.seen = True
+
+    def result(self) -> Any:
+        return self.total if self.seen else None
+
+
+class _CountState:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def update(self, value: Any) -> None:
+        if value is not None:
+            self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _CountStarState:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def update(self, value: Any) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class _AvgState:
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+class _MinState:
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or sql_compare(value, self.best) < 0:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _MaxState:
+    __slots__ = ("best",)
+
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or sql_compare(value, self.best) > 0:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _DistinctState:
+    """Wraps a base state, forwarding each distinct non-NULL value once."""
+
+    __slots__ = ("inner", "seen")
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.seen: set = set()
+
+    def update(self, value: Any) -> None:
+        if value is None:
+            return
+        if value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.update(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+_STATES = {
+    "SUM": _SumState,
+    "COUNT": _CountState,
+    "AVG": _AvgState,
+    "MIN": _MinState,
+    "MAX": _MaxState,
+}
+
+
+def make_aggregate_state(function: str, star: bool, distinct: bool):
+    """Create the state object for one aggregate call instance."""
+    upper = function.upper()
+    if upper == "COUNT" and star:
+        return _CountStarState()
+    try:
+        state = _STATES[upper]()
+    except KeyError:
+        raise ExecutionError(f"unknown aggregate {function!r}") from None
+    if distinct:
+        return _DistinctState(state)
+    return state

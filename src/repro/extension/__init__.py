@@ -1,0 +1,12 @@
+"""The OpenIVM extension module: native IVM inside the embedded engine.
+
+Mirrors the paper's DuckDB extension: a fall-back parser that accepts
+``CREATE MATERIALIZED VIEW`` (and ``REFRESH MATERIALIZED VIEW``),
+statement hooks that intercept INSERT/DELETE/UPDATE on watched base
+tables to fill the delta tables, eager/lazy/batched refresh, and an
+on-disk store of the compiled propagation scripts.
+"""
+
+from repro.extension.ivm_extension import IVMExtension, load_ivm
+
+__all__ = ["IVMExtension", "load_ivm"]

@@ -1,0 +1,363 @@
+"""OpenIVM wrapped as a loadable engine extension.
+
+Paper §2, "The Extension Module: OpenIVM inside DuckDB":
+
+* "when the fall-back parser parses a CREATE MATERIALIZED VIEW, we execute
+  the compiled output to create the delta tables as well as any generated
+  intermediate result tables or indexes, along with a table that
+  represents the materialized result" — :meth:`IVMExtension._handle_create`.
+* "another optimizer rule can then be used to intercept
+  INSERT/DELETE/UPDATE statements into the base tables ... fill the delta
+  tables ΔT, and kick off the SQL propagation scripts" — the DML capture
+  triggers plus the post-statement refresh policy.
+* "We store the SQL scripts that propagate the contents of the delta
+  tables to the materialized view table on the disk" — ``script_dir``.
+* "These SQL commands can either be run eagerly ... or lazily, i.e.
+  refreshing the materialized view when it is queried" — the
+  :class:`~repro.core.flags.PropagationMode` policy (plus BATCH).
+
+Usage::
+
+    con = Connection()
+    ivm = load_ivm(con)            # like LOAD 'openivm'
+    con.execute("CREATE TABLE groups (g VARCHAR, v INTEGER)")
+    con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+                "FROM groups GROUP BY g")
+    con.execute("INSERT INTO groups VALUES ('a', 1)")
+    con.execute("SELECT * FROM q")   # lazy refresh happens here
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.core.compiler import CompiledView, OpenIVMCompiler
+from repro.core.flags import CompilerFlags, PropagationMode
+from repro.engine.connection import Connection
+from repro.engine.result import Result
+from repro.errors import IVMError, ParserError
+from repro.sql import ast
+from repro.sql.parser import parse_script
+
+
+@dataclass
+class _ViewState:
+    """Runtime bookkeeping for one registered materialized view."""
+
+    compiled: CompiledView
+    pending_changes: int = 0
+    refresh_count: int = 0
+    # Propagation statements parsed once at CREATE time (labels preserved),
+    # so a refresh skips re-parsing the stored scripts.
+    prepared: list[tuple[str, ast.Statement]] = None
+
+
+class _MaterializedViewParser:
+    """Fall-back parser accepting the MATERIALIZED VIEW statements.
+
+    "Similar to DuckPGQ ... we developed a simple fall-back parser that
+    recognizes the CREATE MATERIALIZED VIEW syntax."
+    """
+
+    def try_parse(self, sql: str) -> list[ast.Statement] | None:
+        try:
+            statements = parse_script(sql, allow_materialized=True)
+        except ParserError:
+            return None
+        interesting = any(
+            (isinstance(s, ast.CreateView) and s.materialized)
+            or isinstance(s, ast.RefreshView)
+            for s in statements
+        )
+        return statements if interesting else None
+
+
+class IVMExtension:
+    """The extension object; one instance per connection."""
+
+    def __init__(
+        self,
+        flags: CompilerFlags | None = None,
+        script_dir: str | pathlib.Path | None = None,
+    ) -> None:
+        self.flags = flags or CompilerFlags()
+        self.script_dir = pathlib.Path(script_dir) if script_dir else None
+        self._connection: Connection | None = None
+        self._views: dict[str, _ViewState] = {}
+        # base table (lower) -> view names watching it
+        self._watched: dict[str, set[str]] = {}
+        # delta table name (lower) -> view names reading it
+        self._delta_readers: dict[str, set[str]] = {}
+
+    # -- registration (the paper's "registration functions") ----------------
+
+    def register(self, connection: Connection) -> None:
+        if self._connection is not None:
+            raise IVMError("extension is already loaded into a connection")
+        self._connection = connection
+        connection.extensions.register_parser(_MaterializedViewParser())
+        connection.extensions.register_pre_hook(self._pre_hook)
+        connection.extensions.register_post_hook(self._post_hook)
+        connection.extensions.mark_loaded("openivm", self)
+
+    # -- public API ---------------------------------------------------------
+
+    def views(self) -> list[str]:
+        return sorted(self._views)
+
+    def view_state(self, name: str) -> _ViewState:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise IVMError(f"materialized view {name!r} does not exist") from None
+
+    def compiled(self, name: str) -> CompiledView:
+        return self.view_state(name).compiled
+
+    def refresh(self, name: str) -> None:
+        """Run the propagation scripts for ``name`` (and for every view
+        sharing one of its delta tables, so shared ΔT are consumed once)."""
+        state = self.view_state(name)
+        closure = self._refresh_closure(state)
+        con = self._require_connection()
+        for member in closure:
+            for label, statement in member.prepared:
+                if label.startswith("step4: clear delta table"):
+                    continue  # cleared once for the whole closure below
+                con.execute_statement(statement)
+            member.pending_changes = 0
+            member.refresh_count += 1
+        delta_tables = {
+            delta
+            for member in closure
+            for delta in member.compiled.delta_tables.values()
+        }
+        for delta in sorted(delta_tables):
+            con.execute(f"DELETE FROM {delta}")
+
+    def refresh_all(self) -> None:
+        for name in self.views():
+            if self._views[name].pending_changes:
+                self.refresh(name)
+
+    def status(self) -> list[dict]:
+        """Per-view runtime status (for dashboards/demos): name, class,
+        strategy, mode, pending delta rows, refresh rounds, stored rows."""
+        con = self._require_connection()
+        report = []
+        for name in self.views():
+            state = self._views[name]
+            compiled = state.compiled
+            report.append(
+                {
+                    "view": compiled.name,
+                    "class": compiled.view_class.value,
+                    "strategy": compiled.model.flags.strategy.value,
+                    "mode": compiled.model.flags.mode.value,
+                    "pending_changes": state.pending_changes,
+                    "refresh_count": state.refresh_count,
+                    "rows": len(con.table(compiled.name)),
+                    "base_tables": sorted(compiled.delta_tables),
+                }
+            )
+        return report
+
+    def _refresh_closure(self, state: _ViewState) -> list[_ViewState]:
+        names: set[str] = set()
+        frontier = [state.compiled.name.lower()]
+        while frontier:
+            current = frontier.pop()
+            if current in names:
+                continue
+            names.add(current)
+            compiled = self._views[current].compiled
+            for delta in compiled.delta_tables.values():
+                for reader in self._delta_readers.get(delta.lower(), ()):
+                    if reader not in names:
+                        frontier.append(reader)
+        return [self._views[n] for n in sorted(names)]
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _pre_hook(self, connection: Connection, statement: ast.Statement):
+        if isinstance(statement, ast.CreateView) and statement.materialized:
+            return self._handle_create(statement)
+        if isinstance(statement, ast.RefreshView):
+            self.refresh(statement.name)
+            return Result(statement_type="REFRESH MATERIALIZED VIEW")
+        if isinstance(statement, ast.DropView):
+            if statement.name.lower() in self._views:
+                return self._handle_drop(statement)
+            return None
+        if isinstance(statement, ast.Select):
+            self._lazy_refresh_for_select(statement)
+            return None
+        return None
+
+    def _post_hook(
+        self, connection: Connection, statement: ast.Statement, result: Result
+    ) -> None:
+        """After a DML statement on a watched base table, apply the refresh
+        policy (the capture itself happened in the AFTER triggers)."""
+        if not isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
+            return
+        watchers = self._watched.get(statement.table.lower())
+        if not watchers or result.rowcount == 0:
+            return
+        for view_name in sorted(watchers):
+            state = self._views[view_name]
+            state.pending_changes += result.rowcount
+            mode = state.compiled.model.flags.mode
+            if mode is PropagationMode.EAGER:
+                self.refresh(view_name)
+            elif (
+                mode is PropagationMode.BATCH
+                and state.pending_changes >= state.compiled.model.flags.batch_size
+            ):
+                self.refresh(view_name)
+
+    # -- CREATE / DROP ---------------------------------------------------------
+
+    def _handle_create(self, statement: ast.CreateView) -> Result:
+        con = self._require_connection()
+        name = statement.name
+        if name.lower() in self._views:
+            if statement.if_not_exists:
+                return Result(statement_type="CREATE MATERIALIZED VIEW")
+            raise IVMError(f"materialized view {name!r} already exists")
+        compiler = OpenIVMCompiler(con.catalog, self.flags)
+        compiled = compiler.compile_query(name, statement.query)
+        for sql in compiled.ddl:
+            con.execute(sql)
+        con.execute(compiled.populate)
+        self._store_script(compiled)
+        prepared = [
+            (label, parse_script(sql)[0]) for label, sql in compiled.propagation
+        ]
+        state = _ViewState(compiled=compiled, prepared=prepared)
+        self._views[name.lower()] = state
+        for base_table, delta_table in compiled.delta_tables.items():
+            self._watched.setdefault(base_table.lower(), set()).add(name.lower())
+            self._delta_readers.setdefault(delta_table.lower(), set()).add(
+                name.lower()
+            )
+            self._install_capture_triggers(base_table, delta_table)
+        return Result(statement_type="CREATE MATERIALIZED VIEW")
+
+    def _handle_drop(self, statement: ast.DropView) -> Result:
+        con = self._require_connection()
+        name = statement.name.lower()
+        state = self._views.pop(name)
+        compiled = state.compiled
+        for base_table, delta_table in compiled.delta_tables.items():
+            watchers = self._watched.get(base_table.lower())
+            if watchers:
+                watchers.discard(name)
+                if not watchers:
+                    del self._watched[base_table.lower()]
+                    con.triggers.unregister(f"__ivm_capture_{base_table.lower()}")
+            readers = self._delta_readers.get(delta_table.lower())
+            if readers:
+                readers.discard(name)
+                if not readers:
+                    del self._delta_readers[delta_table.lower()]
+                    con.execute(f"DROP TABLE IF EXISTS {delta_table}")
+        con.execute(f"DROP TABLE IF EXISTS {compiled.delta_view_table}")
+        con.execute(f"DROP TABLE IF EXISTS {compiled.name}")
+        con.execute(
+            "DELETE FROM _duckdb_ivm_views WHERE view_name = ?",
+            [compiled.name],
+        )
+        return Result(statement_type="DROP MATERIALIZED VIEW")
+
+    # -- delta capture ------------------------------------------------------
+
+    def _install_capture_triggers(self, base_table: str, delta_table: str) -> None:
+        """AFTER triggers writing changed rows (with multiplicity) to ΔT.
+
+        This is the same mechanism the paper leaves to the user on
+        PostgreSQL; inside the extension it is installed automatically,
+        playing the role of the DuckDB optimizer rule.
+        """
+        con = self._require_connection()
+        trigger_name = f"__ivm_capture_{base_table.lower()}"
+        if trigger_name in con.triggers.triggers_on(base_table):
+            return
+        delta = con.table(delta_table)
+
+        def capture(connection: Connection, event: str, table: str, rows) -> None:
+            if event == "INSERT":
+                for row in rows:
+                    delta.insert(row + (True,), coerce=False)
+            elif event == "DELETE":
+                for row in rows:
+                    delta.insert(row + (False,), coerce=False)
+            else:  # UPDATE: delete old, insert new
+                for old, new in rows:
+                    delta.insert(old + (False,), coerce=False)
+                    delta.insert(new + (True,), coerce=False)
+
+        for event in ("INSERT", "DELETE", "UPDATE"):
+            con.triggers.register(trigger_name, base_table, event, capture)
+
+    # -- lazy refresh -----------------------------------------------------------
+
+    def _lazy_refresh_for_select(self, statement: ast.Select) -> None:
+        referenced = _referenced_tables(statement)
+        for name in sorted(referenced):
+            state = self._views.get(name)
+            if state is None or state.pending_changes == 0:
+                continue
+            if state.compiled.model.flags.mode is not PropagationMode.EAGER:
+                self.refresh(state.compiled.name)
+
+    # -- script store ---------------------------------------------------------
+
+    def _store_script(self, compiled: CompiledView) -> None:
+        if self.script_dir is None:
+            return
+        self.script_dir.mkdir(parents=True, exist_ok=True)
+        path = self.script_dir / f"{compiled.name}.sql"
+        path.write_text(compiled.script() + "\n", encoding="utf-8")
+
+    def _require_connection(self) -> Connection:
+        if self._connection is None:
+            raise IVMError("extension is not loaded; call load_ivm(connection)")
+        return self._connection
+
+
+def load_ivm(
+    connection: Connection,
+    flags: CompilerFlags | None = None,
+    script_dir: str | pathlib.Path | None = None,
+) -> IVMExtension:
+    """Load the OpenIVM extension into ``connection`` (like DuckDB LOAD)."""
+    extension = IVMExtension(flags=flags, script_dir=script_dir)
+    extension.register(connection)
+    return extension
+
+
+def _referenced_tables(statement: ast.Select) -> set[str]:
+    """All base-table names referenced anywhere in a SELECT (lowercased)."""
+    names: set[str] = set()
+
+    def visit_select(select: ast.Select) -> None:
+        for cte in select.ctes:
+            visit_select(cte.query)
+        if select.from_clause is not None:
+            visit_ref(select.from_clause)
+        for _, right in select.set_ops:
+            visit_select(right)
+
+    def visit_ref(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.BaseTableRef):
+            names.add(ref.name.lower())
+        elif isinstance(ref, ast.SubqueryRef):
+            visit_select(ref.query)
+        elif isinstance(ref, ast.JoinRef):
+            visit_ref(ref.left)
+            visit_ref(ref.right)
+
+    visit_select(statement)
+    return names

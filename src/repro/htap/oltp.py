@@ -1,0 +1,124 @@
+"""The OLTP side: a PostgreSQL stand-in with trigger-based delta capture.
+
+The paper: "how to propagate changes from T to ΔT ... could be done in
+many ways: through triggers, optimizer rules, or not at all ... for
+PostgreSQL (or any alternative system), users are required to configure
+these triggers independently."  :meth:`OLTPSystem.install_capture` is that
+configuration step, generating the delta-table DDL in the PostgreSQL
+dialect and registering AFTER triggers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.datatypes.types import BOOLEAN
+from repro.engine.connection import Connection
+from repro.engine.result import Result
+from repro.core.ddl import render_create_table
+
+
+class OLTPSystem:
+    """A transactional engine instance speaking the PostgreSQL dialect."""
+
+    def __init__(self, delta_prefix: str = "delta_",
+                 multiplicity_column: str = "_duckdb_ivm_multiplicity") -> None:
+        self.connection = Connection(dialect="postgres")
+        self.delta_prefix = delta_prefix
+        self.multiplicity_column = multiplicity_column
+        self._captured: set[str] = set()
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> Result:
+        return self.connection.execute(sql, parameters)
+
+    def delta_table(self, table: str) -> str:
+        return f"{self.delta_prefix}{table}"
+
+    def captured_tables(self) -> list[str]:
+        return sorted(self._captured)
+
+    def install_capture(self, table_name: str) -> str:
+        """Create ΔT and the AFTER INSERT/DELETE/UPDATE triggers for it.
+
+        Returns the delta-table DDL that was executed (for inspection),
+        matching what a user would run on a real PostgreSQL.
+        """
+        con = self.connection
+        table = con.table(table_name)
+        delta_name = self.delta_table(table.schema.name)
+        columns = [(c.name, c.type) for c in table.schema.columns]
+        columns.append((self.multiplicity_column, BOOLEAN))
+        ddl = render_create_table(delta_name, columns, con.dialect, if_not_exists=True)
+        con.execute(ddl)
+        if table_name.lower() in self._captured:
+            return ddl
+        delta = con.table(delta_name)
+
+        def capture(connection: Connection, event: str, table_: str, rows) -> None:
+            if event == "INSERT":
+                for row in rows:
+                    delta.insert(row + (True,), coerce=False)
+            elif event == "DELETE":
+                for row in rows:
+                    delta.insert(row + (False,), coerce=False)
+            else:
+                for old, new in rows:
+                    delta.insert(old + (False,), coerce=False)
+                    delta.insert(new + (True,), coerce=False)
+
+        trigger = f"__ivm_oltp_capture_{table_name.lower()}"
+        for event in ("INSERT", "DELETE", "UPDATE"):
+            con.triggers.register(trigger, table_name, event, capture)
+        self._captured.add(table_name.lower())
+        return ddl
+
+    def capture_trigger_ddl(self, table_name: str) -> str:
+        """The PostgreSQL DDL a user would run to configure delta capture.
+
+        The paper: "for PostgreSQL (or any alternative system), users are
+        required to configure these triggers independently."  Our engine's
+        triggers are registered programmatically; this emits the equivalent
+        real-PostgreSQL script for inspection/porting.
+        """
+        table = self.connection.table(table_name)
+        delta = self.delta_table(table.schema.name)
+        mult = self.multiplicity_column
+        columns = ", ".join(c.name for c in table.schema.columns)
+        new_cols = ", ".join(f"NEW.{c.name}" for c in table.schema.columns)
+        old_cols = ", ".join(f"OLD.{c.name}" for c in table.schema.columns)
+        fn = f"{delta}_capture_fn"
+        return "\n".join(
+            [
+                f"CREATE OR REPLACE FUNCTION {fn}() RETURNS TRIGGER AS $$",
+                "BEGIN",
+                "  IF TG_OP = 'INSERT' THEN",
+                f"    INSERT INTO {delta} ({columns}, {mult}) "
+                f"VALUES ({new_cols}, TRUE);",
+                "  ELSIF TG_OP = 'DELETE' THEN",
+                f"    INSERT INTO {delta} ({columns}, {mult}) "
+                f"VALUES ({old_cols}, FALSE);",
+                "  ELSE",
+                f"    INSERT INTO {delta} ({columns}, {mult}) "
+                f"VALUES ({old_cols}, FALSE);",
+                f"    INSERT INTO {delta} ({columns}, {mult}) "
+                f"VALUES ({new_cols}, TRUE);",
+                "  END IF;",
+                "  RETURN NULL;",
+                "END;",
+                "$$ LANGUAGE plpgsql;",
+                f"CREATE TRIGGER {delta}_capture",
+                f"AFTER INSERT OR UPDATE OR DELETE ON {table.schema.name}",
+                f"FOR EACH ROW EXECUTE FUNCTION {fn}();",
+            ]
+        )
+
+    def drain_delta(self, table_name: str) -> list[tuple]:
+        """Read-and-clear the delta rows for one base table."""
+        delta_name = self.delta_table(table_name)
+        delta = self.connection.table(delta_name)
+        rows = list(delta.scan())
+        delta.truncate()
+        return rows
+
+    def pending_delta_count(self, table_name: str) -> int:
+        return len(self.connection.table(self.delta_table(table_name)))

@@ -1,0 +1,6 @@
+"""Query planning: bound expressions, logical operators, binder, optimizer."""
+
+from repro.planner.binder import Binder
+from repro.planner.logical import LogicalOperator
+
+__all__ = ["Binder", "LogicalOperator"]

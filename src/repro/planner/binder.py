@@ -1,0 +1,749 @@
+"""Name and type resolution: AST → bound logical plan.
+
+The binder resolves FROM-clause sources against the catalog, turns column
+references into tuple offsets, extracts aggregates, and produces the
+logical operator tree.  GROUP BY matching is done on *bound* expressions
+(so ``g``, ``t.g`` and ``T.G`` all match the same group key), which is the
+behaviour the IVM compiler relies on when it re-binds a view definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.datatypes.types import BOOLEAN, VARCHAR, DataType, type_from_name
+from repro.errors import BinderError
+from repro.sql import ast
+from repro.sql.render import render_expression
+from repro.planner.expressions import (
+    AggregateCall,
+    BoundBetween,
+    BoundBinary,
+    BoundCase,
+    BoundCast,
+    BoundColumn,
+    BoundConstant,
+    BoundExists,
+    BoundExpression,
+    BoundFunction,
+    BoundInList,
+    BoundInSubquery,
+    BoundIsNull,
+    BoundLike,
+    BoundParameter,
+    BoundSubquery,
+    BoundUnary,
+)
+from repro.planner.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalMaterializedCTE,
+    LogicalOperator,
+    LogicalOrder,
+    LogicalProject,
+    LogicalSetOp,
+    LogicalValues,
+    OutputColumn,
+)
+
+if TYPE_CHECKING:
+    from repro.catalog.catalog import Catalog
+
+_SCALAR_FUNCTIONS = frozenset(
+    """
+    COALESCE ABS ROUND FLOOR CEIL CEILING LENGTH STRLEN LOWER UPPER TRIM
+    LTRIM RTRIM SUBSTR SUBSTRING CONCAT REPLACE NULLIF GREATEST LEAST MOD
+    POWER POW SQRT LN EXP SIGN LEFT RIGHT
+    """.split()
+)
+
+
+@dataclass
+class _ScopeColumn:
+    alias: str  # binding name (table alias or subquery alias), lowercase
+    name: str  # column name, original case
+    type: DataType
+
+
+class _Scope:
+    """The flattened row layout visible to expressions at one plan level."""
+
+    def __init__(self, columns: list[_ScopeColumn]) -> None:
+        self.columns = columns
+
+    def resolve(self, name: str, table: str | None) -> tuple[int, DataType]:
+        lowered = name.lower()
+        table_lowered = table.lower() if table else None
+        matches = [
+            (i, col)
+            for i, col in enumerate(self.columns)
+            if col.name.lower() == lowered
+            and (table_lowered is None or col.alias == table_lowered)
+        ]
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise BinderError(f"column {qualified!r} not found")
+        if len(matches) > 1:
+            qualified = f"{table}.{name}" if table else name
+            raise BinderError(f"column reference {qualified!r} is ambiguous")
+        index, col = matches[0]
+        return index, col.type
+
+    def columns_of(self, table: str | None) -> list[tuple[int, _ScopeColumn]]:
+        if table is None:
+            return list(enumerate(self.columns))
+        lowered = table.lower()
+        found = [(i, c) for i, c in enumerate(self.columns) if c.alias == lowered]
+        if not found:
+            raise BinderError(f"table alias {table!r} not found in FROM clause")
+        return found
+
+
+def bound_key(expr: BoundExpression) -> tuple:
+    """A structural, hashable key for bound-expression equality."""
+    if isinstance(expr, BoundColumn):
+        return ("col", expr.index)
+    if isinstance(expr, BoundConstant):
+        return ("const", expr.value, expr.type.id.value)
+    if isinstance(expr, BoundUnary):
+        return ("unary", expr.op, bound_key(expr.operand))
+    if isinstance(expr, BoundBinary):
+        return ("binary", expr.op, bound_key(expr.left), bound_key(expr.right))
+    if isinstance(expr, BoundIsNull):
+        return ("isnull", expr.negated, bound_key(expr.operand))
+    if isinstance(expr, BoundInList):
+        return ("in", expr.negated, bound_key(expr.operand),
+                tuple(bound_key(i) for i in expr.items))
+    if isinstance(expr, BoundBetween):
+        return ("between", expr.negated, bound_key(expr.operand),
+                bound_key(expr.low), bound_key(expr.high))
+    if isinstance(expr, BoundLike):
+        return ("like", expr.negated, bound_key(expr.operand), bound_key(expr.pattern))
+    if isinstance(expr, BoundCase):
+        return (
+            "case",
+            bound_key(expr.operand) if expr.operand else None,
+            tuple((bound_key(w), bound_key(t)) for w, t in expr.branches),
+            bound_key(expr.else_result) if expr.else_result else None,
+        )
+    if isinstance(expr, BoundCast):
+        return ("cast", expr.type.id.value, bound_key(expr.operand))
+    if isinstance(expr, BoundFunction):
+        return ("func", expr.name.upper(), tuple(bound_key(a) for a in expr.args))
+    if isinstance(expr, BoundParameter):
+        return ("param", expr.index)
+    # Subqueries compare by identity.
+    return ("node", id(expr))
+
+
+class Binder:
+    """Binds statements against a catalog."""
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self._catalog = catalog
+        # Source scope of the most recently bound select core, used to bind
+        # ORDER BY keys that reference non-projected source columns.
+        self._last_source_scope: _Scope | None = None
+
+    # -- public API --------------------------------------------------------
+
+    def bind_select(
+        self,
+        select: ast.Select,
+        ctes: dict[str, LogicalOperator] | None = None,
+    ) -> LogicalOperator:
+        """Bind a full SELECT (with CTEs, set ops, ORDER/LIMIT) to a plan."""
+        cte_map = dict(ctes) if ctes else {}
+        for cte in select.ctes:
+            cte_plan = self.bind_select(cte.query, cte_map)
+            if cte.columns:
+                cte_plan = _rename_columns(cte_plan, cte.columns)
+            cte_map[cte.name.lower()] = cte_plan
+        plan = self._bind_select_core(select, cte_map)
+        source_scope = self._last_source_scope
+        for op, right_ast in select.set_ops:
+            right = self._bind_select_core(right_ast, cte_map)
+            if right.arity != plan.arity:
+                raise BinderError(
+                    f"set operation arity mismatch: {plan.arity} vs {right.arity}"
+                )
+            plan = LogicalSetOp(left=plan, right=right, op=op)
+        if select.order_by:
+            hidden_ok = (
+                not select.set_ops
+                and not select.distinct
+                and source_scope is not None
+            )
+            plan = self._bind_order_by(
+                plan, select.order_by, source_scope if hidden_ok else None
+            )
+        if select.limit is not None or select.offset is not None:
+            limit = _constant_int(select.limit, "LIMIT")
+            offset = _constant_int(select.offset, "OFFSET") or 0
+            plan = LogicalLimit(child=plan, limit=limit, offset=offset)
+        return plan
+
+    def bind_scalar(
+        self, expr: ast.Expression, plan_columns: list[OutputColumn]
+    ) -> BoundExpression:
+        """Bind an expression over a known output schema (UPDATE/DELETE)."""
+        scope = _Scope(
+            [_ScopeColumn(c.source.lower(), c.name, c.type) for c in plan_columns]
+        )
+        return self._bind_expression(expr, scope, {})
+
+    # -- SELECT core -----------------------------------------------------
+
+    def _bind_select_core(
+        self, select: ast.Select, cte_map: dict[str, LogicalOperator]
+    ) -> LogicalOperator:
+        if select.from_clause is None:
+            plan, scope = self._bind_no_from(select, cte_map)
+        else:
+            plan, scope = self._bind_table_ref(select.from_clause, cte_map)
+            plan = self._bind_select_over(select, plan, scope, cte_map)
+        if select.distinct:
+            plan = LogicalDistinct(child=plan)
+        has_aggregates = bool(select.group_by) or select.having is not None or any(
+            not isinstance(item.expr, ast.Star) and _contains_aggregate_ast(item.expr)
+            for item in select.items
+        )
+        self._last_source_scope = None if has_aggregates else scope
+        return plan
+
+    def _bind_no_from(
+        self, select: ast.Select, cte_map: dict[str, LogicalOperator]
+    ) -> tuple[LogicalOperator, _Scope]:
+        scope = _Scope([])
+        row: list[BoundExpression] = []
+        names: list[OutputColumn] = []
+        for i, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                raise BinderError("SELECT * requires a FROM clause")
+            bound = self._bind_expression(item.expr, scope, cte_map)
+            row.append(bound)
+            names.append(OutputColumn(_item_name(item, i), bound.type))
+        plan: LogicalOperator = LogicalValues(rows=[row], output_columns=names)
+        if select.where is not None:
+            predicate = self._bind_expression(select.where, scope, cte_map)
+            plan = LogicalFilter(child=plan, predicate=_as_where(predicate))
+        return plan, scope
+
+    def _bind_select_over(
+        self,
+        select: ast.Select,
+        plan: LogicalOperator,
+        scope: _Scope,
+        cte_map: dict[str, LogicalOperator],
+    ) -> LogicalOperator:
+        if select.where is not None:
+            if _contains_aggregate_ast(select.where):
+                raise BinderError("aggregates are not allowed in WHERE")
+            predicate = self._bind_expression(select.where, scope, cte_map)
+            plan = LogicalFilter(child=plan, predicate=_as_where(predicate))
+
+        has_aggregates = select.group_by or any(
+            _contains_aggregate_ast(item.expr)
+            for item in select.items
+            if not isinstance(item.expr, ast.Star)
+        ) or (select.having is not None)
+
+        if not has_aggregates:
+            return self._bind_projection(select.items, plan, scope, cte_map)
+        return self._bind_aggregate(select, plan, scope, cte_map)
+
+    def _bind_projection(
+        self,
+        items: list[ast.SelectItem],
+        plan: LogicalOperator,
+        scope: _Scope,
+        cte_map: dict[str, LogicalOperator],
+    ) -> LogicalOperator:
+        expressions: list[BoundExpression] = []
+        output: list[OutputColumn] = []
+        for i, item in enumerate(items):
+            if isinstance(item.expr, ast.Star):
+                for index, col in scope.columns_of(item.expr.table):
+                    expressions.append(BoundColumn(index, col.type, col.name))
+                    output.append(OutputColumn(col.name, col.type, col.alias))
+                continue
+            bound = self._bind_expression(item.expr, scope, cte_map)
+            expressions.append(bound)
+            output.append(OutputColumn(_item_name(item, i), bound.type))
+        return LogicalProject(child=plan, expressions=expressions, output_columns=output)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _bind_aggregate(
+        self,
+        select: ast.Select,
+        plan: LogicalOperator,
+        scope: _Scope,
+        cte_map: dict[str, LogicalOperator],
+    ) -> LogicalOperator:
+        group_bound: list[BoundExpression] = []
+        group_names: list[OutputColumn] = []
+        group_keys: dict[tuple, int] = {}
+        for expr in select.group_by:
+            resolved = self._resolve_group_target(expr, select.items)
+            bound = self._bind_expression(resolved, scope, cte_map)
+            key = bound_key(bound)
+            if key in group_keys:
+                continue
+            group_keys[key] = len(group_bound)
+            group_bound.append(bound)
+            group_names.append(OutputColumn(_group_name(resolved), bound.type))
+
+        aggregates: list[AggregateCall] = []
+        agg_index: dict[tuple, int] = {}
+
+        def intern_aggregate(call: ast.FunctionCall) -> int:
+            if len(call.args) > 1:
+                raise BinderError(
+                    f"aggregate {call.name} takes at most one argument"
+                )
+            argument: BoundExpression | None = None
+            if call.args and not isinstance(call.args[0], ast.Star):
+                argument = self._bind_expression(call.args[0], scope, cte_map)
+            elif not call.args and call.upper_name != "COUNT":
+                raise BinderError(f"aggregate {call.name} requires an argument")
+            key = (
+                call.upper_name,
+                bound_key(argument) if argument is not None else None,
+                call.distinct,
+            )
+            if key in agg_index:
+                return agg_index[key]
+            agg_index[key] = len(aggregates)
+            aggregates.append(
+                AggregateCall(
+                    function=call.upper_name,
+                    argument=argument,
+                    distinct=call.distinct,
+                )
+            )
+            return agg_index[key]
+
+        def bind_above(expr: ast.Expression) -> BoundExpression:
+            """Bind an expression over the aggregate's output layout."""
+            if isinstance(expr, ast.FunctionCall) and expr.upper_name in ast.AGGREGATE_FUNCTIONS:
+                slot = intern_aggregate(expr)
+                call = aggregates[slot]
+                return BoundColumn(
+                    len(group_bound) + slot, call.result_type, call.function.lower()
+                )
+            # A subtree that matches a group key collapses to that key.
+            if not isinstance(expr, (ast.Literal, ast.Parameter)):
+                try:
+                    candidate = self._bind_expression(expr, scope, cte_map)
+                except BinderError:
+                    candidate = None
+                if candidate is not None:
+                    key = bound_key(candidate)
+                    if key in group_keys:
+                        slot = group_keys[key]
+                        return BoundColumn(
+                            slot, group_bound[slot].type, group_names[slot].name
+                        )
+            if isinstance(expr, ast.ColumnRef):
+                raise BinderError(
+                    f"column {expr} must appear in the GROUP BY clause or be "
+                    "used in an aggregate function"
+                )
+            return self._rebuild_bound(expr, bind_above, scope, cte_map)
+
+        agg_output = list(group_names)  # aggregate slots appended below
+        # First pass interned aggregates via bind_above; bind items now.
+        expressions: list[BoundExpression] = []
+        item_columns: list[OutputColumn] = []
+        for i, item in enumerate(select.items):
+            if isinstance(item.expr, ast.Star):
+                raise BinderError("SELECT * cannot be combined with GROUP BY")
+            bound = bind_above(item.expr)
+            expressions.append(bound)
+            item_columns.append(OutputColumn(_item_name(item, i), bound.type))
+        having_bound = None
+        if select.having is not None:
+            having_bound = bind_above(select.having)
+
+        agg_output = list(group_names) + [
+            OutputColumn(f"__agg{i}", call.result_type)
+            for i, call in enumerate(aggregates)
+        ]
+        agg_plan: LogicalOperator = LogicalAggregate(
+            child=plan,
+            groups=group_bound,
+            aggregates=aggregates,
+            output_columns=agg_output,
+        )
+        if having_bound is not None:
+            agg_plan = LogicalFilter(child=agg_plan, predicate=_as_where(having_bound))
+        return LogicalProject(
+            child=agg_plan, expressions=expressions, output_columns=item_columns
+        )
+
+    @staticmethod
+    def _resolve_group_target(
+        expr: ast.Expression, items: list[ast.SelectItem]
+    ) -> ast.Expression:
+        """Resolve GROUP BY ordinals and select-list aliases."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            ordinal = expr.value
+            if not 1 <= ordinal <= len(items):
+                raise BinderError(f"GROUP BY ordinal {ordinal} out of range")
+            target = items[ordinal - 1].expr
+            if isinstance(target, ast.Star):
+                raise BinderError("cannot GROUP BY a star item")
+            return target
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias and item.alias.lower() == expr.name.lower():
+                    if not isinstance(item.expr, ast.Star):
+                        return item.expr
+        return expr
+
+    def _rebuild_bound(
+        self,
+        expr: ast.Expression,
+        recurse,
+        scope: _Scope,
+        cte_map: dict[str, LogicalOperator],
+    ) -> BoundExpression:
+        """Rebuild ``expr`` bottom-up, binding children with ``recurse``."""
+        if isinstance(expr, ast.Literal):
+            return BoundConstant(expr.value)
+        if isinstance(expr, ast.Parameter):
+            return BoundParameter(expr.index)
+        if isinstance(expr, ast.UnaryOp):
+            return BoundUnary(op=expr.op, operand=recurse(expr.operand))
+        if isinstance(expr, ast.BinaryOp):
+            return BoundBinary(op=expr.op, left=recurse(expr.left), right=recurse(expr.right))
+        if isinstance(expr, ast.IsNull):
+            return BoundIsNull(operand=recurse(expr.operand), negated=expr.negated)
+        if isinstance(expr, ast.InList):
+            return BoundInList(
+                operand=recurse(expr.operand),
+                items=[recurse(i) for i in expr.items],
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Between):
+            return BoundBetween(
+                operand=recurse(expr.operand),
+                low=recurse(expr.low),
+                high=recurse(expr.high),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Like):
+            return BoundLike(
+                operand=recurse(expr.operand),
+                pattern=recurse(expr.pattern),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.Case):
+            return BoundCase(
+                operand=recurse(expr.operand) if expr.operand else None,
+                branches=[(recurse(w), recurse(t)) for w, t in expr.branches],
+                else_result=recurse(expr.else_result) if expr.else_result else None,
+            )
+        if isinstance(expr, ast.Cast):
+            return BoundCast(
+                operand=recurse(expr.operand),
+                type=type_from_name(expr.type_name, expr.width),
+            )
+        if isinstance(expr, ast.FunctionCall):
+            upper = expr.upper_name
+            if upper in ast.AGGREGATE_FUNCTIONS:
+                raise BinderError(f"aggregate {expr.name} is not allowed here")
+            if upper not in _SCALAR_FUNCTIONS:
+                raise BinderError(f"unknown function {expr.name!r}")
+            return BoundFunction(name=upper, args=[recurse(a) for a in expr.args])
+        if isinstance(expr, ast.Exists):
+            return BoundExists(plan=self.bind_select(expr.query, cte_map), negated=expr.negated)
+        if isinstance(expr, ast.ScalarSubquery):
+            plan = self.bind_select(expr.query, cte_map)
+            if plan.arity != 1:
+                raise BinderError("scalar subquery must return exactly one column")
+            return BoundSubquery(plan=plan, type=plan.output_columns[0].type)
+        raise BinderError(f"cannot bind expression {type(expr).__name__}")
+
+    def _bind_expression(
+        self, expr: ast.Expression, scope: _Scope, cte_map: dict[str, LogicalOperator]
+    ) -> BoundExpression:
+        if isinstance(expr, ast.ColumnRef):
+            index, col_type = scope.resolve(expr.name, expr.table)
+            return BoundColumn(index, col_type, expr.name)
+        if isinstance(expr, ast.Star):
+            raise BinderError("* is only allowed in the select list or COUNT(*)")
+        if isinstance(expr, ast.InList) and len(expr.items) == 1 and isinstance(
+            expr.items[0], ast.ScalarSubquery
+        ):
+            plan = self.bind_select(expr.items[0].query, cte_map)
+            if plan.arity != 1:
+                raise BinderError("IN subquery must return exactly one column")
+            return BoundInSubquery(
+                operand=self._bind_expression(expr.operand, scope, cte_map),
+                plan=plan,
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.FunctionCall) and expr.upper_name in ast.AGGREGATE_FUNCTIONS:
+            raise BinderError(
+                f"aggregate {expr.name} is not allowed in this context"
+            )
+
+        def recurse(child: ast.Expression) -> BoundExpression:
+            return self._bind_expression(child, scope, cte_map)
+
+        return self._rebuild_bound(expr, recurse, scope, cte_map)
+
+    # -- FROM clause -------------------------------------------------------
+
+    def _bind_table_ref(
+        self, ref: ast.TableRef, cte_map: dict[str, LogicalOperator]
+    ) -> tuple[LogicalOperator, _Scope]:
+        if isinstance(ref, ast.BaseTableRef):
+            return self._bind_base_table(ref, cte_map)
+        if isinstance(ref, ast.SubqueryRef):
+            plan = self.bind_select(ref.query, cte_map)
+            scope = _Scope(
+                [
+                    _ScopeColumn(ref.alias.lower(), c.name, c.type)
+                    for c in plan.output_columns
+                ]
+            )
+            return plan, scope
+        if isinstance(ref, ast.JoinRef):
+            return self._bind_join(ref, cte_map)
+        raise BinderError(f"cannot bind table ref {type(ref).__name__}")
+
+    def _bind_base_table(
+        self, ref: ast.BaseTableRef, cte_map: dict[str, LogicalOperator]
+    ) -> tuple[LogicalOperator, _Scope]:
+        alias = ref.effective_alias.lower()
+        if ref.schema is None and ref.name.lower() in cte_map:
+            cte_plan = cte_map[ref.name.lower()]
+            wrapped = LogicalMaterializedCTE(name=ref.name.lower(), plan=cte_plan)
+            scope = _Scope(
+                [_ScopeColumn(alias, c.name, c.type) for c in wrapped.output_columns]
+            )
+            return wrapped, scope
+        if ref.schema is None and self._catalog.has_view(ref.name):
+            view = self._catalog.view(ref.name)
+            plan = self.bind_select(view.query, {})
+            scope = _Scope(
+                [_ScopeColumn(alias, c.name, c.type) for c in plan.output_columns]
+            )
+            return plan, scope
+        table = self._catalog.table(ref.name, schema=ref.schema)
+        columns = [
+            OutputColumn(col.name, col.type, ref.effective_alias)
+            for col in table.schema.columns
+        ]
+        plan = LogicalGet(
+            table=table.schema.name,
+            alias=ref.effective_alias,
+            output_columns=columns,
+            database=ref.schema or "",
+        )
+        scope = _Scope(
+            [_ScopeColumn(alias, col.name, col.type) for col in table.schema.columns]
+        )
+        return plan, scope
+
+    def _bind_join(
+        self, ref: ast.JoinRef, cte_map: dict[str, LogicalOperator]
+    ) -> tuple[LogicalOperator, _Scope]:
+        left_plan, left_scope = self._bind_table_ref(ref.left, cte_map)
+        right_plan, right_scope = self._bind_table_ref(ref.right, cte_map)
+        combined = _Scope(left_scope.columns + right_scope.columns)
+        condition: BoundExpression | None = None
+        if ref.join_type != "CROSS":
+            if ref.using:
+                clauses: list[ast.Expression] = []
+                for name in ref.using:
+                    left_alias = _alias_for(left_scope, name)
+                    right_alias = _alias_for(right_scope, name)
+                    clauses.append(
+                        ast.BinaryOp(
+                            op="=",
+                            left=ast.ColumnRef(name=name, table=left_alias),
+                            right=ast.ColumnRef(name=name, table=right_alias),
+                        )
+                    )
+                merged = clauses[0]
+                for clause in clauses[1:]:
+                    merged = ast.BinaryOp(op="AND", left=merged, right=clause)
+                condition = self._bind_join_condition(merged, left_scope, combined, cte_map)
+            elif ref.condition is not None:
+                condition = self._bind_join_condition(
+                    ref.condition, left_scope, combined, cte_map
+                )
+            else:
+                condition = BoundConstant(True)
+        plan = LogicalJoin(
+            left=left_plan,
+            right=right_plan,
+            join_type=ref.join_type,
+            condition=condition,
+        )
+        return plan, combined
+
+    def _bind_join_condition(
+        self,
+        expr: ast.Expression,
+        left_scope: _Scope,
+        combined: _Scope,
+        cte_map: dict[str, LogicalOperator],
+    ) -> BoundExpression:
+        return self._bind_expression(expr, combined, cte_map)
+
+    # -- ORDER BY ------------------------------------------------------------
+
+    def _bind_order_by(
+        self,
+        plan: LogicalOperator,
+        order_by: list[ast.OrderItem],
+        source_scope: _Scope | None = None,
+    ) -> LogicalOperator:
+        output = plan.output_columns
+        scope = _Scope([_ScopeColumn("", c.name, c.type) for c in output])
+        keys: list[tuple[BoundExpression, bool]] = []
+        hidden: list[BoundExpression] = []
+        visible_arity = len(output)
+        for item in order_by:
+            expr = item.expr
+            if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                ordinal = expr.value
+                if not 1 <= ordinal <= len(output):
+                    raise BinderError(f"ORDER BY ordinal {ordinal} out of range")
+                bound: BoundExpression = BoundColumn(
+                    ordinal - 1, output[ordinal - 1].type, output[ordinal - 1].name
+                )
+            else:
+                bound = self._bind_order_key(
+                    expr, scope, source_scope, plan, hidden, visible_arity
+                )
+            keys.append((bound, item.ascending))
+        if hidden and isinstance(plan, LogicalProject):
+            # Extend the projection with hidden sort columns, sort, then
+            # strip them again — standard SQL's ORDER BY over non-projected
+            # source columns.
+            plan.expressions = plan.expressions + hidden
+            plan.output_columns = plan.output_columns + [
+                OutputColumn(f"__order{i}", h.type) for i, h in enumerate(hidden)
+            ]
+            ordered: LogicalOperator = LogicalOrder(child=plan, keys=keys)
+            visible = [
+                BoundColumn(i, c.type, c.name)
+                for i, c in enumerate(output[:visible_arity])
+            ]
+            return LogicalProject(
+                child=ordered,
+                expressions=visible,
+                output_columns=list(output[:visible_arity]),
+            )
+        return LogicalOrder(child=plan, keys=keys)
+
+    def _bind_order_key(
+        self,
+        expr: ast.Expression,
+        scope: _Scope,
+        source_scope: _Scope | None,
+        plan: LogicalOperator,
+        hidden: list[BoundExpression],
+        visible_arity: int,
+    ) -> BoundExpression:
+        try:
+            return self._bind_expression(expr, scope, {})
+        except BinderError:
+            pass
+        # ORDER BY t.col where the output column is plain "col": retry with
+        # the qualification stripped.
+        if isinstance(expr, ast.ColumnRef) and expr.table is not None:
+            try:
+                return self._bind_expression(ast.ColumnRef(name=expr.name), scope, {})
+            except BinderError:
+                pass
+        # Fall back to the source scope through a hidden projection column.
+        if source_scope is not None and isinstance(plan, LogicalProject):
+            bound_src = self._bind_expression(expr, source_scope, {})
+            hidden.append(bound_src)
+            return BoundColumn(
+                visible_arity + len(hidden) - 1, bound_src.type, "__order"
+            )
+        raise BinderError(f"cannot bind ORDER BY expression {expr}")
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _contains_aggregate_ast(expr: ast.Expression) -> bool:
+    return ast.contains_aggregate(expr)
+
+
+def _item_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expr, ast.ColumnRef):
+        return item.expr.name
+    if isinstance(item.expr, ast.FunctionCall):
+        return item.expr.name.lower()
+    if isinstance(item.expr, ast.Cast) and isinstance(item.expr.operand, ast.ColumnRef):
+        return item.expr.operand.name
+    return render_expression(item.expr)
+
+
+def _group_name(expr: ast.Expression) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    return render_expression(expr)
+
+
+def _alias_for(scope: _Scope, column: str) -> str | None:
+    lowered = column.lower()
+    for col in scope.columns:
+        if col.name.lower() == lowered:
+            return col.alias or None
+    raise BinderError(f"USING column {column!r} not found")
+
+
+def _as_where(predicate: BoundExpression) -> BoundExpression:
+    if predicate.type.id is not BOOLEAN.id:
+        # Permissive: treat non-boolean predicates as truthiness, like
+        # engines that auto-cast; keep the expression unchanged.
+        return predicate
+    return predicate
+
+
+def _constant_int(expr: ast.Expression | None, clause: str) -> int | None:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+        return expr.value
+    raise BinderError(f"{clause} must be an integer literal")
+
+
+def _rename_columns(plan: LogicalOperator, names: list[str]) -> LogicalOperator:
+    if len(names) != plan.arity:
+        raise BinderError("CTE column list arity mismatch")
+    expressions = [
+        BoundColumn(i, c.type, names[i]) for i, c in enumerate(plan.output_columns)
+    ]
+    output = [
+        OutputColumn(names[i], c.type) for i, c in enumerate(plan.output_columns)
+    ]
+    return LogicalProject(child=plan, expressions=expressions, output_columns=output)
+
+
+def bind_value_row(
+    values: list[ast.Expression], binder: Binder
+) -> list[BoundExpression]:
+    """Bind one VALUES row (no scope, constants/subqueries only)."""
+    scope = _Scope([])
+    return [binder._bind_expression(v, scope, {}) for v in values]

@@ -1,0 +1,315 @@
+"""Bound (resolved) expressions.
+
+The binder turns syntactic :mod:`repro.sql.ast` expressions into these
+nodes: column references become tuple offsets into the child operator's
+output row, every node carries a :class:`~repro.datatypes.DataType`, and
+aggregate calls are split out so that plain expression evaluation never
+sees them.  Bound expressions are what the executor compiles into Python
+closures, and what the optimizer folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.datatypes.types import (
+    BIGINT,
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    DataType,
+    common_super_type,
+)
+from repro.errors import BinderError
+
+if TYPE_CHECKING:
+    from repro.planner.logical import LogicalOperator
+
+
+class BoundExpression:
+    """Base class; every bound node exposes ``type``."""
+
+    type: DataType
+
+
+@dataclass
+class BoundConstant(BoundExpression):
+    value: Any
+    type: DataType = VARCHAR
+
+    def __post_init__(self) -> None:
+        if self.type is VARCHAR:
+            self.type = _infer_literal_type(self.value)
+
+
+@dataclass
+class BoundColumn(BoundExpression):
+    """Reference to offset ``index`` in the child operator's output row."""
+
+    index: int
+    type: DataType
+    name: str = ""
+
+
+@dataclass
+class BoundUnary(BoundExpression):
+    op: str
+    operand: BoundExpression
+    type: DataType = BOOLEAN
+
+    def __post_init__(self) -> None:
+        if self.op in ("-", "+"):
+            self.type = self.operand.type
+
+
+@dataclass
+class BoundBinary(BoundExpression):
+    op: str
+    left: BoundExpression
+    right: BoundExpression
+    type: DataType = BOOLEAN
+
+    def __post_init__(self) -> None:
+        self.type = _infer_binary_type(self.op, self.left, self.right)
+
+
+@dataclass
+class BoundIsNull(BoundExpression):
+    operand: BoundExpression
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundInList(BoundExpression):
+    operand: BoundExpression
+    items: list[BoundExpression]
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundBetween(BoundExpression):
+    operand: BoundExpression
+    low: BoundExpression
+    high: BoundExpression
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundLike(BoundExpression):
+    operand: BoundExpression
+    pattern: BoundExpression
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundCase(BoundExpression):
+    operand: BoundExpression | None
+    branches: list[tuple[BoundExpression, BoundExpression]]
+    else_result: BoundExpression | None
+    type: DataType = VARCHAR
+
+    def __post_init__(self) -> None:
+        result_type: DataType | None = None
+        for _, then in self.branches:
+            result_type = _unify(result_type, then)
+        if self.else_result is not None:
+            result_type = _unify(result_type, self.else_result)
+        self.type = result_type or VARCHAR
+
+
+@dataclass
+class BoundCast(BoundExpression):
+    operand: BoundExpression
+    type: DataType = VARCHAR
+
+
+@dataclass
+class BoundFunction(BoundExpression):
+    """A scalar (non-aggregate) function call."""
+
+    name: str
+    args: list[BoundExpression]
+    type: DataType = VARCHAR
+
+    def __post_init__(self) -> None:
+        self.type = _infer_function_type(self.name, self.args)
+
+
+@dataclass
+class BoundAggregateRef(BoundExpression):
+    """Reference to aggregate slot ``index`` in an Aggregate's output.
+
+    Aggregate outputs are laid out as [group keys..., aggregates...]; the
+    index here is absolute within that layout.
+    """
+
+    index: int
+    type: DataType
+    name: str = ""
+
+
+@dataclass
+class BoundSubquery(BoundExpression):
+    """Uncorrelated scalar subquery, executed once and cached."""
+
+    plan: "LogicalOperator"
+    type: DataType = VARCHAR
+
+
+@dataclass
+class BoundExists(BoundExpression):
+    plan: "LogicalOperator"
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundInSubquery(BoundExpression):
+    operand: BoundExpression
+    plan: "LogicalOperator"
+    negated: bool = False
+    type: DataType = BOOLEAN
+
+
+@dataclass
+class BoundParameter(BoundExpression):
+    index: int
+    type: DataType = VARCHAR
+
+
+@dataclass
+class AggregateCall:
+    """One aggregate computed by a LogicalAggregate."""
+
+    function: str  # SUM / COUNT / AVG / MIN / MAX
+    argument: BoundExpression | None  # None for COUNT(*)
+    distinct: bool = False
+    result_type: DataType = field(default=BIGINT)
+
+    def __post_init__(self) -> None:
+        self.result_type = _infer_aggregate_type(self.function, self.argument)
+
+
+# ---------------------------------------------------------------------------
+# Type inference helpers
+# ---------------------------------------------------------------------------
+
+
+def _infer_literal_type(value: Any) -> DataType:
+    if value is None:
+        return VARCHAR  # NULL literal: type refined by context; VARCHAR is safe
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return BIGINT if abs(value) > 2**31 else INTEGER
+    if isinstance(value, float):
+        return DOUBLE
+    return VARCHAR
+
+
+def _unify(current: DataType | None, expr: BoundExpression) -> DataType:
+    if current is None:
+        return expr.type
+    if isinstance(expr, BoundConstant) and expr.value is None:
+        return current
+    try:
+        return common_super_type(current, expr.type)
+    except Exception:
+        return current
+
+
+def _infer_binary_type(op: str, left: BoundExpression, right: BoundExpression) -> DataType:
+    if op in ("AND", "OR", "=", "<>", "<", "<=", ">", ">="):
+        return BOOLEAN
+    if op == "||":
+        return VARCHAR
+    if op == "/":
+        return DOUBLE
+    if op in ("+", "-", "*", "%"):
+        if left.type.is_numeric and right.type.is_numeric:
+            try:
+                return common_super_type(left.type, right.type)
+            except Exception:
+                return DOUBLE
+        if left.type.is_numeric:
+            return left.type
+        if right.type.is_numeric:
+            return right.type
+        return DOUBLE
+    raise BinderError(f"unknown binary operator {op!r}")
+
+
+_NUMERIC_FUNCTIONS = {"ABS", "SIGN", "MOD", "GREATEST", "LEAST", "NULLIF"}
+
+
+def _infer_function_type(name: str, args: list[BoundExpression]) -> DataType:
+    upper = name.upper()
+    if upper in ("LENGTH", "STRLEN"):
+        return BIGINT
+    if upper in ("LOWER", "UPPER", "TRIM", "LTRIM", "RTRIM", "SUBSTR",
+                 "SUBSTRING", "CONCAT", "REPLACE", "LEFT", "RIGHT"):
+        return VARCHAR
+    if upper in ("ROUND", "POWER", "POW", "SQRT", "LN", "EXP", "CEIL",
+                 "CEILING", "FLOOR"):
+        return DOUBLE
+    if upper == "COALESCE" or upper in _NUMERIC_FUNCTIONS:
+        result: DataType | None = None
+        for arg in args:
+            result = _unify(result, arg)
+        return result or VARCHAR
+    return VARCHAR
+
+
+def _infer_aggregate_type(function: str, argument: BoundExpression | None) -> DataType:
+    upper = function.upper()
+    if upper == "COUNT":
+        return BIGINT
+    if argument is None:
+        raise BinderError(f"aggregate {function} requires an argument")
+    if upper == "AVG":
+        return DOUBLE
+    if upper == "SUM":
+        if argument.type.is_integral:
+            return BIGINT
+        return DOUBLE if argument.type.is_numeric else argument.type
+    # MIN / MAX preserve the argument type.
+    return argument.type
+
+
+def walk_bound(expr: BoundExpression):
+    """Yield ``expr`` and all bound descendants, pre-order."""
+    yield expr
+    children: list[BoundExpression] = []
+    if isinstance(expr, BoundUnary):
+        children = [expr.operand]
+    elif isinstance(expr, BoundBinary):
+        children = [expr.left, expr.right]
+    elif isinstance(expr, BoundIsNull):
+        children = [expr.operand]
+    elif isinstance(expr, BoundInList):
+        children = [expr.operand, *expr.items]
+    elif isinstance(expr, BoundBetween):
+        children = [expr.operand, expr.low, expr.high]
+    elif isinstance(expr, BoundLike):
+        children = [expr.operand, expr.pattern]
+    elif isinstance(expr, BoundCase):
+        if expr.operand is not None:
+            children.append(expr.operand)
+        for when, then in expr.branches:
+            children.extend((when, then))
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+    elif isinstance(expr, BoundCast):
+        children = [expr.operand]
+    elif isinstance(expr, BoundFunction):
+        children = list(expr.args)
+    elif isinstance(expr, BoundInSubquery):
+        children = [expr.operand]
+    for child in children:
+        yield from walk_bound(child)

@@ -1,0 +1,14 @@
+"""SQL frontend: lexer, AST, recursive-descent parser, dialect rules."""
+
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import Parser, parse_one, parse_script
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "Token",
+    "TokenType",
+    "parse_one",
+    "parse_script",
+    "tokenize",
+]

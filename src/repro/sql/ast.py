@@ -1,0 +1,451 @@
+"""Parsed SQL syntax tree.
+
+Two node families: expressions (:class:`Expression` subclasses) and
+statements (:class:`Statement` subclasses).  Nodes are plain dataclasses —
+binding information (resolved columns, types) lives in the logical plan, not
+here, so the same AST can be re-bound against different catalogs.  That
+property is what lets the IVM compiler re-target a view definition at delta
+tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression(Node):
+    """Base class for scalar expressions."""
+
+
+@dataclass
+class Literal(Expression):
+    """A constant: number, string, boolean, or NULL (value ``None``)."""
+
+    value: Any
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A possibly-qualified column reference like ``t.col`` or ``col``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``t.*`` in a select list or ``COUNT(*)``."""
+
+    table: str | None = None
+
+
+@dataclass
+class Parameter(Expression):
+    """A positional ``?`` placeholder bound at execution time."""
+
+    index: int
+
+
+@dataclass
+class UnaryOp(Expression):
+    """``-x``, ``+x`` or ``NOT x``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Arithmetic, comparison, string concat, AND/OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class IsNull(Expression):
+    """``x IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    """``x [NOT] IN (e1, e2, ...)`` with a literal/expression list."""
+
+    operand: Expression
+    items: list[Expression]
+    negated: bool = False
+
+
+@dataclass
+class Between(Expression):
+    """``x [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class Like(Expression):
+    """``x [NOT] LIKE pattern`` with ``%``/``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass
+class Case(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Expression | None
+    branches: list[tuple[Expression, Expression]]
+    else_result: Expression | None
+
+
+@dataclass
+class Cast(Expression):
+    """``CAST(expr AS TYPE)`` or ``expr::TYPE``."""
+
+    operand: Expression
+    type_name: str
+    width: int | None = None
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A scalar or aggregate function call.
+
+    ``distinct`` is only meaningful for aggregates (``COUNT(DISTINCT x)``).
+    """
+
+    name: str
+    args: list[Expression]
+    distinct: bool = False
+
+    @property
+    def upper_name(self) -> str:
+        return self.name.upper()
+
+
+@dataclass
+class Exists(Expression):
+    """``[NOT] EXISTS (subquery)``."""
+
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    """A parenthesized subquery used as a scalar value."""
+
+    query: "Select"
+
+
+AGGREGATE_FUNCTIONS = frozenset({"SUM", "COUNT", "MIN", "MAX", "AVG"})
+
+
+def is_aggregate_call(expr: Expression) -> bool:
+    return isinstance(expr, FunctionCall) and expr.upper_name in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True if any node inside ``expr`` is an aggregate function call."""
+    if is_aggregate_call(expr):
+        return True
+    return any(contains_aggregate(child) for child in expression_children(expr))
+
+
+def expression_children(expr: Expression) -> list[Expression]:
+    """Direct sub-expressions of ``expr`` (for generic traversals)."""
+    if isinstance(expr, UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, Case):
+        children: list[Expression] = []
+        if expr.operand is not None:
+            children.append(expr.operand)
+        for when, then in expr.branches:
+            children.extend((when, then))
+        if expr.else_result is not None:
+            children.append(expr.else_result)
+        return children
+    if isinstance(expr, Cast):
+        return [expr.operand]
+    if isinstance(expr, FunctionCall):
+        return list(expr.args)
+    return []
+
+
+def walk_expression(expr: Expression):
+    """Yield ``expr`` and every descendant expression, pre-order."""
+    yield expr
+    for child in expression_children(expr):
+        yield from walk_expression(child)
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem(Node):
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expression
+    alias: str | None = None
+
+
+class TableRef(Node):
+    """Base class for FROM-clause items."""
+
+
+@dataclass
+class BaseTableRef(TableRef):
+    """A named table (optionally schema-qualified) with an optional alias."""
+
+    name: str
+    alias: str | None = None
+    schema: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubqueryRef(TableRef):
+    """A derived table: ``(SELECT ...) AS alias``."""
+
+    query: "Select"
+    alias: str
+
+
+@dataclass
+class JoinRef(TableRef):
+    """A join of two table refs.  ``join_type`` in INNER/LEFT/RIGHT/FULL/CROSS."""
+
+    left: TableRef
+    right: TableRef
+    join_type: str
+    condition: Expression | None = None
+    using: list[str] = field(default_factory=list)
+
+
+@dataclass
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expr: Expression
+    ascending: bool = True
+    nulls_first: bool | None = None
+
+
+@dataclass
+class CommonTableExpr(Node):
+    """One CTE in a WITH clause."""
+
+    name: str
+    query: "Select"
+    columns: list[str] = field(default_factory=list)
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+
+@dataclass
+class Select(Statement):
+    """A full SELECT, possibly with CTEs and set operations.
+
+    ``set_ops`` holds ``(operator, select)`` pairs applied left-to-right,
+    where operator is ``UNION``, ``UNION ALL``, ``EXCEPT`` or ``INTERSECT``.
+    """
+
+    items: list[SelectItem]
+    from_clause: TableRef | None = None
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Expression | None = None
+    offset: Expression | None = None
+    distinct: bool = False
+    ctes: list[CommonTableExpr] = field(default_factory=list)
+    set_ops: list[tuple[str, "Select"]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef(Node):
+    """One column in CREATE TABLE."""
+
+    name: str
+    type_name: str
+    width: int | None = None
+    not_null: bool = False
+    primary_key: bool = False
+    default: Expression | None = None
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef]
+    primary_key: list[str] = field(default_factory=list)
+    if_not_exists: bool = False
+    as_query: Select | None = None
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndex(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class CreateView(Statement):
+    """CREATE [MATERIALIZED] VIEW.
+
+    The base engine only understands plain views; the MATERIALIZED form is
+    rejected by the core parser and picked up by the IVM fall-back parser,
+    mirroring how the paper's extension hooks DuckDB.
+    """
+
+    name: str
+    query: Select
+    materialized: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropView(Statement):
+    name: str
+    if_exists: bool = False
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Insert(Statement):
+    """INSERT [OR REPLACE] INTO t [(cols)] VALUES ... | SELECT ..."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)
+    values: list[list[Expression]] = field(default_factory=list)
+    query: Select | None = None
+    or_replace: bool = False
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Expression | None = None
+
+
+@dataclass
+class SetClause(Node):
+    column: str
+    value: Expression
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: list[SetClause]
+    where: Expression | None = None
+
+
+# ---------------------------------------------------------------------------
+# Misc statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pragma(Statement):
+    """``PRAGMA name`` or ``PRAGMA name = value`` (engine/IVM switches)."""
+
+    name: str
+    value: Any = None
+
+
+@dataclass
+class Attach(Statement):
+    """``ATTACH 'target' AS name`` — used by the HTAP scanner bridge."""
+
+    target: str
+    name: str
+
+
+@dataclass
+class RefreshView(Statement):
+    """``REFRESH MATERIALIZED VIEW name`` — IVM extension statement."""
+
+    name: str
+
+
+@dataclass
+class Transaction(Statement):
+    """BEGIN / COMMIT / ROLLBACK."""
+
+    action: str
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN <select>`` — returns the optimized plan tree as rows."""
+
+    query: Select

@@ -1,0 +1,74 @@
+"""SQL dialect descriptions.
+
+The paper emits SQL "in the desired SQL dialect, chosen through a flag".
+A :class:`Dialect` bundles the small set of syntactic differences the
+emitted IVM scripts care about: identifier quoting, how an upsert is
+spelled, boolean literal casing, and whether ``CREATE INDEX`` is emitted
+for the materialized aggregate (DuckDB needs the ART index for ``INSERT OR
+REPLACE``; PostgreSQL uses ``ON CONFLICT`` against a unique index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedError
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Syntax knobs for one target system."""
+
+    name: str
+    # How INSERT-or-update over a key is spelled.
+    upsert_style: str  # "or_replace" | "on_conflict"
+    # Keyword used when truncating the delta tables after propagation.
+    truncate_style: str  # "delete" | "truncate"
+    # Whether emitted DDL includes an explicit ART/unique index on the
+    # materialized aggregate's keys.
+    emit_key_index: bool
+    # Spelling of the boolean type in emitted DDL.
+    boolean_type: str = "BOOLEAN"
+
+    def quote_identifier(self, name: str) -> str:
+        """Quote ``name`` if it is not a plain lower/upper identifier."""
+        if name.isidentifier() and not name[0].isdigit():
+            return name
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+
+    def type_name(self, data_type) -> str:
+        """Spell a logical type in this dialect's DDL."""
+        text = str(data_type)
+        if self.name == "postgres" and text == "DOUBLE":
+            return "DOUBLE PRECISION"
+        return text
+
+
+DUCKDB = Dialect(
+    name="duckdb",
+    upsert_style="or_replace",
+    truncate_style="delete",
+    # The PRIMARY KEY already materializes the ART index DuckDB needs for
+    # INSERT OR REPLACE; no separate CREATE INDEX statement is emitted.
+    emit_key_index=False,
+)
+
+POSTGRES = Dialect(
+    name="postgres",
+    upsert_style="on_conflict",
+    truncate_style="truncate",
+    emit_key_index=True,
+)
+
+_DIALECTS = {d.name: d for d in (DUCKDB, POSTGRES)}
+
+
+def dialect_by_name(name: str) -> Dialect:
+    """Look up a dialect by its flag value (``duckdb`` or ``postgres``)."""
+    try:
+        return _DIALECTS[name.lower()]
+    except KeyError:
+        raise UnsupportedError(
+            f"unknown SQL dialect {name!r}; known: {sorted(_DIALECTS)}"
+        ) from None

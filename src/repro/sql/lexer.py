@@ -1,0 +1,227 @@
+"""Hand-written SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords are
+recognized case-insensitively but the original text is preserved on the
+token so error messages quote the user's spelling.  Comments (``--`` and
+``/* */``) are skipped.  Identifiers may be double-quoted; strings use
+single quotes with ``''`` escaping, as in standard SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParserError
+
+
+class TokenType(enum.Enum):
+    IDENT = "IDENT"
+    KEYWORD = "KEYWORD"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    DOT = "DOT"
+    SEMICOLON = "SEMICOLON"
+    PARAMETER = "PARAMETER"
+    EOF = "EOF"
+
+
+# Every word the parser treats specially.  Words not in this set lex as
+# identifiers, which keeps the grammar permissive about column names.
+KEYWORDS = frozenset(
+    """
+    ALL AND AS ASC ATTACH BEGIN BETWEEN BY CASCADE CASE CAST COMMIT CREATE
+    CROSS DEFAULT DELETE DESC DISTINCT DROP ELSE END ESCAPE EXCEPT EXISTS EXPLAIN
+    FALSE FOR FROM FULL GROUP HAVING IF IN INDEX INNER INSERT INTERSECT INTO
+    IS JOIN KEY LEFT LIKE LIMIT MATERIALIZED NOT NULL OFFSET ON OR ORDER
+    OUTER PRAGMA PRIMARY REFRESH REPLACE RIGHT ROLLBACK SELECT SET TABLE
+    THEN TRIGGER TRUE TRUNCATE UNION UNIQUE UPDATE USING VALUES VIEW WHEN
+    WHERE WITH
+    """.split()
+)
+
+_TWO_CHAR_OPERATORS = ("<>", "!=", "<=", ">=", "||", "::")
+_ONE_CHAR_OPERATORS = "+-*/%<>=!"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error reporting)."""
+
+    type: TokenType
+    text: str
+    position: int
+    line: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def matches(self, keyword: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.upper == keyword
+
+
+class Lexer:
+    """Single-pass lexer over a SQL string."""
+
+    def __init__(self, sql: str) -> None:
+        self._sql = sql
+        self._pos = 0
+        self._line = 1
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.type is TokenType.EOF:
+                return result
+
+    def _error(self, message: str) -> ParserError:
+        return ParserError(message, position=self._pos, line=self._line)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self._sql):
+            return self._sql[index]
+        return ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        sql = self._sql
+        while self._pos < len(sql):
+            ch = sql[self._pos]
+            if ch == "\n":
+                self._line += 1
+                self._pos += 1
+            elif ch.isspace():
+                self._pos += 1
+            elif ch == "-" and self._peek(1) == "-":
+                end = sql.find("\n", self._pos)
+                self._pos = len(sql) if end == -1 else end
+            elif ch == "/" and self._peek(1) == "*":
+                end = sql.find("*/", self._pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment")
+                self._line += sql.count("\n", self._pos, end)
+                self._pos = end + 2
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        start, line = self._pos, self._line
+        if self._pos >= len(self._sql):
+            return Token(TokenType.EOF, "", start, line)
+        ch = self._sql[self._pos]
+        if ch == "(":
+            self._pos += 1
+            return Token(TokenType.LPAREN, "(", start, line)
+        if ch == ")":
+            self._pos += 1
+            return Token(TokenType.RPAREN, ")", start, line)
+        if ch == ",":
+            self._pos += 1
+            return Token(TokenType.COMMA, ",", start, line)
+        if ch == ";":
+            self._pos += 1
+            return Token(TokenType.SEMICOLON, ";", start, line)
+        if ch == "?":
+            self._pos += 1
+            return Token(TokenType.PARAMETER, "?", start, line)
+        if ch == "'":
+            return self._lex_string(start, line)
+        if ch == '"':
+            return self._lex_quoted_identifier(start, line)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(start, line)
+        if ch == ".":
+            self._pos += 1
+            return Token(TokenType.DOT, ".", start, line)
+        for op in _TWO_CHAR_OPERATORS:
+            if self._sql.startswith(op, self._pos):
+                self._pos += 2
+                return Token(TokenType.OPERATOR, op, start, line)
+        if ch in _ONE_CHAR_OPERATORS:
+            self._pos += 1
+            return Token(TokenType.OPERATOR, ch, start, line)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(start, line)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_string(self, start: int, line: int) -> Token:
+        sql = self._sql
+        self._pos += 1
+        pieces: list[str] = []
+        while True:
+            if self._pos >= len(sql):
+                raise self._error("unterminated string literal")
+            ch = sql[self._pos]
+            if ch == "'":
+                if self._peek(1) == "'":
+                    pieces.append("'")
+                    self._pos += 2
+                    continue
+                self._pos += 1
+                return Token(TokenType.STRING, "".join(pieces), start, line)
+            if ch == "\n":
+                self._line += 1
+            pieces.append(ch)
+            self._pos += 1
+
+    def _lex_quoted_identifier(self, start: int, line: int) -> Token:
+        sql = self._sql
+        self._pos += 1
+        pieces: list[str] = []
+        while True:
+            if self._pos >= len(sql):
+                raise self._error("unterminated quoted identifier")
+            ch = sql[self._pos]
+            if ch == '"':
+                if self._peek(1) == '"':
+                    pieces.append('"')
+                    self._pos += 2
+                    continue
+                self._pos += 1
+                return Token(TokenType.IDENT, "".join(pieces), start, line)
+            pieces.append(ch)
+            self._pos += 1
+
+    def _lex_number(self, start: int, line: int) -> Token:
+        sql = self._sql
+        seen_dot = False
+        seen_exp = False
+        while self._pos < len(sql):
+            ch = sql[self._pos]
+            if ch.isdigit():
+                self._pos += 1
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                self._pos += 1
+            elif ch in "eE" and not seen_exp and self._pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    seen_exp = True
+                    self._pos += 2 if nxt in "+-" else 1
+                else:
+                    break
+            else:
+                break
+        return Token(TokenType.NUMBER, sql[start:self._pos], start, line)
+
+    def _lex_word(self, start: int, line: int) -> Token:
+        sql = self._sql
+        while self._pos < len(sql) and (sql[self._pos].isalnum() or sql[self._pos] == "_"):
+            self._pos += 1
+        text = sql[start:self._pos]
+        if text.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, start, line)
+        return Token(TokenType.IDENT, text, start, line)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token."""
+    return Lexer(sql).tokens()

@@ -1,0 +1,798 @@
+"""Recursive-descent SQL parser.
+
+Covers the SQL surface that the OpenIVM compiler consumes (view
+definitions) and emits (propagation scripts): SELECT with CTEs, joins of
+every flavour, GROUP BY/HAVING, set operations, ORDER BY/LIMIT; the DDL and
+DML statements in :mod:`repro.sql.ast`; and the utility statements the
+extension and HTAP layers need (PRAGMA, ATTACH, REFRESH).
+
+``CREATE MATERIALIZED VIEW`` is deliberately *not* accepted here when
+``allow_materialized`` is False — the engine's core parser raises, and the
+extension registry re-parses with fall-back parsers, reproducing DuckDB's
+extension-parser mechanism described in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParserError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_ADDITIVE_OPS = {"+", "-", "||"}
+_MULTIPLICATIVE_OPS = {"*", "/", "%"}
+_JOIN_TYPES = {"INNER", "LEFT", "RIGHT", "FULL", "CROSS"}
+_SET_OPS = {"UNION", "EXCEPT", "INTERSECT"}
+
+
+class Parser:
+    """Parses one token stream; one instance per statement batch."""
+
+    def __init__(self, sql: str, allow_materialized: bool = False) -> None:
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._index = 0
+        self._parameter_count = 0
+        self._allow_materialized = allow_materialized
+
+    # -- token helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.KEYWORD and token.upper in keywords
+
+    def _match_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.matches(keyword):
+            raise self._error(f"expected {keyword}, found {token.text!r}")
+        return self._advance()
+
+    def _match(self, token_type: TokenType, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.type is not token_type:
+            return False
+        if text is not None and token.text != text:
+            return False
+        self._advance()
+        return True
+
+    def _expect(self, token_type: TokenType, description: str) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise self._error(f"expected {description}, found {token.text!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParserError:
+        token = self._peek()
+        return ParserError(
+            f"parse error at line {token.line}: {message}",
+            position=token.position,
+            line=token.line,
+        )
+
+    def _identifier(self, description: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            return self._advance().text
+        # Allow a few non-reserved keywords as identifiers (e.g. a column
+        # named "key" or "values" would be unkind to reject).
+        if token.type is TokenType.KEYWORD and token.upper in ("KEY", "INDEX", "VIEW"):
+            return self._advance().text
+        raise self._error(f"expected {description}, found {token.text!r}")
+
+    # -- entry points ---------------------------------------------------
+
+    def parse_statements(self) -> list[ast.Statement]:
+        statements: list[ast.Statement] = []
+        while True:
+            while self._match(TokenType.SEMICOLON):
+                pass
+            if self._peek().type is TokenType.EOF:
+                return statements
+            statements.append(self._parse_statement())
+            token = self._peek()
+            if token.type not in (TokenType.SEMICOLON, TokenType.EOF):
+                raise self._error(f"unexpected token {token.text!r} after statement")
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.matches("SELECT") or token.matches("WITH"):
+            return self._parse_select()
+        if token.matches("CREATE"):
+            return self._parse_create()
+        if token.matches("DROP"):
+            return self._parse_drop()
+        if token.matches("INSERT"):
+            return self._parse_insert()
+        if token.matches("DELETE"):
+            return self._parse_delete()
+        if token.matches("UPDATE"):
+            return self._parse_update()
+        if token.matches("PRAGMA"):
+            return self._parse_pragma()
+        if token.matches("ATTACH"):
+            return self._parse_attach()
+        if token.matches("REFRESH"):
+            return self._parse_refresh()
+        if token.matches("TRUNCATE"):
+            self._advance()
+            self._match_keyword("TABLE")
+            return ast.Delete(table=self._identifier("table name"), where=None)
+        if token.matches("EXPLAIN"):
+            self._advance()
+            return ast.Explain(query=self._parse_select())
+        if token.matches("BEGIN"):
+            self._advance()
+            return ast.Transaction("BEGIN")
+        if token.matches("COMMIT"):
+            self._advance()
+            return ast.Transaction("COMMIT")
+        if token.matches("ROLLBACK"):
+            self._advance()
+            return ast.Transaction("ROLLBACK")
+        raise self._error(f"unexpected token {token.text!r}")
+
+    # -- SELECT -----------------------------------------------------------
+
+    def _parse_select(self) -> ast.Select:
+        ctes: list[ast.CommonTableExpr] = []
+        if self._match_keyword("WITH"):
+            ctes.append(self._parse_cte())
+            while self._match(TokenType.COMMA):
+                ctes.append(self._parse_cte())
+        select = self._parse_select_body()
+        select.ctes = ctes
+        while self._check_keyword(*_SET_OPS):
+            op = self._advance().upper
+            if op == "UNION" and self._match_keyword("ALL"):
+                op = "UNION ALL"
+            right = self._parse_select_body()
+            select.set_ops.append((op, right))
+        self._parse_order_limit(select)
+        return select
+
+    def _parse_cte(self) -> ast.CommonTableExpr:
+        name = self._identifier("CTE name")
+        columns: list[str] = []
+        if self._match(TokenType.LPAREN):
+            columns.append(self._identifier("column name"))
+            while self._match(TokenType.COMMA):
+                columns.append(self._identifier("column name"))
+            self._expect(TokenType.RPAREN, ")")
+        self._expect_keyword("AS")
+        self._expect(TokenType.LPAREN, "(")
+        query = self._parse_select()
+        self._expect(TokenType.RPAREN, ")")
+        return ast.CommonTableExpr(name=name, query=query, columns=columns)
+
+    def _parse_select_body(self) -> ast.Select:
+        if self._match(TokenType.LPAREN):
+            inner = self._parse_select()
+            self._expect(TokenType.RPAREN, ")")
+            return inner
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._match_keyword("DISTINCT"):
+            distinct = True
+        elif self._match_keyword("ALL"):
+            pass
+        items = [self._parse_select_item()]
+        while self._match(TokenType.COMMA):
+            items.append(self._parse_select_item())
+        from_clause = None
+        if self._match_keyword("FROM"):
+            from_clause = self._parse_from()
+        where = self._parse_expression() if self._match_keyword("WHERE") else None
+        group_by: list[ast.Expression] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expression())
+            while self._match(TokenType.COMMA):
+                group_by.append(self._parse_expression())
+        having = self._parse_expression() if self._match_keyword("HAVING") else None
+        return ast.Select(
+            items=items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            distinct=distinct,
+        )
+
+    def _parse_order_limit(self, select: ast.Select) -> None:
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            select.order_by.append(self._parse_order_item())
+            while self._match(TokenType.COMMA):
+                select.order_by.append(self._parse_order_item())
+        if self._match_keyword("LIMIT"):
+            select.limit = self._parse_expression()
+        if self._match_keyword("OFFSET"):
+            select.offset = self._parse_expression()
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self._parse_expression()
+        ascending = True
+        if self._match_keyword("ASC"):
+            ascending = True
+        elif self._match_keyword("DESC"):
+            ascending = False
+        return ast.OrderItem(expr=expr, ascending=ascending)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text == "*":
+            self._advance()
+            return ast.SelectItem(expr=ast.Star())
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).type is TokenType.DOT
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).text == "*"
+        ):
+            table = self._advance().text
+            self._advance()
+            self._advance()
+            return ast.SelectItem(expr=ast.Star(table=table))
+        expr = self._parse_expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._identifier("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    # -- FROM / joins ------------------------------------------------------
+
+    def _parse_from(self) -> ast.TableRef:
+        left = self._parse_table_ref()
+        while True:
+            if self._match_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                right = self._parse_table_ref()
+                left = ast.JoinRef(left=left, right=right, join_type="CROSS")
+                continue
+            if self._check_keyword("INNER", "LEFT", "RIGHT", "FULL", "JOIN"):
+                join_type = "INNER"
+                if not self._check_keyword("JOIN"):
+                    join_type = self._advance().upper
+                    self._match_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                right = self._parse_table_ref()
+                condition = None
+                using: list[str] = []
+                if self._match_keyword("ON"):
+                    condition = self._parse_expression()
+                elif self._match_keyword("USING"):
+                    self._expect(TokenType.LPAREN, "(")
+                    using.append(self._identifier("column name"))
+                    while self._match(TokenType.COMMA):
+                        using.append(self._identifier("column name"))
+                    self._expect(TokenType.RPAREN, ")")
+                left = ast.JoinRef(
+                    left=left,
+                    right=right,
+                    join_type=join_type,
+                    condition=condition,
+                    using=using,
+                )
+                continue
+            if self._match(TokenType.COMMA):
+                right = self._parse_table_ref()
+                left = ast.JoinRef(left=left, right=right, join_type="CROSS")
+                continue
+            return left
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        if self._match(TokenType.LPAREN):
+            query = self._parse_select()
+            self._expect(TokenType.RPAREN, ")")
+            self._match_keyword("AS")
+            alias = self._identifier("subquery alias")
+            return ast.SubqueryRef(query=query, alias=alias)
+        name = self._identifier("table name")
+        schema = None
+        if self._match(TokenType.DOT):
+            schema = name
+            name = self._identifier("table name")
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._identifier("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().text
+        return ast.BaseTableRef(name=name, alias=alias, schema=schema)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_comparison()
+        while True:
+            if self._match_keyword("IS"):
+                negated = bool(self._match_keyword("NOT"))
+                self._expect_keyword("NULL")
+                left = ast.IsNull(operand=left, negated=negated)
+                continue
+            negated = False
+            if self._check_keyword("NOT") and self._peek(1).upper in ("IN", "BETWEEN", "LIKE"):
+                self._advance()
+                negated = True
+            if self._match_keyword("IN"):
+                self._expect(TokenType.LPAREN, "(")
+                if self._check_keyword("SELECT", "WITH"):
+                    query = self._parse_select()
+                    self._expect(TokenType.RPAREN, ")")
+                    sub = ast.ScalarSubquery(query=query)
+                    left = ast.InList(operand=left, items=[sub], negated=negated)
+                else:
+                    items = [self._parse_expression()]
+                    while self._match(TokenType.COMMA):
+                        items.append(self._parse_expression())
+                    self._expect(TokenType.RPAREN, ")")
+                    left = ast.InList(operand=left, items=items, negated=negated)
+                continue
+            if self._match_keyword("BETWEEN"):
+                low = self._parse_comparison()
+                self._expect_keyword("AND")
+                high = self._parse_comparison()
+                left = ast.Between(operand=left, low=low, high=high, negated=negated)
+                continue
+            if self._match_keyword("LIKE"):
+                pattern = self._parse_comparison()
+                left = ast.Like(operand=left, pattern=pattern, negated=negated)
+                continue
+            return left
+
+    def _parse_comparison(self) -> ast.Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in _COMPARISON_OPS:
+            op = self._advance().text
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            return ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in _ADDITIVE_OPS:
+                op = self._advance().text
+                right = self._parse_multiplicative()
+                left = ast.BinaryOp(op=op, left=left, right=right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.text in _MULTIPLICATIVE_OPS:
+                op = self._advance().text
+                right = self._parse_unary()
+                left = ast.BinaryOp(op=op, left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.text in ("-", "+"):
+            op = self._advance().text
+            return ast.UnaryOp(op=op, operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expr = self._parse_primary()
+        while self._match(TokenType.OPERATOR, "::"):
+            type_name = self._identifier("type name")
+            width = None
+            if self._match(TokenType.LPAREN):
+                width = int(self._expect(TokenType.NUMBER, "width").text)
+                self._expect(TokenType.RPAREN, ")")
+            expr = ast.Cast(operand=expr, type_name=type_name, width=width)
+        return expr
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.text
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.text)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            self._parameter_count += 1
+            return ast.Parameter(index=self._parameter_count - 1)
+        if token.matches("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.matches("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.matches("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.matches("CASE"):
+            return self._parse_case()
+        if token.matches("CAST"):
+            return self._parse_cast()
+        if token.matches("EXISTS"):
+            self._advance()
+            self._expect(TokenType.LPAREN, "(")
+            query = self._parse_select()
+            self._expect(TokenType.RPAREN, ")")
+            return ast.Exists(query=query)
+        if token.matches("NOT") and self._peek(1).matches("EXISTS"):
+            self._advance()
+            self._advance()
+            self._expect(TokenType.LPAREN, "(")
+            query = self._parse_select()
+            self._expect(TokenType.RPAREN, ")")
+            return ast.Exists(query=query, negated=True)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            if self._check_keyword("SELECT", "WITH"):
+                query = self._parse_select()
+                self._expect(TokenType.RPAREN, ")")
+                return ast.ScalarSubquery(query=query)
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN, ")")
+            return expr
+        if token.type is TokenType.IDENT or token.type is TokenType.KEYWORD:
+            return self._parse_identifier_expression()
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.upper not in ("LEFT", "RIGHT", "REPLACE", "KEY", "INDEX", "VIEW", "VALUES"):
+            raise self._error(f"unexpected keyword {token.text!r} in expression")
+        name = self._advance().text
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            distinct = bool(self._match_keyword("DISTINCT"))
+            args: list[ast.Expression] = []
+            star = self._peek()
+            if star.type is TokenType.OPERATOR and star.text == "*":
+                self._advance()
+                args.append(ast.Star())
+            elif self._peek().type is not TokenType.RPAREN:
+                args.append(self._parse_expression())
+                while self._match(TokenType.COMMA):
+                    args.append(self._parse_expression())
+            self._expect(TokenType.RPAREN, ")")
+            return ast.FunctionCall(name=name, args=args, distinct=distinct)
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            column = self._identifier("column name")
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+    def _parse_case(self) -> ast.Expression:
+        self._expect_keyword("CASE")
+        operand = None
+        if not self._check_keyword("WHEN"):
+            operand = self._parse_expression()
+        branches: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._match_keyword("WHEN"):
+            when = self._parse_expression()
+            self._expect_keyword("THEN")
+            then = self._parse_expression()
+            branches.append((when, then))
+        if not branches:
+            raise self._error("CASE requires at least one WHEN branch")
+        else_result = None
+        if self._match_keyword("ELSE"):
+            else_result = self._parse_expression()
+        self._expect_keyword("END")
+        return ast.Case(operand=operand, branches=branches, else_result=else_result)
+
+    def _parse_cast(self) -> ast.Expression:
+        self._expect_keyword("CAST")
+        self._expect(TokenType.LPAREN, "(")
+        operand = self._parse_expression()
+        self._expect_keyword("AS")
+        type_name = self._identifier("type name")
+        width = None
+        if self._match(TokenType.LPAREN):
+            width = int(self._expect(TokenType.NUMBER, "width").text)
+            self._expect(TokenType.RPAREN, ")")
+        self._expect(TokenType.RPAREN, ")")
+        return ast.Cast(operand=operand, type_name=type_name, width=width)
+
+    # -- CREATE / DROP -----------------------------------------------------
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        unique = bool(self._match_keyword("UNIQUE"))
+        if self._match_keyword("TABLE"):
+            return self._parse_create_table()
+        if self._match_keyword("INDEX"):
+            return self._parse_create_index(unique)
+        if self._match_keyword("VIEW"):
+            return self._parse_create_view(materialized=False)
+        if self._check_keyword("MATERIALIZED"):
+            if not self._allow_materialized:
+                raise self._error(
+                    "MATERIALIZED views are not supported by the core parser"
+                )
+            self._advance()
+            self._expect_keyword("VIEW")
+            return self._parse_create_view(materialized=True)
+        raise self._error("expected TABLE, INDEX or VIEW after CREATE")
+
+    def _parse_if_not_exists(self) -> bool:
+        if self._match_keyword("IF"):
+            self._expect_keyword("NOT")
+            token = self._peek()
+            if token.type is TokenType.IDENT and token.text.upper() == "EXISTS":
+                self._advance()
+            else:
+                self._expect_keyword("EXISTS")
+            return True
+        return False
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        if_not_exists = self._parse_if_not_exists()
+        name = self._identifier("table name")
+        if self._match_keyword("AS"):
+            query = self._parse_select()
+            return ast.CreateTable(
+                name=name, columns=[], if_not_exists=if_not_exists, as_query=query
+            )
+        self._expect(TokenType.LPAREN, "(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: list[str] = []
+        while True:
+            if self._check_keyword("PRIMARY"):
+                self._advance()
+                self._expect_keyword("KEY")
+                self._expect(TokenType.LPAREN, "(")
+                primary_key.append(self._identifier("column name"))
+                while self._match(TokenType.COMMA):
+                    primary_key.append(self._identifier("column name"))
+                self._expect(TokenType.RPAREN, ")")
+            else:
+                columns.append(self._parse_column_def())
+            if not self._match(TokenType.COMMA):
+                break
+        self._expect(TokenType.RPAREN, ")")
+        for col in columns:
+            if col.primary_key:
+                primary_key.append(col.name)
+        return ast.CreateTable(
+            name=name,
+            columns=columns,
+            primary_key=primary_key,
+            if_not_exists=if_not_exists,
+        )
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._identifier("column name")
+        type_name = self._identifier("type name")
+        width = None
+        if self._match(TokenType.LPAREN):
+            width = int(self._expect(TokenType.NUMBER, "width").text)
+            # DECIMAL(p, s): consume the scale, we map to DOUBLE anyway.
+            if self._match(TokenType.COMMA):
+                self._expect(TokenType.NUMBER, "scale")
+            self._expect(TokenType.RPAREN, ")")
+        column = ast.ColumnDef(name=name, type_name=type_name, width=width)
+        while True:
+            if self._match_keyword("NOT"):
+                self._expect_keyword("NULL")
+                column.not_null = True
+            elif self._match_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                column.primary_key = True
+                column.not_null = True
+            elif self._match_keyword("DEFAULT"):
+                column.default = self._parse_expression()
+            elif self._match_keyword("UNIQUE"):
+                pass
+            else:
+                return column
+
+    def _parse_create_index(self, unique: bool) -> ast.CreateIndex:
+        if_not_exists = self._parse_if_not_exists()
+        name = self._identifier("index name")
+        self._expect_keyword("ON")
+        table = self._identifier("table name")
+        self._expect(TokenType.LPAREN, "(")
+        columns = [self._identifier("column name")]
+        while self._match(TokenType.COMMA):
+            columns.append(self._identifier("column name"))
+        self._expect(TokenType.RPAREN, ")")
+        return ast.CreateIndex(
+            name=name,
+            table=table,
+            columns=columns,
+            unique=unique,
+            if_not_exists=if_not_exists,
+        )
+
+    def _parse_create_view(self, materialized: bool) -> ast.CreateView:
+        if_not_exists = self._parse_if_not_exists()
+        name = self._identifier("view name")
+        self._expect_keyword("AS")
+        query = self._parse_select()
+        return ast.CreateView(
+            name=name,
+            query=query,
+            materialized=materialized,
+            if_not_exists=if_not_exists,
+        )
+
+    def _parse_drop(self) -> ast.Statement:
+        self._expect_keyword("DROP")
+        if self._match_keyword("TABLE"):
+            if_exists = self._parse_if_exists()
+            return ast.DropTable(name=self._identifier("table name"), if_exists=if_exists)
+        if self._match_keyword("INDEX"):
+            if_exists = self._parse_if_exists()
+            return ast.DropIndex(name=self._identifier("index name"), if_exists=if_exists)
+        if self._match_keyword("VIEW") or (
+            self._match_keyword("MATERIALIZED") and self._match_keyword("VIEW")
+        ):
+            if_exists = self._parse_if_exists()
+            return ast.DropView(name=self._identifier("view name"), if_exists=if_exists)
+        raise self._error("expected TABLE, INDEX or VIEW after DROP")
+
+    def _parse_if_exists(self) -> bool:
+        if self._match_keyword("IF"):
+            token = self._peek()
+            if token.type is TokenType.IDENT and token.text.upper() == "EXISTS":
+                self._advance()
+            else:
+                self._expect_keyword("EXISTS")
+            return True
+        return False
+
+    # -- DML ----------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        or_replace = False
+        if self._match_keyword("OR"):
+            self._expect_keyword("REPLACE")
+            or_replace = True
+        self._expect_keyword("INTO")
+        table = self._identifier("table name")
+        columns: list[str] = []
+        if self._peek().type is TokenType.LPAREN and not self._peek(1).matches("SELECT"):
+            self._advance()
+            columns.append(self._identifier("column name"))
+            while self._match(TokenType.COMMA):
+                columns.append(self._identifier("column name"))
+            self._expect(TokenType.RPAREN, ")")
+        if self._match_keyword("VALUES"):
+            values: list[list[ast.Expression]] = []
+            while True:
+                self._expect(TokenType.LPAREN, "(")
+                row = [self._parse_expression()]
+                while self._match(TokenType.COMMA):
+                    row.append(self._parse_expression())
+                self._expect(TokenType.RPAREN, ")")
+                values.append(row)
+                if not self._match(TokenType.COMMA):
+                    break
+            return ast.Insert(table=table, columns=columns, values=values, or_replace=or_replace)
+        query = self._parse_select()
+        return ast.Insert(table=table, columns=columns, query=query, or_replace=or_replace)
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._identifier("table name")
+        where = self._parse_expression() if self._match_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._identifier("table name")
+        self._expect_keyword("SET")
+        assignments = [self._parse_set_clause()]
+        while self._match(TokenType.COMMA):
+            assignments.append(self._parse_set_clause())
+        where = self._parse_expression() if self._match_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def _parse_set_clause(self) -> ast.SetClause:
+        column = self._identifier("column name")
+        token = self._peek()
+        if token.type is not TokenType.OPERATOR or token.text != "=":
+            raise self._error("expected = in SET clause")
+        self._advance()
+        return ast.SetClause(column=column, value=self._parse_expression())
+
+    # -- misc ----------------------------------------------------------------
+
+    def _parse_pragma(self) -> ast.Pragma:
+        self._expect_keyword("PRAGMA")
+        name = self._identifier("pragma name")
+        value = None
+        if self._match(TokenType.OPERATOR, "="):
+            token = self._peek()
+            if token.type is TokenType.NUMBER:
+                self._advance()
+                value = float(token.text) if "." in token.text else int(token.text)
+            elif token.type is TokenType.STRING:
+                self._advance()
+                value = token.text
+            elif token.matches("TRUE"):
+                self._advance()
+                value = True
+            elif token.matches("FALSE"):
+                self._advance()
+                value = False
+            else:
+                value = self._identifier("pragma value")
+        return ast.Pragma(name=name, value=value)
+
+    def _parse_attach(self) -> ast.Attach:
+        self._expect_keyword("ATTACH")
+        target = self._expect(TokenType.STRING, "attach target").text
+        self._expect_keyword("AS")
+        name = self._identifier("database alias")
+        return ast.Attach(target=target, name=name)
+
+    def _parse_refresh(self) -> ast.RefreshView:
+        self._expect_keyword("REFRESH")
+        self._expect_keyword("MATERIALIZED")
+        self._expect_keyword("VIEW")
+        return ast.RefreshView(name=self._identifier("view name"))
+
+
+def parse_script(sql: str, allow_materialized: bool = False) -> list[ast.Statement]:
+    """Parse a semicolon-separated batch of statements."""
+    return Parser(sql, allow_materialized=allow_materialized).parse_statements()
+
+
+def parse_one(sql: str, allow_materialized: bool = False) -> ast.Statement:
+    """Parse exactly one statement; raises if the batch is empty or longer."""
+    statements = parse_script(sql, allow_materialized=allow_materialized)
+    if len(statements) != 1:
+        raise ParserError(f"expected exactly one statement, got {len(statements)}")
+    return statements[0]

@@ -1,0 +1,7 @@
+"""Storage substrate: row store, ART index, order-preserving key encoding."""
+
+from repro.storage.art import ARTIndex
+from repro.storage.keys import decode_key, encode_key
+from repro.storage.table import Table
+
+__all__ = ["ARTIndex", "Table", "decode_key", "encode_key"]

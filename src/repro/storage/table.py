@@ -1,0 +1,260 @@
+"""Row-store table with primary-key enforcement and index maintenance.
+
+Rows are Python tuples stored in a slotted list; deleted slots are reused
+lazily.  Each table maintains zero or more ART indexes; the primary key
+(when declared) is a unique ART index, which is what makes `INSERT OR
+REPLACE` (upsert) efficient — the same role DuckDB's ART plays in the
+paper's aggregate-maintenance plans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.datatypes.values import coerce_for_storage
+from repro.errors import ConstraintError, ExecutionError
+from repro.storage.art import ARTIndex
+from repro.storage.keys import encode_key
+
+Row = tuple
+
+
+class Table:
+    """Mutable table storage bound to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[Row | None] = []
+        self._free_slots: list[int] = []
+        self._live_count = 0
+        self._indexes: dict[str, tuple[list[int], ARTIndex]] = {}
+        if schema.primary_key:
+            self.add_index(
+                "__pk__", schema.primary_key_indexes, unique=True
+            )
+
+    # -- row access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def scan(self) -> Iterator[Row]:
+        """Yield live rows in slot order."""
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def scan_with_ids(self) -> Iterator[tuple[int, Row]]:
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def row(self, row_id: int) -> Row:
+        row = self._rows[row_id]
+        if row is None:
+            raise ExecutionError(f"row id {row_id} is deleted")
+        return row
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any], coerce: bool = True) -> int:
+        """Insert one row; returns its row id.
+
+        Coerces values to the declared column types and enforces NOT NULL
+        and primary-key uniqueness.
+        """
+        columns = self.schema.columns
+        if len(values) != len(columns):
+            raise ExecutionError(
+                f"table {self.schema.name!r} expects {len(columns)} values, "
+                f"got {len(values)}"
+            )
+        if coerce:
+            row = tuple(
+                coerce_for_storage(value, column.type)
+                for value, column in zip(values, columns)
+            )
+        else:
+            row = tuple(values)
+        for value, column in zip(row, columns):
+            if value is None and column.not_null:
+                raise ConstraintError(
+                    f"NOT NULL constraint failed: {self.schema.name}.{column.name}"
+                )
+        row_id = self._allocate_slot(row)
+        try:
+            self._index_insert(row_id, row)
+        except ConstraintError:
+            self._release_slot(row_id)
+            raise
+        self._live_count += 1
+        return row_id
+
+    def upsert(self, values: Sequence[Any]) -> int:
+        """INSERT OR REPLACE semantics over the primary key.
+
+        Requires a primary key (DuckDB likewise requires an ART index for
+        `INSERT OR REPLACE`, as the paper notes).
+        """
+        if not self.schema.primary_key:
+            raise ExecutionError(
+                f"INSERT OR REPLACE on {self.schema.name!r} requires a PRIMARY KEY"
+            )
+        columns = self.schema.columns
+        row = tuple(
+            coerce_for_storage(value, column.type)
+            for value, column in zip(values, columns)
+        )
+        key_columns, index = self._indexes["__pk__"]
+        key = encode_key([row[i] for i in key_columns])
+        existing = index.search(key)
+        if existing:
+            self.delete_row(existing[0])
+        return self.insert(row, coerce=False)
+
+    def delete_row(self, row_id: int) -> Row:
+        """Delete by row id; returns the removed row."""
+        row = self.row(row_id)
+        self._index_delete(row_id, row)
+        self._release_slot(row_id)
+        self._live_count -= 1
+        return row
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete all rows matching ``predicate``; returns the count."""
+        victims = [rid for rid, row in self.scan_with_ids() if predicate(row)]
+        for row_id in victims:
+            self.delete_row(row_id)
+        return len(victims)
+
+    def update_row(self, row_id: int, new_values: Sequence[Any]) -> tuple[Row, Row]:
+        """Replace the row at ``row_id``; returns (old_row, new_row)."""
+        old = self.row(row_id)
+        columns = self.schema.columns
+        new_row = tuple(
+            coerce_for_storage(value, column.type)
+            for value, column in zip(new_values, columns)
+        )
+        for value, column in zip(new_row, columns):
+            if value is None and column.not_null:
+                raise ConstraintError(
+                    f"NOT NULL constraint failed: {self.schema.name}.{column.name}"
+                )
+        self._index_delete(row_id, old)
+        try:
+            self._index_insert(row_id, new_row)
+        except ConstraintError:
+            self._index_insert(row_id, old)
+            raise
+        self._rows[row_id] = new_row
+        return old, new_row
+
+    def truncate(self) -> int:
+        """Remove all rows; returns how many were removed."""
+        count = self._live_count
+        self._rows.clear()
+        self._free_slots.clear()
+        self._live_count = 0
+        for name, (key_columns, index) in list(self._indexes.items()):
+            self._indexes[name] = (key_columns, ARTIndex(unique=index.unique))
+        return count
+
+    # -- indexes ------------------------------------------------------------
+
+    def add_index(
+        self, name: str, key_columns: Sequence[int], unique: bool = False,
+        chunked: bool = False, chunk_size: int = 2048,
+    ) -> ARTIndex:
+        """Create and populate an ART index over ``key_columns``.
+
+        ``chunked=True`` uses the chunk-build-and-merge strategy.
+        """
+        entries = [
+            (encode_key([row[i] for i in key_columns]), row_id)
+            for row_id, row in self.scan_with_ids()
+        ]
+        if chunked:
+            index = ARTIndex.build_chunked(entries, chunk_size=chunk_size, unique=unique)
+        else:
+            index = ARTIndex(unique=unique)
+            for key, row_id in entries:
+                index.insert(key, row_id)
+        self._indexes[name] = (list(key_columns), index)
+        return index
+
+    def drop_index(self, name: str) -> None:
+        self._indexes.pop(name, None)
+
+    def index(self, name: str) -> ARTIndex:
+        return self._indexes[name][1]
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def lookup(self, name: str, key_values: Sequence[Any]) -> list[Row]:
+        """Point lookup through a named index."""
+        _, index = self._indexes[name]
+        return [self.row(row_id) for row_id in index.search(encode_key(key_values))]
+
+    def find_index_on(self, column_ordinals: Sequence[int]) -> str | None:
+        """Name of an index whose key columns equal ``column_ordinals`` as a
+        set (probe values are reordered to the index's column order), or
+        None.  Used by the executor's index-nested-loop join."""
+        wanted = sorted(column_ordinals)
+        for name, (key_columns, _) in self._indexes.items():
+            if sorted(key_columns) == wanted:
+                return name
+        return None
+
+    def index_key_columns(self, name: str) -> list[int]:
+        return list(self._indexes[name][0])
+
+    def lookup_row_ids(self, name: str, key_values: Sequence[Any]) -> list[int]:
+        """Row ids matching ``key_values`` (given in the index's key order)."""
+        _, index = self._indexes[name]
+        return index.search(encode_key(key_values))
+
+    def pk_lookup(self, key_values: Sequence[Any]) -> Row | None:
+        """Primary-key point lookup (None when absent or no PK declared)."""
+        if "__pk__" not in self._indexes:
+            return None
+        rows = self.lookup("__pk__", key_values)
+        return rows[0] if rows else None
+
+    # -- internals ------------------------------------------------------------
+
+    def _allocate_slot(self, row: Row) -> int:
+        if self._free_slots:
+            row_id = self._free_slots.pop()
+            self._rows[row_id] = row
+            return row_id
+        self._rows.append(row)
+        return len(self._rows) - 1
+
+    def _release_slot(self, row_id: int) -> None:
+        self._rows[row_id] = None
+        self._free_slots.append(row_id)
+
+    def _index_insert(self, row_id: int, row: Row) -> None:
+        inserted: list[tuple[str, bytes]] = []
+        for name, (key_columns, index) in self._indexes.items():
+            key = encode_key([row[i] for i in key_columns])
+            try:
+                index.insert(key, row_id)
+            except ConstraintError:
+                for done_name, done_key in inserted:
+                    self._indexes[done_name][1].delete(done_key, row_id)
+                raise ConstraintError(
+                    f"duplicate key violates unique constraint on "
+                    f"{self.schema.name!r} ({name})"
+                ) from None
+            inserted.append((name, key))
+
+    def _index_delete(self, row_id: int, row: Row) -> None:
+        for _, (key_columns, index) in self._indexes.items():
+            key = encode_key([row[i] for i in key_columns])
+            index.delete(key, row_id)

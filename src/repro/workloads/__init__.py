@@ -1,0 +1,21 @@
+"""Deterministic synthetic workloads for examples, tests and benchmarks."""
+
+from repro.workloads.generators import (
+    ChangeBatch,
+    generate_change_stream,
+    generate_groups_rows,
+    generate_sales_workload,
+    zipf_group_keys,
+)
+from repro.workloads.runner import Stopwatch, format_table, time_call
+
+__all__ = [
+    "ChangeBatch",
+    "Stopwatch",
+    "format_table",
+    "generate_change_stream",
+    "generate_groups_rows",
+    "generate_sales_workload",
+    "time_call",
+    "zipf_group_keys",
+]

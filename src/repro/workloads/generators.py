@@ -1,0 +1,149 @@
+"""Synthetic data and change-stream generators.
+
+The paper's demo pre-loads datasets and benchmarks "sets of pre-written
+GROUP BY queries"; its running example is the two-column ``groups`` table
+of Listing 1.  These generators produce that table at any scale, a
+two-table sales workload for the HTAP scenarios, and mixed
+insert/update/delete change streams — all seeded, so every benchmark run
+is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+
+def zipf_group_keys(count: int, num_groups: int, skew: float, seed: int) -> list[str]:
+    """``count`` group keys over ``num_groups`` distinct values.
+
+    ``skew == 0`` is uniform; larger values follow a Zipf-like power law
+    (popular groups receive most rows), matching the skewed aggregation
+    workloads IVM systems are usually evaluated on.
+    """
+    rng = np.random.default_rng(seed)
+    if skew <= 0:
+        indexes = rng.integers(0, num_groups, size=count)
+    else:
+        weights = 1.0 / np.power(np.arange(1, num_groups + 1), skew)
+        weights /= weights.sum()
+        indexes = rng.choice(num_groups, size=count, p=weights)
+    return [f"g{int(i):06d}" for i in indexes]
+
+
+def generate_groups_rows(
+    count: int,
+    num_groups: int = 100,
+    skew: float = 0.0,
+    seed: int = 42,
+    value_range: tuple[int, int] = (1, 1000),
+) -> list[tuple[str, int]]:
+    """Rows for Listing 1's ``groups(group_index VARCHAR, group_value INTEGER)``."""
+    rng = np.random.default_rng(seed + 1)
+    keys = zipf_group_keys(count, num_groups, skew, seed)
+    low, high = value_range
+    values = rng.integers(low, high + 1, size=count)
+    return [(key, int(value)) for key, value in zip(keys, values)]
+
+
+@dataclass
+class ChangeBatch:
+    """One batch of base-table changes: rows to insert and rows to delete.
+
+    ``deletes`` contains full rows currently present in the table (the
+    generator tracks table contents to guarantee this).
+    """
+
+    inserts: list[tuple] = field(default_factory=list)
+    deletes: list[tuple] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+def generate_change_stream(
+    initial_rows: list[tuple],
+    batch_size: int,
+    batches: int,
+    delete_fraction: float = 0.3,
+    num_groups: int = 100,
+    seed: int = 7,
+    value_range: tuple[int, int] = (1, 1000),
+) -> Iterator[ChangeBatch]:
+    """Mixed insert/delete batches against the groups table.
+
+    Maintains a shadow copy of the table so every delete targets a live
+    row — deltas stay consistent with the base state, which IVM requires.
+    """
+    rng = random.Random(seed)
+    live = list(initial_rows)
+    low, high = value_range
+    for _ in range(batches):
+        batch = ChangeBatch()
+        deletes = min(int(batch_size * delete_fraction), len(live))
+        inserts = batch_size - deletes
+        for _ in range(deletes):
+            index = rng.randrange(len(live))
+            live[index], live[-1] = live[-1], live[index]
+            batch.deletes.append(live.pop())
+        for _ in range(inserts):
+            row = (f"g{rng.randrange(num_groups):06d}", rng.randint(low, high))
+            live.append(row)
+            batch.inserts.append(row)
+        yield batch
+
+
+# ---------------------------------------------------------------------------
+# HTAP sales workload (two tables, join views)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SalesWorkload:
+    """A small star-ish schema: customers dimension, orders facts."""
+
+    customers: list[tuple[str, str]]  # (cust_id, region)
+    orders: list[tuple[int, str, str, int]]  # (oid, cust_id, product, amount)
+    regions: list[str]
+    products: list[str]
+
+    SCHEMA = (
+        "CREATE TABLE customers (cust_id VARCHAR PRIMARY KEY, region VARCHAR);"
+        "CREATE TABLE orders (oid INTEGER PRIMARY KEY, cust_id VARCHAR, "
+        "product VARCHAR, amount INTEGER)"
+    )
+
+    def next_order_id(self) -> int:
+        return max((o[0] for o in self.orders), default=0) + 1
+
+
+def generate_sales_workload(
+    num_customers: int = 200,
+    num_orders: int = 5000,
+    num_regions: int = 8,
+    num_products: int = 30,
+    seed: int = 11,
+) -> SalesWorkload:
+    rng = random.Random(seed)
+    regions = [f"region_{c}" for c in string.ascii_lowercase[:num_regions]]
+    products = [f"prod_{i:03d}" for i in range(num_products)]
+    customers = [
+        (f"cust_{i:05d}", rng.choice(regions)) for i in range(num_customers)
+    ]
+    orders = [
+        (
+            oid,
+            customers[rng.randrange(num_customers)][0],
+            rng.choice(products),
+            rng.randint(1, 500),
+        )
+        for oid in range(1, num_orders + 1)
+    ]
+    return SalesWorkload(
+        customers=customers, orders=orders, regions=regions, products=products
+    )

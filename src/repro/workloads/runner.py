@@ -1,0 +1,64 @@
+"""Timing and reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates labelled timings; used by the experiment scripts."""
+
+    timings: dict[str, list[float]] = field(default_factory=dict)
+
+    def measure(self, label: str, fn: Callable[[], Any]) -> Any:
+        start = time.perf_counter()
+        result = fn()
+        self.timings.setdefault(label, []).append(time.perf_counter() - start)
+        return result
+
+    def total(self, label: str) -> float:
+        return sum(self.timings.get(label, ()))
+
+    def mean(self, label: str) -> float:
+        samples = self.timings.get(label, ())
+        return sum(samples) / len(samples) if samples else 0.0
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> tuple[float, Any]:
+    """Best-of-``repeat`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned text table (the paper-style result rows)."""
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value * 1e6:.1f}us"
+        if abs(value) < 1:
+            return f"{value * 1e3:.2f}ms"
+        return f"{value:.3f}s"
+    return str(value)

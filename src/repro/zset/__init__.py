@@ -1,0 +1,31 @@
+"""DBSP Z-set algebra.
+
+The paper's incremental rewriting follows DBSP (Budiu et al., 2022): every
+relation is a Z-set — a mapping from tuples to integer weights — and every
+relational operator is lifted to Z-sets so that differentiation (Δ) and
+integration (I) compose.  This package is an executable version of that
+formalism.  The IVM compiler does not *run* on Z-sets (it emits SQL), but
+the property-based tests use these definitions as the oracle the emitted
+SQL must agree with.
+"""
+
+from repro.zset.zset import ZSet
+from repro.zset.operators import (
+    zset_aggregate,
+    zset_distinct,
+    zset_filter,
+    zset_join,
+    zset_project,
+)
+from repro.zset.incremental import delta_view, incremental_join_delta
+
+__all__ = [
+    "ZSet",
+    "delta_view",
+    "incremental_join_delta",
+    "zset_aggregate",
+    "zset_distinct",
+    "zset_filter",
+    "zset_join",
+    "zset_project",
+]

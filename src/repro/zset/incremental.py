@@ -1,0 +1,62 @@
+"""Differentiation / integration and reference delta computations.
+
+These are the D and I operators of DBSP as the paper states them:
+
+    D:  ΔT = T' − T          and   ΔV = V' − V
+    I:  T + ΔT = T'          and   V + ΔV = V'
+
+:func:`delta_view` is the *specification* of IVM — compute the view on the
+old and new integrated states and difference them.  The compiler's output
+must produce exactly this ΔV effect on the materialized table, so tests
+run both and compare.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.zset.zset import ZSet
+
+Query = Callable[..., ZSet]
+
+
+def delta_view(query: Query, tables: list[ZSet], deltas: list[ZSet]) -> ZSet:
+    """ΔV = Q(T1+ΔT1, ..., Tn+ΔTn) − Q(T1, ..., Tn).
+
+    Works for *any* query, linear or not — this is the brute-force
+    differentiation that incremental plans must be equivalent to.
+    """
+    if len(tables) != len(deltas):
+        raise ValueError("tables and deltas must align")
+    new_tables = [t + d for t, d in zip(tables, deltas)]
+    return query(*new_tables) - query(*tables)
+
+
+def integrate(state: ZSet, delta: ZSet) -> ZSet:
+    """I: fold a delta into the integrated state."""
+    return state + delta
+
+
+def incremental_join_delta(
+    left: ZSet,
+    delta_left: ZSet,
+    right: ZSet,
+    delta_right: ZSet,
+    join: Callable[[ZSet, ZSet], ZSet],
+) -> ZSet:
+    """The three-term bilinear join delta (paper: "the incremental form of
+    a join consists of three relational join operators").
+
+    With OLD states on both sides:
+
+        Δ(A ⋈ B) = ΔA ⋈ B  +  A ⋈ ΔB  +  ΔA ⋈ ΔB
+
+    (Equivalently, with NEW states the last term is subtracted; the
+    compiler emits the new-state form because base tables are updated
+    before propagation runs.)
+    """
+    return (
+        join(delta_left, right)
+        + join(left, delta_right)
+        + join(delta_left, delta_right)
+    )

@@ -1,0 +1,112 @@
+"""Relational operators lifted to Z-sets (DBSP §3).
+
+Selection and projection are *linear*: applying them to a delta equals
+the delta of applying them — which is why the paper says "the incremental
+forms of selection and projection operators are the same as their
+relational form".  The bilinear join gives the three-term delta rule, and
+aggregation is linear for SUM/COUNT (weighted sums), which is what the
+compiler exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.zset.zset import ZSet
+
+RowFn = Callable[[tuple], Any]
+
+
+def zset_filter(zset: ZSet, predicate: Callable[[tuple], bool]) -> ZSet:
+    """σ lifted to Z-sets: keep rows, preserve weights (linear)."""
+    return zset.filter_rows(predicate)
+
+
+def zset_project(zset: ZSet, projection: Callable[[tuple], tuple]) -> ZSet:
+    """π lifted to Z-sets: map rows, summing weights of collisions (linear)."""
+    return zset.map_rows(projection)
+
+
+def zset_distinct(zset: ZSet) -> ZSet:
+    """δ: back to set semantics (NOT linear — needs the integrated state)."""
+    return zset.distinct()
+
+
+def zset_join(
+    left: ZSet,
+    right: ZSet,
+    left_key: RowFn,
+    right_key: RowFn,
+    combine: Callable[[tuple, tuple], tuple] | None = None,
+) -> ZSet:
+    """⋈ lifted to Z-sets: weights multiply (bilinear).
+
+    The sign algebra the paper encodes with booleans falls out of the
+    multiplication: (+1)·(+1)=+1 (insert×insert=insert),
+    (+1)·(−1)=−1, (−1)·(−1)=+1.
+    """
+    if combine is None:
+        combine = lambda l, r: l + r
+    index: dict[Any, list[tuple[tuple, int]]] = {}
+    for row, weight in right.items():
+        key = right_key(row)
+        if key is None:
+            continue
+        index.setdefault(key, []).append((row, weight))
+    merged: dict[tuple, int] = {}
+    for lrow, lweight in left.items():
+        key = left_key(lrow)
+        if key is None:
+            continue
+        for rrow, rweight in index.get(key, ()):
+            combined = combine(lrow, rrow)
+            merged[combined] = merged.get(combined, 0) + lweight * rweight
+    return ZSet(merged)
+
+
+def zset_aggregate(
+    zset: ZSet,
+    key: RowFn,
+    functions: list[tuple[str, RowFn | None]],
+) -> ZSet:
+    """γ lifted to Z-sets for the linear aggregates SUM and COUNT.
+
+    Each output row is ``(key, agg1, agg2, ...)`` with weight 1 (group
+    rows are a set).  SUM sums ``value * weight``; COUNT sums ``weight``
+    for non-NULL arguments (COUNT(*) sums weights unconditionally).
+    Groups whose COUNT reaches zero disappear — the compiler's
+    post-processing step 3 ("deletion of the invalid rows in V").
+    """
+    sums: dict[Any, list] = {}
+    counts: dict[Any, int] = {}
+    for row, weight in zset.items():
+        group = key(row)
+        state = sums.get(group)
+        if state is None:
+            state = [0 for _ in functions]
+            sums[group] = state
+            counts[group] = 0
+        counts[group] += weight
+        for i, (fname, arg) in enumerate(functions):
+            if fname == "SUM":
+                value = arg(row)
+                if value is not None:
+                    state[i] += value * weight
+            elif fname == "COUNT":
+                if arg is None:
+                    state[i] += weight
+                else:
+                    if arg(row) is not None:
+                        state[i] += weight
+            else:
+                raise ValueError(
+                    f"aggregate {fname} is not linear over Z-sets; "
+                    "compute it from the integrated state"
+                )
+    result: dict[tuple, int] = {}
+    for group, state in sums.items():
+        if counts[group] <= 0:
+            continue  # group no longer exists in the integrated relation
+        out_key = group if isinstance(group, tuple) else (group,)
+        result[out_key + tuple(state)] = 1
+    return ZSet(result)

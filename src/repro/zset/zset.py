@@ -1,0 +1,144 @@
+"""The Z-set: tuples with integer multiplicities.
+
+A Z-set over rows is a finite map row → weight (any integer, including
+negative).  Positive weights are insertions/presence, negative weights are
+deletions.  The paper: "we associate a weight or multiplicity with every
+element in the set ... We use true and false instead of integer weights,
+representing respectively insertions and deletions in ΔT" — the boolean
+multiplicity column in the emitted SQL is exactly ``weight > 0`` with
+tuples of frequency N "modeled with N copies of the same element and
+multiplicity 1".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+
+class ZSet:
+    """An immutable-by-convention Z-set with group (+, −) structure."""
+
+    __slots__ = ("_weights",)
+
+    def __init__(self, weights: dict[tuple, int] | None = None) -> None:
+        self._weights: dict[tuple, int] = {}
+        if weights:
+            for row, weight in weights.items():
+                if weight != 0:
+                    self._weights[row] = weight
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[tuple]) -> "ZSet":
+        """Each occurrence of a row contributes weight +1."""
+        zset = cls()
+        for row in rows:
+            zset._weights[row] = zset._weights.get(row, 0) + 1
+        zset._normalize()
+        return zset
+
+    @classmethod
+    def deltas(cls, inserts: Iterable[tuple] = (), deletes: Iterable[tuple] = ()) -> "ZSet":
+        """Build a delta Z-set from insert (+1) and delete (−1) rows."""
+        zset = cls()
+        for row in inserts:
+            zset._weights[row] = zset._weights.get(row, 0) + 1
+        for row in deletes:
+            zset._weights[row] = zset._weights.get(row, 0) - 1
+        zset._normalize()
+        return zset
+
+    def _normalize(self) -> None:
+        for row in [r for r, w in self._weights.items() if w == 0]:
+            del self._weights[row]
+
+    # -- inspection -----------------------------------------------------
+
+    def weight(self, row: tuple) -> int:
+        return self._weights.get(row, 0)
+
+    def __len__(self) -> int:
+        """Number of distinct rows with non-zero weight."""
+        return len(self._weights)
+
+    def __bool__(self) -> bool:
+        return bool(self._weights)
+
+    def __iter__(self) -> Iterator[tuple[tuple, int]]:
+        return iter(self._weights.items())
+
+    def items(self) -> Iterator[tuple[tuple, int]]:
+        return iter(self._weights.items())
+
+    def rows(self) -> list[tuple]:
+        """Expand to a multiset of rows; requires all weights positive."""
+        result: list[tuple] = []
+        for row, weight in self._weights.items():
+            if weight < 0:
+                raise ValueError(
+                    f"cannot expand Z-set with negative weight for {row!r}"
+                )
+            result.extend([row] * weight)
+        return result
+
+    def is_set(self) -> bool:
+        """True when every weight is exactly 1 (a plain relation)."""
+        return all(w == 1 for w in self._weights.values())
+
+    def is_positive(self) -> bool:
+        return all(w > 0 for w in self._weights.values())
+
+    # -- group structure ---------------------------------------------------
+
+    def __add__(self, other: "ZSet") -> "ZSet":
+        merged = dict(self._weights)
+        for row, weight in other._weights.items():
+            merged[row] = merged.get(row, 0) + weight
+        return ZSet(merged)
+
+    def __sub__(self, other: "ZSet") -> "ZSet":
+        merged = dict(self._weights)
+        for row, weight in other._weights.items():
+            merged[row] = merged.get(row, 0) - weight
+        return ZSet(merged)
+
+    def __neg__(self) -> "ZSet":
+        return ZSet({row: -w for row, w in self._weights.items()})
+
+    def scale(self, factor: int) -> "ZSet":
+        return ZSet({row: w * factor for row, w in self._weights.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ZSet):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __hash__(self) -> int:  # pragma: no cover - ZSets are not hashed
+        raise TypeError("ZSet is unhashable")
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{row!r}→{weight}" for row, weight in sorted(
+                self._weights.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return f"ZSet({{{entries}}})"
+
+    # -- helpers used by the lifted operators ------------------------------
+
+    def map_rows(self, fn: Callable[[tuple], tuple]) -> "ZSet":
+        merged: dict[tuple, int] = {}
+        for row, weight in self._weights.items():
+            mapped = fn(row)
+            merged[mapped] = merged.get(mapped, 0) + weight
+        return ZSet(merged)
+
+    def filter_rows(self, predicate: Callable[[tuple], bool]) -> "ZSet":
+        return ZSet(
+            {row: w for row, w in self._weights.items() if predicate(row)}
+        )
+
+    def distinct(self) -> "ZSet":
+        """Set semantics: weight 1 for every row with positive weight."""
+        return ZSet({row: 1 for row, w in self._weights.items() if w > 0})

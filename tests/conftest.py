@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+
+
+@pytest.fixture
+def con() -> Connection:
+    """A fresh embedded engine connection."""
+    return Connection()
+
+
+@pytest.fixture
+def ivm_con():
+    """Factory: a connection with the OpenIVM extension loaded.
+
+    Usage: ``con, ext = ivm_con()`` or ``con, ext = ivm_con(strategy=...)``.
+    """
+
+    def factory(**flag_overrides):
+        flag_overrides.setdefault("mode", PropagationMode.LAZY)
+        flags = CompilerFlags(**flag_overrides)
+        connection = Connection()
+        extension = load_ivm(connection, flags)
+        return connection, extension
+
+    return factory
+
+
+def assert_view_matches(con: Connection, view_sql: str, view_name: str) -> None:
+    """The materialized view's visible contents must equal recomputation."""
+    recomputed = con.execute(view_sql)
+    materialized = con.execute(
+        f"SELECT {', '.join(recomputed.columns)} FROM {view_name}"
+    )
+    assert materialized.sorted() == recomputed.sorted()

@@ -1,0 +1,149 @@
+"""View analysis: classification and the supported-surface boundary."""
+
+import pytest
+
+from repro import Connection
+from repro.core.analyze import ViewClass, analyze_view
+from repro.errors import UnsupportedError
+from repro.sql.parser import parse_one
+
+
+@pytest.fixture
+def catalog(con: Connection):
+    con.execute("CREATE TABLE t (g VARCHAR, v INTEGER, f DOUBLE)")
+    con.execute("CREATE TABLE u (g VARCHAR, w INTEGER)")
+    return con.catalog
+
+
+def analyze(catalog, sql: str):
+    return analyze_view("v", parse_one(sql), catalog)
+
+
+class TestClassification:
+    def test_projection(self, catalog):
+        a = analyze(catalog, "SELECT g, v + 1 AS v1 FROM t WHERE v > 0")
+        assert a.view_class is ViewClass.PROJECTION
+        assert [k.name for k in a.keys] == ["g", "v1"]
+        assert a.aggregates == []
+        assert a.where is not None
+
+    def test_aggregation(self, catalog):
+        a = analyze(catalog, "SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY g")
+        assert a.view_class is ViewClass.AGGREGATION
+        assert [k.name for k in a.keys] == ["g"]
+        assert [(agg.name, agg.function) for agg in a.aggregates] == [
+            ("s", "SUM"),
+            ("c", "COUNT"),
+        ]
+
+    def test_join(self, catalog):
+        a = analyze(catalog, "SELECT t.v, u.w FROM t JOIN u ON t.g = u.g")
+        assert a.view_class is ViewClass.JOIN
+        assert len(a.tables) == 2
+        assert a.join_condition is not None
+
+    def test_join_aggregation(self, catalog):
+        a = analyze(
+            catalog,
+            "SELECT u.g, SUM(t.v) AS s FROM t JOIN u ON t.g = u.g GROUP BY u.g",
+        )
+        assert a.view_class is ViewClass.JOIN_AGGREGATION
+
+    def test_join_using(self, catalog):
+        a = analyze(catalog, "SELECT t.v FROM t JOIN u USING (g)")
+        assert a.join_condition is not None  # synthesized equality
+
+    def test_aggregate_order_preserved(self, catalog):
+        a = analyze(catalog, "SELECT SUM(v) AS s, g FROM t GROUP BY g")
+        assert a.output_names() == ["g", "s"]  # keys listed first internally
+
+    def test_count_star_vs_count_column(self, catalog):
+        a = analyze(catalog, "SELECT g, COUNT(*) AS all_, COUNT(v) AS vs FROM t GROUP BY g")
+        assert a.aggregates[0].argument is None
+        assert a.aggregates[1].argument is not None
+
+    def test_scalar_aggregate_without_group(self, catalog):
+        a = analyze(catalog, "SELECT SUM(v) AS total FROM t")
+        assert a.view_class is ViewClass.AGGREGATION
+        assert a.keys == []
+
+
+class TestRejections:
+    def reject(self, catalog, sql, fragment):
+        with pytest.raises(UnsupportedError) as info:
+            analyze(catalog, sql)
+        assert fragment in str(info.value).lower()
+
+    def test_cte(self, catalog):
+        self.reject(catalog, "WITH c AS (SELECT 1) SELECT * FROM c", "cte")
+
+    def test_set_ops(self, catalog):
+        self.reject(catalog, "SELECT g FROM t UNION SELECT g FROM u", "set operations")
+
+    def test_order_limit(self, catalog):
+        self.reject(catalog, "SELECT g FROM t ORDER BY g", "order by")
+        self.reject(catalog, "SELECT g FROM t LIMIT 5", "order by")
+
+    def test_distinct(self, catalog):
+        self.reject(catalog, "SELECT DISTINCT g FROM t", "distinct")
+
+    def test_having(self, catalog):
+        self.reject(
+            catalog, "SELECT g, SUM(v) AS s FROM t GROUP BY g HAVING SUM(v) > 1", "having"
+        )
+
+    def test_star(self, catalog):
+        self.reject(catalog, "SELECT * FROM t", "columns")
+
+    def test_outer_join(self, catalog):
+        self.reject(
+            catalog, "SELECT t.v FROM t LEFT JOIN u ON t.g = u.g", "inner"
+        )
+
+    def test_three_tables(self, catalog):
+        self.reject(
+            catalog,
+            "SELECT t.v FROM t JOIN u ON t.g = u.g JOIN t AS t2 ON u.g = t2.g",
+            "two base tables",
+        )
+
+    def test_subquery_source(self, catalog):
+        self.reject(
+            catalog, "SELECT s.v FROM (SELECT v FROM t) s", "base tables"
+        )
+
+    def test_distinct_aggregate(self, catalog):
+        self.reject(
+            catalog, "SELECT g, COUNT(DISTINCT v) AS c FROM t GROUP BY g", "distinct"
+        )
+
+    def test_expression_over_aggregate(self, catalog):
+        self.reject(
+            catalog, "SELECT g, SUM(v) + 1 AS s1 FROM t GROUP BY g", "combining"
+        )
+
+    def test_group_key_missing_from_select(self, catalog):
+        self.reject(
+            catalog, "SELECT SUM(v) AS s FROM t GROUP BY g", "select list"
+        )
+
+    def test_group_by_without_aggregates(self, catalog):
+        self.reject(catalog, "SELECT g FROM t GROUP BY g", "distinct")
+
+    def test_where_subquery(self, catalog):
+        self.reject(
+            catalog,
+            "SELECT g FROM t WHERE v > (SELECT 1)",
+            "subquer",
+        )
+
+
+class TestNameHandling:
+    def test_duplicate_output_names_deduped(self, catalog):
+        a = analyze(catalog, "SELECT g, g FROM t")
+        names = [k.name for k in a.keys]
+        assert len(set(n.lower() for n in names)) == 2
+
+    def test_default_names(self, catalog):
+        a = analyze(catalog, "SELECT g, SUM(v) FROM t GROUP BY g")
+        assert a.aggregates[0].name == "sum"

@@ -1,0 +1,199 @@
+"""Compiler-level tests: model layout, flags, dialect emission, errors."""
+
+import pytest
+
+from repro.core import CompilerFlags, MaterializationStrategy, OpenIVMCompiler
+from repro.core.model import ColumnRole
+from repro.errors import IVMError, UnsupportedError
+
+SCHEMA = (
+    "CREATE TABLE t (g VARCHAR, v INTEGER, f DOUBLE);"
+    "CREATE TABLE u (g VARCHAR, w INTEGER)"
+)
+
+
+def compile_view(view_sql: str, **flag_overrides):
+    flags = CompilerFlags(**flag_overrides)
+    return OpenIVMCompiler.from_schema(SCHEMA, flags).compile(view_sql)
+
+
+class TestModelLayout:
+    def test_aggregation_columns(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY g"
+        )
+        roles = [(c.name, c.role) for c in compiled.model.columns]
+        assert roles == [
+            ("g", ColumnRole.KEY),
+            ("s", ColumnRole.SUM),
+            ("c", ColumnRole.COUNT_STAR),
+        ]
+
+    def test_hidden_count_flag_adds_column(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            hidden_count=True,
+        )
+        hidden = [c for c in compiled.model.columns if not c.visible]
+        assert [c.role for c in hidden] == [ColumnRole.HIDDEN_COUNT]
+        assert compiled.model.liveness_column() is hidden[0]
+
+    def test_count_star_used_for_liveness(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY g"
+        )
+        liveness = compiled.model.liveness_column()
+        assert liveness is not None and liveness.name == "c"
+        assert all(c.visible for c in compiled.model.columns)
+
+    def test_paper_fallback_without_count(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        assert compiled.model.liveness_column() is None
+        step3 = [sql for label, sql in compiled.propagation if "step3" in label]
+        assert step3 == ["DELETE FROM q WHERE s = 0"]
+
+    def test_count_only_view_forces_hidden_count(self):
+        # COUNT(v) can be 0 for a live group (all-NULL v), so COUNT(v) alone
+        # is not a liveness signal; a hidden COUNT(*) must be added.
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, COUNT(v) AS c FROM t GROUP BY g"
+        )
+        assert compiled.model.liveness_column().role is ColumnRole.HIDDEN_COUNT
+
+    def test_minmax_forces_hidden_count(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, MIN(v) AS lo FROM t GROUP BY g"
+        )
+        assert compiled.model.liveness_column().role is ColumnRole.HIDDEN_COUNT
+        assert compiled.model.minmax_columns()[0].role is ColumnRole.MIN
+
+    def test_avg_decomposes_into_hidden_sum_count(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, AVG(v) AS a FROM t GROUP BY g"
+        )
+        names = [c.name for c in compiled.model.columns]
+        assert "a" in names
+        assert "_duckdb_ivm_a_sum" in names
+        assert "_duckdb_ivm_a_count" in names
+        # Derived AVG is not stored in the delta view.
+        delta_names = [c.name for c in compiled.model.delta_columns()]
+        assert "a" not in delta_names
+
+    def test_projection_counted_bag(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, v FROM t WHERE v > 0"
+        )
+        roles = [(c.role, c.visible) for c in compiled.model.columns]
+        assert roles == [
+            (ColumnRole.KEY, True),
+            (ColumnRole.KEY, True),
+            (ColumnRole.HIDDEN_COUNT, False),
+        ]
+
+    def test_delta_tables_map(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT t.g, SUM(u.w) AS s FROM t JOIN u ON t.g = u.g GROUP BY t.g"
+        )
+        assert compiled.delta_tables == {"t": "delta_t", "u": "delta_u"}
+        assert compiled.delta_view_table == "delta_q"
+
+
+class TestFlags:
+    def test_strategy_recorded_in_metadata(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            strategy=MaterializationStrategy.UNION_REGROUP,
+        )
+        assert "'union_regroup'" in "\n".join(compiled.ddl)
+
+    def test_union_regroup_emits_rebuild(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            strategy=MaterializationStrategy.UNION_REGROUP,
+        )
+        sqls = [sql for label, sql in compiled.propagation if "step2" in label]
+        assert sqls[0].startswith("CREATE TABLE q__ivm_new AS ")
+        assert "UNION ALL" in sqls[0]
+        assert sqls[1] == "DELETE FROM q"
+        assert sqls[3] == "DROP TABLE q__ivm_new"
+
+    def test_full_outer_join_emits_rebuild(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            strategy=MaterializationStrategy.FULL_OUTER_JOIN,
+        )
+        step2 = [sql for label, sql in compiled.propagation if "step2" in label][0]
+        assert "FULL OUTER JOIN" in step2
+        assert "COALESCE(q.g, d.g)" in step2
+
+    def test_minmax_requires_upsert_strategy(self):
+        with pytest.raises(UnsupportedError):
+            compile_view(
+                "CREATE MATERIALIZED VIEW q AS SELECT g, MIN(v) AS m FROM t GROUP BY g",
+                strategy=MaterializationStrategy.UNION_REGROUP,
+            )
+
+    def test_custom_prefixes(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            delta_prefix="d_",
+            multiplicity_column="_m",
+        )
+        assert compiled.delta_tables == {"t": "d_t"}
+        assert "_m BOOLEAN" in "\n".join(compiled.ddl)
+
+    def test_emit_key_index_override(self):
+        compiled = compile_view(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            emit_key_index=True,
+        )
+        assert any("CREATE UNIQUE INDEX" in sql for sql in compiled.ddl)
+
+
+class TestPostgresDialect:
+    def compile_pg(self, view_sql, **kw):
+        return compile_view(view_sql, dialect="postgres", **kw)
+
+    def test_on_conflict_upsert(self):
+        compiled = self.compile_pg(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        step2 = [sql for label, sql in compiled.propagation if "step2" in label][0]
+        assert "ON CONFLICT (g) DO UPDATE SET s = EXCLUDED.s" in step2
+        assert "INSERT OR REPLACE" not in step2
+
+    def test_truncate_for_deltas(self):
+        compiled = self.compile_pg(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        step4 = [sql for label, sql in compiled.propagation if "step4" in label]
+        assert step4 == ["TRUNCATE delta_t", "TRUNCATE delta_q"]
+
+    def test_double_precision_spelling(self):
+        compiled = self.compile_pg(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(f) AS s FROM t GROUP BY g"
+        )
+        assert "DOUBLE PRECISION" in "\n".join(compiled.ddl)
+
+    def test_unique_index_emitted_by_default(self):
+        compiled = self.compile_pg(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        assert any("CREATE UNIQUE INDEX" in sql for sql in compiled.ddl)
+
+
+class TestErrors:
+    def test_non_view_statement_rejected(self):
+        compiler = OpenIVMCompiler.from_schema(SCHEMA)
+        with pytest.raises(IVMError):
+            compiler.compile("SELECT 1")
+
+    def test_unknown_base_table(self):
+        compiler = OpenIVMCompiler.from_schema(SCHEMA)
+        with pytest.raises(Exception):
+            compiler.compile("CREATE MATERIALIZED VIEW q AS SELECT x FROM missing")

@@ -1,0 +1,138 @@
+"""DuckAST helper tests: constructors, leaf substitution, re-qualification."""
+
+import pytest
+
+from repro.errors import IVMError
+from repro.sql import ast
+from repro.sql.dialect import DUCKDB, POSTGRES
+from repro.sql.parser import parse_one
+from repro.core import duckast as d
+
+
+class TestConstructors:
+    def test_signed_by_multiplicity_matches_listing(self):
+        expr = d.signed_by_multiplicity(d.col("total_value"), d.col("m"))
+        assert d.emit_expression(expr, DUCKDB) == (
+            "CASE WHEN m = FALSE THEN -total_value ELSE total_value END"
+        )
+
+    def test_only_inserts(self):
+        expr = d.only_inserts(d.col("v"), d.col("m"))
+        assert d.emit_expression(expr, DUCKDB) == "CASE WHEN m = TRUE THEN v END"
+
+    def test_conj_single_and_multiple(self):
+        single = d.conj([d.eq(d.col("a"), d.lit(1))])
+        assert d.emit_expression(single, DUCKDB) == "a = 1"
+        multi = d.conj([d.eq(d.col("a"), d.lit(1)), d.eq(d.col("b"), d.lit(2))])
+        assert d.emit_expression(multi, DUCKDB) == "a = 1 AND b = 2"
+
+    def test_empty_conj_raises(self):
+        with pytest.raises(IVMError):
+            d.conj([])
+
+    def test_agg_star(self):
+        assert d.emit_expression(d.agg("COUNT", None), DUCKDB) == "COUNT(*)"
+
+    def test_coalesce_add(self):
+        expr = d.add(d.coalesce(d.col("x"), d.lit(0)), d.col("y"))
+        assert d.emit_expression(expr, DUCKDB) == "COALESCE(x, 0) + y"
+
+
+class TestSubstituteTable:
+    def test_base_table_renamed_with_alias_preserved(self):
+        ref = d.base_table("groups")
+        out = d.substitute_table(ref, "groups", "delta_groups")
+        assert out.name == "delta_groups"
+        assert out.alias == "groups"  # original name becomes the alias
+
+    def test_explicit_alias_kept(self):
+        ref = d.base_table("groups", alias="g")
+        out = d.substitute_table(ref, "groups", "delta_groups")
+        assert out.name == "delta_groups" and out.alias == "g"
+
+    def test_join_tree_substitution(self):
+        select = parse_one("SELECT 1 FROM a JOIN b ON a.k = b.k")
+        out = d.substitute_table(select.from_clause, "b", "delta_b")
+        assert out.left.name == "a"
+        assert out.right.name == "delta_b"
+        assert out.right.alias == "b"
+
+    def test_original_untouched(self):
+        ref = d.base_table("groups")
+        d.substitute_table(ref, "groups", "delta_groups")
+        assert ref.name == "groups"
+
+
+class TestSourceNamespace:
+    def make(self):
+        return d.SourceNamespace(
+            [("orders", "o", ["oid", "cust", "qty"]),
+             ("customers", "c", ["cust", "region"])]
+        )
+
+    def test_owner_by_alias(self):
+        ns = self.make()
+        assert ns.owner_alias("qty", "o") == "o"
+        assert ns.owner_alias("region", None) == "c"
+
+    def test_ambiguous_unqualified_raises(self):
+        with pytest.raises(IVMError):
+            self.make().owner_alias("cust", None)
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(IVMError):
+            self.make().owner_alias("missing", None)
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(IVMError):
+            self.make().owner_alias("qty", "zzz")
+
+    def test_src_name(self):
+        assert self.make().src_name("qty", None) == "o__qty"
+
+    def test_referenced_columns_deduped(self):
+        ns = self.make()
+        exprs = [
+            parse_one("SELECT o.qty + o.qty").items[0].expr,
+            parse_one("SELECT region").items[0].expr,
+        ]
+        assert ns.referenced_columns(exprs) == [("o", "qty"), ("c", "region")]
+
+
+class TestRequalify:
+    def test_rewrites_into_src_namespace(self):
+        ns = d.SourceNamespace([("t", "t", ["g", "v"])])
+        expr = parse_one("SELECT t.g || '-' || CAST(v AS VARCHAR)").items[0].expr
+        out = d.requalify_to_src(expr, ns)
+        assert d.emit_expression(out, DUCKDB) == (
+            "src.t__g || '-' || CAST(src.t__v AS VARCHAR)"
+        )
+
+    def test_qualify_columns_adds_owner(self):
+        ns = d.SourceNamespace([("t", "t", ["g", "v"])])
+        expr = parse_one("SELECT UPPER(g)").items[0].expr
+        out = d.qualify_columns(expr, ns)
+        assert d.emit_expression(out, DUCKDB) == "UPPER(t.g)"
+
+    def test_qualify_preserves_existing_qualification(self):
+        ns = d.SourceNamespace([("t", "x", ["g"])])
+        expr = parse_one("SELECT x.g").items[0].expr
+        out = d.qualify_columns(expr, ns)
+        assert d.emit_expression(out, DUCKDB) == "x.g"
+
+    def test_case_branches_rewritten(self):
+        ns = d.SourceNamespace([("t", "t", ["g", "v"])])
+        expr = parse_one("SELECT CASE WHEN v > 0 THEN g ELSE 'x' END").items[0].expr
+        out = d.requalify_to_src(expr, ns)
+        text = d.emit_expression(out, DUCKDB)
+        assert "src.t__v" in text and "src.t__g" in text
+
+
+class TestEmission:
+    def test_emit_dialect_quoting(self):
+        select = d.select(
+            items=[d.item(d.col("a column"), "out")],
+            from_clause=d.base_table("my table"),
+        )
+        text = d.emit(select, POSTGRES)
+        assert '"a column"' in text and '"my table"' in text

@@ -1,0 +1,169 @@
+"""Golden test: the compiled output for Listing 1 matches Listing 2's shape.
+
+The paper's Listing 2 shows the generated SQL for
+
+    CREATE MATERIALIZED VIEW query_groups AS
+    SELECT group_index, SUM(group_value) AS total_value
+    FROM groups GROUP BY group_index;
+
+We assert the compiled script has the same statements with the same
+structure.  Two deliberate deviations are tested explicitly:
+
+* the upsert selects the *delta-side* group key (Listing 2 line 11 selects
+  ``query_groups.group_index``, which is NULL for brand-new groups — we
+  treat that as a bug in the listing and emit the CTE-side key);
+* additive combines wrap both sides in COALESCE (the listing only guards
+  the view side).
+"""
+
+import pytest
+
+from repro.core import CompilerFlags, OpenIVMCompiler
+
+SCHEMA = "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+VIEW = (
+    "CREATE MATERIALIZED VIEW query_groups AS "
+    "SELECT group_index, SUM(group_value) AS total_value "
+    "FROM groups GROUP BY group_index"
+)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    compiler = OpenIVMCompiler.from_schema(SCHEMA, CompilerFlags())
+    return compiler.compile(VIEW)
+
+
+class TestSetup:
+    def test_delta_table_for_base(self, compiled):
+        ddl = "\n".join(compiled.ddl)
+        assert (
+            "CREATE TABLE IF NOT EXISTS delta_groups (group_index VARCHAR, "
+            "group_value INTEGER, _duckdb_ivm_multiplicity BOOLEAN)" in ddl
+        )
+
+    def test_matview_table_with_key(self, compiled):
+        ddl = "\n".join(compiled.ddl)
+        assert (
+            "CREATE TABLE query_groups (group_index VARCHAR, "
+            "total_value BIGINT, PRIMARY KEY (group_index))" in ddl
+        )
+
+    def test_delta_view_table(self, compiled):
+        ddl = "\n".join(compiled.ddl)
+        assert (
+            "CREATE TABLE delta_query_groups (group_index VARCHAR, "
+            "total_value BIGINT, _duckdb_ivm_multiplicity BOOLEAN)" in ddl
+        )
+
+    def test_metadata_row(self, compiled):
+        ddl = "\n".join(compiled.ddl)
+        assert "_duckdb_ivm_views" in ddl
+        assert "'query_groups'" in ddl
+
+    def test_populate(self, compiled):
+        assert compiled.populate == (
+            "INSERT INTO query_groups SELECT group_index AS group_index, "
+            "SUM(group_value) AS total_value FROM groups GROUP BY group_index"
+        )
+
+
+class TestListing2Statements:
+    def statement(self, compiled, index):
+        return compiled.propagation[index][1]
+
+    def test_step1_matches_listing_lines_1_to_4(self, compiled):
+        # Listing 2 lines 1-4: INSERT INTO delta_query_groups SELECT
+        # group_index, SUM(group_value) AS total_value, multiplicity FROM
+        # delta_groups GROUP BY group_index, multiplicity.
+        assert self.statement(compiled, 0) == (
+            "INSERT INTO delta_query_groups SELECT group_index AS group_index, "
+            "SUM(group_value) AS total_value, _duckdb_ivm_multiplicity "
+            "FROM delta_groups AS groups "
+            "GROUP BY group_index, _duckdb_ivm_multiplicity"
+        )
+
+    def test_step2_matches_listing_lines_5_to_15(self, compiled):
+        sql = self.statement(compiled, 1)
+        # Line 5: upsert into the view.
+        assert sql.startswith("INSERT OR REPLACE INTO query_groups WITH ivm_cte AS (")
+        # Lines 6-10: the signed-CASE CTE grouped by the key.
+        assert (
+            "SELECT group_index AS group_index, SUM(CASE WHEN "
+            "_duckdb_ivm_multiplicity = FALSE THEN -total_value "
+            "ELSE total_value END) AS total_value FROM delta_query_groups "
+            "GROUP BY group_index" in sql
+        )
+        # Lines 11-15: combine through LEFT JOIN, CTE aliased to the delta
+        # view name exactly as the listing does.
+        assert "FROM ivm_cte AS delta_query_groups LEFT JOIN query_groups" in sql
+        assert (
+            "ON query_groups.group_index = delta_query_groups.group_index" in sql
+        )
+        assert "GROUP BY delta_query_groups.group_index" in sql
+
+    def test_step2_selects_delta_side_key(self, compiled):
+        # The corrected key (see module docstring): delta side, never NULL.
+        sql = self.statement(compiled, 1)
+        select_clause = sql.split(")", 1)[1]
+        closing = select_clause.index("FROM ivm_cte")
+        head = select_clause[:closing]
+        assert "delta_query_groups.group_index AS group_index" in head
+        assert not head.strip().startswith("SELECT query_groups.group_index")
+
+    def test_step2_sum_combine_shape(self, compiled):
+        sql = self.statement(compiled, 1)
+        assert (
+            "SUM(COALESCE(query_groups.total_value, 0) + "
+            "COALESCE(delta_query_groups.total_value, 0)) AS total_value" in sql
+        )
+
+    def test_step3_matches_listing_line_16(self, compiled):
+        assert self.statement(compiled, 2) == (
+            "DELETE FROM query_groups WHERE total_value = 0"
+        )
+
+    def test_step4_matches_listing_line_17(self, compiled):
+        assert self.statement(compiled, 3) == "DELETE FROM delta_groups"
+        assert self.statement(compiled, 4) == "DELETE FROM delta_query_groups"
+
+    def test_statement_count(self, compiled):
+        # steps 1, 2, 3, and two clears for step 4.
+        assert len(compiled.propagation) == 5
+
+    def test_script_contains_everything(self, compiled):
+        script = compiled.script()
+        for _, sql in compiled.propagation:
+            assert sql in script
+        for ddl in compiled.ddl:
+            assert ddl in script
+        assert compiled.populate in script
+
+
+class TestPaperExample:
+    def test_apple_banana_worked_example(self):
+        """§2: ΔV = {apple → (false, 3), banana → (true, 1)} over
+        V = {apple → (true, 5), banana → (true, 2)} must give
+        V' = {apple → 2, banana → 3}."""
+        from repro import Connection
+
+        con = Connection()
+        con.execute(SCHEMA)
+        compiler = OpenIVMCompiler(con.catalog)
+        compiled = compiler.compile(VIEW)
+        for sql in compiled.ddl:
+            con.execute(sql)
+        con.execute("INSERT INTO groups VALUES ('apple', 5), ('banana', 2)")
+        con.execute(compiled.populate)
+        # Base changes (already applied) + the matching delta rows:
+        con.execute("DELETE FROM groups WHERE group_index = 'apple'")
+        con.execute("INSERT INTO groups VALUES ('apple', 2), ('banana', 1)")
+        con.execute(
+            "INSERT INTO delta_groups VALUES "
+            "('apple', 3, FALSE), ('banana', 1, TRUE)"
+        )
+        for _, sql in compiled.propagation:
+            con.execute(sql)
+        assert con.execute(
+            "SELECT * FROM query_groups ORDER BY group_index"
+        ).rows == [("apple", 2), ("banana", 3)]

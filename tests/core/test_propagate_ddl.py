@@ -1,0 +1,152 @@
+"""Unit tests for DDL generation and propagation assembly."""
+
+import pytest
+
+from repro import Connection
+from repro.core import CompilerFlags, OpenIVMCompiler
+from repro.core.ddl import METADATA_TABLE, render_create_table
+from repro.core.model import build_model
+from repro.core.analyze import analyze_view
+from repro.core.propagate import build_propagation, clear_deltas
+from repro.datatypes import BIGINT, DOUBLE, VARCHAR
+from repro.sql.dialect import DUCKDB, POSTGRES
+from repro.sql.parser import parse_one
+
+SCHEMA = "CREATE TABLE t (g VARCHAR, v INTEGER, f DOUBLE)"
+
+
+def make_model(view_sql: str, flags: CompilerFlags | None = None):
+    con = Connection()
+    con.execute(SCHEMA)
+    query = parse_one(view_sql, allow_materialized=True).query
+    analysis = analyze_view("q", query, con.catalog)
+    return build_model(analysis, flags or CompilerFlags()), con
+
+
+class TestRenderCreateTable:
+    def test_basic(self):
+        sql = render_create_table("t", [("a", VARCHAR), ("b", BIGINT)], DUCKDB)
+        assert sql == "CREATE TABLE t (a VARCHAR, b BIGINT)"
+
+    def test_primary_key(self):
+        sql = render_create_table(
+            "t", [("a", VARCHAR)], DUCKDB, primary_key=["a"]
+        )
+        assert sql.endswith("(a VARCHAR, PRIMARY KEY (a))")
+
+    def test_if_not_exists(self):
+        sql = render_create_table("t", [("a", VARCHAR)], DUCKDB, if_not_exists=True)
+        assert sql.startswith("CREATE TABLE IF NOT EXISTS t")
+
+    def test_postgres_type_spelling(self):
+        sql = render_create_table("t", [("a", DOUBLE)], POSTGRES)
+        assert "DOUBLE PRECISION" in sql
+
+    def test_quoted_identifiers(self):
+        sql = render_create_table("weird name", [("select", VARCHAR)], DUCKDB)
+        assert '"weird name"' in sql
+
+    def test_ddl_executes_on_engine(self):
+        con = Connection()
+        sql = render_create_table(
+            "t", [("a", VARCHAR), ("b", BIGINT)], DUCKDB, primary_key=["a"]
+        )
+        con.execute(sql)
+        assert con.table("t").schema.primary_key == ["a"]
+
+
+class TestPropagationAssembly:
+    def test_labels_in_execution_order(self):
+        model, _ = make_model(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        labels = [label for label, _ in build_propagation(model, DUCKDB)]
+        assert labels[0].startswith("step1")
+        assert labels[1].startswith("step2")
+        assert labels[-2] == "step4: clear delta table delta_t"
+        assert labels[-1] == "step4: clear delta view"
+
+    def test_minmax_adds_rescan_step(self):
+        model, _ = make_model(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, MIN(v) AS lo FROM t GROUP BY g"
+        )
+        labels = [label for label, _ in build_propagation(model, DUCKDB)]
+        assert any("step2b" in label for label in labels)
+
+    def test_clear_deltas_order(self):
+        model, _ = make_model(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        assert clear_deltas(model, DUCKDB) == [
+            "DELETE FROM delta_t",
+            "DELETE FROM delta_q",
+        ]
+
+    def test_step3_uses_liveness_when_present(self):
+        model, _ = make_model(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            CompilerFlags(hidden_count=True),
+        )
+        step3 = [s for label, s in build_propagation(model, DUCKDB) if "step3" in label]
+        assert step3 == ["DELETE FROM q WHERE _duckdb_ivm_count <= 0"]
+
+    def test_step3_multiple_sums_conjoined(self):
+        model, _ = make_model(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s1, SUM(f) AS s2 FROM t GROUP BY g"
+        )
+        step3 = [s for label, s in build_propagation(model, DUCKDB) if "step3" in label]
+        assert step3 == ["DELETE FROM q WHERE s1 = 0 AND s2 = 0"]
+
+
+class TestGeneratedDdlExecutes:
+    @pytest.mark.parametrize(
+        "view_sql",
+        [
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            "CREATE MATERIALIZED VIEW q AS SELECT g, AVG(f) AS a FROM t GROUP BY g",
+            "CREATE MATERIALIZED VIEW q AS SELECT g, v FROM t WHERE v > 0",
+            "CREATE MATERIALIZED VIEW q AS SELECT SUM(v) AS s FROM t",
+        ],
+    )
+    def test_all_ddl_and_populate_run(self, view_sql):
+        con = Connection()
+        con.execute(SCHEMA)
+        con.execute("INSERT INTO t VALUES ('a', 1, 0.5), ('b', 2, 1.5)")
+        compiled = OpenIVMCompiler(con.catalog).compile(view_sql)
+        for sql in compiled.ddl:
+            con.execute(sql)
+        con.execute(compiled.populate)
+        for _, sql in compiled.propagation:
+            con.execute(sql)  # empty deltas: must still be valid SQL
+        assert con.catalog.has_table("q")
+        assert con.execute(f"SELECT COUNT(*) FROM {METADATA_TABLE}").scalar() == 1
+
+    def test_metadata_table_shared_across_views(self):
+        con = Connection()
+        con.execute(SCHEMA)
+        compiler = OpenIVMCompiler(con.catalog)
+        for name in ("q1", "q2"):
+            compiled = compiler.compile(
+                f"CREATE MATERIALIZED VIEW {name} AS "
+                "SELECT g, SUM(v) AS s FROM t GROUP BY g"
+            )
+            for sql in compiled.ddl:
+                con.execute(sql)
+        rows = con.execute(f"SELECT view_name FROM {METADATA_TABLE} ORDER BY 1").rows
+        assert rows == [("q1",), ("q2",)]
+
+    def test_view_sql_quoting_in_metadata(self):
+        con = Connection()
+        con.execute(SCHEMA)
+        compiled = OpenIVMCompiler(con.catalog).compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s FROM t WHERE g = 'o''brien' GROUP BY g"
+        )
+        for sql in compiled.ddl:
+            con.execute(sql)
+        stored = con.execute(
+            f"SELECT view_sql FROM {METADATA_TABLE}"
+        ).scalar()
+        # Stored as renderable SQL text: the quote stays escaped.
+        assert "o''brien" in stored

@@ -1,0 +1,137 @@
+"""Aggregation execution tests: grouping, NULLs, DISTINCT, HAVING."""
+
+import pytest
+
+from repro import Connection
+from repro.errors import BinderError
+
+
+@pytest.fixture
+def loaded(con: Connection) -> Connection:
+    con.execute("CREATE TABLE s (g VARCHAR, sub VARCHAR, v INTEGER)")
+    con.execute(
+        "INSERT INTO s VALUES "
+        "('a', 'x', 1), ('a', 'x', 2), ('a', 'y', NULL), "
+        "('b', 'x', 5), (NULL, 'y', 7)"
+    )
+    return con
+
+
+class TestGroupBy:
+    def test_sum_count_per_group(self, loaded):
+        rows = loaded.execute(
+            "SELECT g, SUM(v), COUNT(v), COUNT(*) FROM s GROUP BY g ORDER BY g"
+        ).rows
+        assert rows == [("a", 3, 2, 3), ("b", 5, 1, 1), (None, 7, 1, 1)]
+
+    def test_null_group_key_forms_one_group(self, loaded):
+        loaded.execute("INSERT INTO s VALUES (NULL, 'z', 1)")
+        rows = loaded.execute("SELECT g, COUNT(*) FROM s WHERE g IS NULL GROUP BY g").rows
+        assert rows == [(None, 2)]
+
+    def test_multi_column_group(self, loaded):
+        rows = loaded.execute(
+            "SELECT g, sub, COUNT(*) FROM s GROUP BY g, sub ORDER BY g, sub"
+        ).rows
+        assert ("a", "x", 2) in rows and ("a", "y", 1) in rows
+
+    def test_group_by_expression(self, loaded):
+        rows = loaded.execute(
+            "SELECT LENGTH(sub), COUNT(*) FROM s GROUP BY LENGTH(sub)"
+        ).rows
+        assert rows == [(1, 5)]
+
+    def test_group_by_ordinal_and_alias(self, loaded):
+        by_ordinal = loaded.execute("SELECT g, COUNT(*) FROM s GROUP BY 1").sorted()
+        by_alias = loaded.execute(
+            "SELECT g AS grp, COUNT(*) FROM s GROUP BY grp"
+        ).sorted()
+        assert by_ordinal == by_alias
+
+    def test_qualified_and_unqualified_group_match(self, loaded):
+        rows = loaded.execute(
+            "SELECT s.g, COUNT(*) FROM s GROUP BY g ORDER BY 1"
+        ).rows
+        assert len(rows) == 3
+
+    def test_expression_over_group_key(self, loaded):
+        rows = loaded.execute(
+            "SELECT g || '!', SUM(v) FROM s WHERE g IS NOT NULL GROUP BY g ORDER BY 1"
+        ).rows
+        assert rows == [("a!", 3), ("b!", 5)]
+
+    def test_expression_combining_aggregates(self, loaded):
+        rows = loaded.execute(
+            "SELECT g, SUM(v) * 1.0 / COUNT(*) FROM s WHERE g = 'a' GROUP BY g"
+        ).rows
+        assert rows == [("a", 1.0)]
+
+    def test_non_grouped_column_rejected(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT g, sub FROM s GROUP BY g")
+
+    def test_aggregate_in_where_rejected(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT g FROM s WHERE SUM(v) > 1 GROUP BY g")
+
+
+class TestAggregateSemantics:
+    def test_sum_skips_nulls(self, loaded):
+        assert loaded.execute("SELECT SUM(v) FROM s").scalar() == 15
+
+    def test_sum_of_all_nulls_is_null(self, con):
+        con.execute("CREATE TABLE e (v INTEGER)")
+        con.execute("INSERT INTO e VALUES (NULL), (NULL)")
+        assert con.execute("SELECT SUM(v) FROM e").scalar() is None
+
+    def test_sum_of_empty_is_null_count_zero(self, con):
+        con.execute("CREATE TABLE e (v INTEGER)")
+        row = con.execute("SELECT SUM(v), COUNT(v), COUNT(*) FROM e").rows[0]
+        assert row == (None, 0, 0)
+
+    def test_scalar_aggregate_always_one_row(self, con):
+        con.execute("CREATE TABLE e (v INTEGER)")
+        assert len(con.execute("SELECT MAX(v) FROM e").rows) == 1
+
+    def test_avg(self, loaded):
+        assert loaded.execute("SELECT AVG(v) FROM s WHERE g = 'a'").scalar() == 1.5
+
+    def test_min_max(self, loaded):
+        assert loaded.execute("SELECT MIN(v), MAX(v) FROM s").rows == [(1, 7)]
+
+    def test_min_max_strings(self, loaded):
+        assert loaded.execute("SELECT MIN(g), MAX(g) FROM s").rows == [("a", "b")]
+
+    def test_count_distinct(self, loaded):
+        assert loaded.execute("SELECT COUNT(DISTINCT sub) FROM s").scalar() == 2
+
+    def test_sum_distinct(self, con):
+        con.execute("CREATE TABLE d (v INTEGER)")
+        con.execute("INSERT INTO d VALUES (1), (1), (2)")
+        assert con.execute("SELECT SUM(DISTINCT v) FROM d").scalar() == 3
+
+    def test_duplicate_aggregates_deduplicated(self, loaded):
+        # The same SUM(v) twice must compute once but project twice.
+        rows = loaded.execute("SELECT SUM(v), SUM(v) FROM s").rows
+        assert rows == [(15, 15)]
+
+
+class TestHaving:
+    def test_having_on_aggregate(self, loaded):
+        rows = loaded.execute(
+            "SELECT g, SUM(v) FROM s GROUP BY g HAVING SUM(v) > 4 ORDER BY g"
+        ).rows
+        assert rows == [("b", 5), (None, 7)]
+
+    def test_having_on_group_key(self, loaded):
+        rows = loaded.execute(
+            "SELECT g, COUNT(*) FROM s GROUP BY g HAVING g = 'a'"
+        ).rows
+        assert rows == [("a", 3)]
+
+    def test_having_with_fresh_aggregate(self, loaded):
+        # HAVING may use an aggregate that is not in the select list.
+        rows = loaded.execute(
+            "SELECT g FROM s GROUP BY g HAVING COUNT(*) >= 3"
+        ).rows
+        assert rows == [("a",)]

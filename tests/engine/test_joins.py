@@ -1,0 +1,127 @@
+"""Join execution tests: all join types, NULL keys, residual predicates."""
+
+import pytest
+
+from repro import Connection
+
+
+@pytest.fixture
+def loaded(con: Connection) -> Connection:
+    con.execute("CREATE TABLE l (k INTEGER, a VARCHAR)")
+    con.execute("CREATE TABLE r (k INTEGER, b VARCHAR)")
+    con.execute("INSERT INTO l VALUES (1, 'l1'), (2, 'l2'), (NULL, 'ln')")
+    con.execute("INSERT INTO r VALUES (1, 'r1'), (1, 'r1x'), (3, 'r3'), (NULL, 'rn')")
+    return con
+
+
+class TestInnerJoin:
+    def test_hash_join_on_equality(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l JOIN r ON l.k = r.k ORDER BY 1, 2"
+        ).rows
+        assert rows == [("l1", "r1"), ("l1", "r1x")]
+
+    def test_null_keys_never_match(self, loaded):
+        rows = loaded.execute("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k").rows
+        assert rows == [(2,)]
+
+    def test_using_clause(self, loaded):
+        rows = loaded.execute("SELECT l.a FROM l JOIN r USING (k) ORDER BY 1").rows
+        assert rows == [("l1",), ("l1",)]
+
+    def test_residual_predicate_after_hash_match(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l JOIN r ON l.k = r.k AND r.b = 'r1'"
+        ).rows
+        assert rows == [("l1", "r1")]
+
+    def test_non_equi_join_nested_loop(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.k, r.k FROM l JOIN r ON l.k < r.k ORDER BY 1, 2"
+        ).rows
+        assert rows == [(1, 3), (2, 3)]
+
+    def test_self_join(self, loaded):
+        rows = loaded.execute(
+            "SELECT x.a, y.a FROM l x JOIN l y ON x.k = y.k ORDER BY 1"
+        ).rows
+        assert rows == [("l1", "l1"), ("l2", "l2")]
+
+
+class TestOuterJoins:
+    def test_left_join_pads_unmatched(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l LEFT JOIN r ON l.k = r.k ORDER BY 1"
+        ).rows
+        assert ("l2", None) in rows and ("ln", None) in rows
+        assert len(rows) == 4
+
+    def test_right_join(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l RIGHT JOIN r ON l.k = r.k"
+        ).sorted()
+        assert (None, "r3") in rows and (None, "rn") in rows
+        assert len(rows) == 4
+
+    def test_full_outer_join(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l FULL OUTER JOIN r ON l.k = r.k"
+        ).rows
+        assert len(rows) == 6  # 2 matches + 2 left-only + 2 right-only
+
+    def test_left_join_condition_not_filter(self, loaded):
+        # Extra condition in ON limits matches but keeps left rows.
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l LEFT JOIN r ON l.k = r.k AND r.b = 'r1'"
+        ).rows
+        assert ("l1", "r1") in rows
+        assert len(rows) == 3  # every left row exactly once except dup match
+
+    def test_where_after_left_join_filters(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a FROM l LEFT JOIN r ON l.k = r.k WHERE r.b IS NULL ORDER BY 1"
+        ).rows
+        assert rows == [("l2",), ("ln",)]
+
+    def test_full_outer_non_equi(self, loaded):
+        rows = loaded.execute(
+            "SELECT COUNT(*) FROM l FULL OUTER JOIN r ON l.k + 10 = r.k"
+        ).scalar()
+        assert rows == 7  # no matches: 3 left + 4 right
+
+
+class TestCrossJoin:
+    def test_cross_join(self, loaded):
+        assert loaded.execute("SELECT COUNT(*) FROM l CROSS JOIN r").scalar() == 12
+
+    def test_comma_cross_join_with_where(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, r.b FROM l, r WHERE l.k = r.k ORDER BY 1, 2"
+        ).rows
+        assert rows == [("l1", "r1"), ("l1", "r1x")]
+
+
+class TestMultiWayJoins:
+    def test_three_way(self, con):
+        con.execute("CREATE TABLE a (k INTEGER)")
+        con.execute("CREATE TABLE b (k INTEGER)")
+        con.execute("CREATE TABLE c (k INTEGER)")
+        for t in "abc":
+            con.execute(f"INSERT INTO {t} VALUES (1), (2)")
+        rows = con.execute(
+            "SELECT a.k FROM a JOIN b ON a.k = b.k JOIN c ON b.k = c.k ORDER BY 1"
+        ).rows
+        assert rows == [(1,), (2,)]
+
+    def test_join_aggregation(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.k, COUNT(*) FROM l JOIN r ON l.k = r.k GROUP BY l.k"
+        ).rows
+        assert rows == [(1, 2)]
+
+    def test_join_derived_table(self, loaded):
+        rows = loaded.execute(
+            "SELECT l.a, m.c FROM l JOIN "
+            "(SELECT k, COUNT(*) AS c FROM r GROUP BY k) AS m ON l.k = m.k"
+        ).rows
+        assert rows == [("l1", 2)]

@@ -1,0 +1,183 @@
+"""Engine odds and ends: results, EXPLAIN, attach, dates, index joins."""
+
+import datetime
+
+import pytest
+
+from repro import Connection, Result
+from repro.errors import CatalogError, ExecutionError
+
+
+class TestResultApi:
+    def test_iteration_and_len(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (1), (2)")
+        result = con.execute("SELECT a FROM t ORDER BY a")
+        assert len(result) == 2
+        assert list(result) == [(1,), (2,)]
+
+    def test_fetch_helpers(self, con):
+        result = con.execute("SELECT 1, 2")
+        assert result.fetchone() == (1, 2)
+        assert result.fetchall() == [(1, 2)]
+        assert result.scalar() == 1
+
+    def test_empty_result(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        result = con.execute("SELECT a FROM t")
+        assert result.fetchone() is None
+        assert result.scalar() is None
+
+    def test_to_dicts(self, con):
+        result = con.execute("SELECT 1 AS x, 'a' AS y")
+        assert result.to_dicts() == [{"x": 1, "y": "a"}]
+
+    def test_sorted_handles_nulls_and_mixed(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        con.execute("INSERT INTO t VALUES (2), (NULL), (1)")
+        rows = con.execute("SELECT a FROM t").sorted()
+        assert rows[-1] == (None,)
+
+    def test_batch_returns_last_result(self, con):
+        result = con.execute("SELECT 1; SELECT 2")
+        assert result.scalar() == 2
+
+
+class TestExplainStatement:
+    def test_explain_returns_plan_rows(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        result = con.execute("EXPLAIN SELECT a FROM t WHERE a > 1")
+        assert result.statement_type == "EXPLAIN"
+        text = "\n".join(row[0] for row in result.rows)
+        assert "PROJECT" in text and "FILTER" in text and "GET t" in text
+
+    def test_explain_shows_optimized_plan(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        result = con.execute("EXPLAIN SELECT a FROM t WHERE TRUE")
+        text = "\n".join(row[0] for row in result.rows)
+        assert "FILTER" not in text  # folded away
+
+
+class TestAttach:
+    def test_cross_catalog_query(self):
+        main = Connection()
+        other = Connection()
+        other.execute("CREATE TABLE remote (x INTEGER)")
+        other.execute("INSERT INTO remote VALUES (7)")
+        main.attach("db2", other)
+        assert main.execute("SELECT x FROM db2.remote").rows == [(7,)]
+
+    def test_join_local_with_attached(self):
+        main = Connection()
+        other = Connection()
+        main.execute("CREATE TABLE l (k INTEGER)")
+        main.execute("INSERT INTO l VALUES (1), (2)")
+        other.execute("CREATE TABLE r (k INTEGER, v VARCHAR)")
+        other.execute("INSERT INTO r VALUES (1, 'one')")
+        main.attach("o", other)
+        rows = main.execute(
+            "SELECT l.k, r.v FROM l JOIN o.r AS r ON l.k = r.k"
+        ).rows
+        assert rows == [(1, "one")]
+
+    def test_detach(self):
+        main = Connection()
+        other = Connection()
+        main.attach("db2", other)
+        main.detach("db2")
+        with pytest.raises(CatalogError):
+            main.execute("SELECT 1 FROM db2.t")
+
+    def test_duplicate_attach_rejected(self):
+        main = Connection()
+        main.attach("db2", Connection())
+        with pytest.raises(CatalogError):
+            main.attach("db2", Connection())
+
+    def test_attach_via_sql_requires_extension(self, con):
+        from repro.errors import UnsupportedError
+
+        with pytest.raises(UnsupportedError):
+            con.execute("ATTACH 'somewhere' AS db2")
+
+
+class TestDates:
+    def test_date_column_roundtrip(self, con):
+        con.execute("CREATE TABLE d (day DATE, v INTEGER)")
+        con.execute("INSERT INTO d VALUES ('2024-06-09', 1), ('2024-06-10', 2)")
+        rows = con.execute("SELECT day FROM d ORDER BY day").rows
+        assert rows[0][0] == datetime.date(2024, 6, 9)
+
+    def test_date_comparison_with_string(self, con):
+        con.execute("CREATE TABLE d (day DATE)")
+        con.execute("INSERT INTO d VALUES ('2024-01-01'), ('2024-12-31')")
+        count = con.execute(
+            "SELECT COUNT(*) FROM d WHERE day > '2024-06-01'"
+        ).scalar()
+        assert count == 1
+
+    def test_date_group_key(self, con):
+        con.execute("CREATE TABLE d (day DATE, v INTEGER)")
+        con.execute(
+            "INSERT INTO d VALUES ('2024-01-01', 1), ('2024-01-01', 2)"
+        )
+        rows = con.execute("SELECT day, SUM(v) FROM d GROUP BY day").rows
+        assert rows == [(datetime.date(2024, 1, 1), 3)]
+
+
+class TestIndexNestedLoopJoin:
+    def test_index_join_used_and_correct(self, con):
+        con.execute("CREATE TABLE big (k VARCHAR PRIMARY KEY, v INTEGER)")
+        for i in range(500):
+            con.execute(f"INSERT INTO big VALUES ('k{i}', {i})")
+        con.execute("CREATE TABLE probe (k VARCHAR)")
+        con.execute("INSERT INTO probe VALUES ('k3'), ('k77'), ('missing')")
+        rows = con.execute(
+            "SELECT probe.k, big.v FROM probe LEFT JOIN big ON probe.k = big.k "
+            "ORDER BY 1"
+        ).rows
+        assert rows == [("k3", 3), ("k77", 77), ("missing", None)]
+
+    def test_index_join_with_residual_condition(self, con):
+        con.execute("CREATE TABLE big (k VARCHAR PRIMARY KEY, v INTEGER)")
+        con.execute("INSERT INTO big VALUES ('a', 1), ('b', 2)")
+        con.execute("CREATE TABLE probe (k VARCHAR)")
+        con.execute("INSERT INTO probe VALUES ('a'), ('b')")
+        rows = con.execute(
+            "SELECT probe.k FROM probe JOIN big ON probe.k = big.k AND big.v > 1"
+        ).rows
+        assert rows == [("b",)]
+
+    def test_composite_key_index_join(self, con):
+        con.execute(
+            "CREATE TABLE big (a VARCHAR, b INTEGER, v INTEGER, PRIMARY KEY (a, b))"
+        )
+        con.execute("INSERT INTO big VALUES ('x', 1, 10), ('x', 2, 20)")
+        con.execute("CREATE TABLE probe (a VARCHAR, b INTEGER)")
+        con.execute("INSERT INTO probe VALUES ('x', 2)")
+        # Reversed condition order still maps onto the composite index.
+        rows = con.execute(
+            "SELECT big.v FROM probe JOIN big "
+            "ON big.b = probe.b AND probe.a = big.a"
+        ).rows
+        assert rows == [(20,)]
+
+    def test_null_probe_keys_never_match(self, con):
+        con.execute("CREATE TABLE big (k VARCHAR PRIMARY KEY, v INTEGER)")
+        con.execute("INSERT INTO big VALUES ('a', 1)")
+        con.execute("CREATE TABLE probe (k VARCHAR)")
+        con.execute("INSERT INTO probe VALUES (NULL)")
+        rows = con.execute(
+            "SELECT probe.k, big.v FROM probe LEFT JOIN big ON probe.k = big.k"
+        ).rows
+        assert rows == [(None, None)]
+
+
+class TestPragmaChunkedIndexBuild:
+    def test_pragma_switches_build_path(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        for i in range(100):
+            con.execute(f"INSERT INTO t VALUES ({i % 17})")
+        con.execute("PRAGMA ivm_chunked_index_build = TRUE")
+        con.execute("CREATE INDEX idx ON t (a)")
+        assert len(con.table("t").index("idx")) == 100

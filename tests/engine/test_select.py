@@ -1,0 +1,187 @@
+"""End-to-end SELECT execution tests on the embedded engine."""
+
+import pytest
+
+from repro import Connection
+from repro.errors import BinderError, CatalogError, ExecutionError
+
+
+@pytest.fixture
+def loaded(con: Connection) -> Connection:
+    con.execute("CREATE TABLE t (k VARCHAR, v INTEGER, f DOUBLE)")
+    con.execute(
+        "INSERT INTO t VALUES "
+        "('a', 1, 0.5), ('a', 2, 1.5), ('b', 3, NULL), ('c', NULL, 2.0)"
+    )
+    return con
+
+
+class TestProjectionFilter:
+    def test_select_star(self, loaded):
+        assert len(loaded.execute("SELECT * FROM t").rows) == 4
+
+    def test_column_subset_and_expression(self, loaded):
+        rows = loaded.execute("SELECT k, v * 10 FROM t WHERE v >= 2 ORDER BY v").rows
+        assert rows == [("a", 20), ("b", 30)]
+
+    def test_where_null_filtered_out(self, loaded):
+        # v = NULL comparisons are UNKNOWN, not TRUE: row 'c' must not appear.
+        rows = loaded.execute("SELECT k FROM t WHERE v > 0").rows
+        assert ("c",) not in rows
+
+    def test_is_null_predicate(self, loaded):
+        assert loaded.execute("SELECT k FROM t WHERE v IS NULL").rows == [("c",)]
+
+    def test_boolean_connectives_three_valued(self, loaded):
+        # NULL OR TRUE = TRUE → row included.
+        rows = loaded.execute("SELECT k FROM t WHERE v IS NULL OR k = 'b' ORDER BY k").rows
+        assert rows == [("b",), ("c",)]
+
+    def test_between_and_in(self, loaded):
+        assert loaded.execute("SELECT COUNT(*) FROM t WHERE v BETWEEN 1 AND 2").scalar() == 2
+        assert loaded.execute("SELECT COUNT(*) FROM t WHERE k IN ('a', 'c')").scalar() == 3
+
+    def test_like(self, loaded):
+        loaded.execute("INSERT INTO t VALUES ('abc', 9, 0.0)")
+        assert loaded.execute("SELECT COUNT(*) FROM t WHERE k LIKE 'a%'").scalar() == 3
+        assert loaded.execute("SELECT COUNT(*) FROM t WHERE k LIKE '_bc'").scalar() == 1
+
+    def test_case_expression(self, loaded):
+        rows = loaded.execute(
+            "SELECT k, CASE WHEN v IS NULL THEN 'none' WHEN v < 3 THEN 'small' "
+            "ELSE 'big' END FROM t ORDER BY k, v"
+        ).rows
+        assert ("c", "none") in rows and ("b", "big") in rows
+
+    def test_cast_and_concat(self, loaded):
+        row = loaded.execute("SELECT k || '-' || CAST(v AS VARCHAR) FROM t WHERE v = 3").scalar()
+        assert row == "b-3"
+
+    def test_arithmetic_null_propagation(self, loaded):
+        assert loaded.execute("SELECT v + 1 FROM t WHERE k = 'c'").scalar() is None
+
+    def test_division_is_float(self, loaded):
+        assert loaded.execute("SELECT 3 / 2").scalar() == 1.5
+
+    def test_division_by_zero_raises(self, loaded):
+        with pytest.raises(ExecutionError):
+            loaded.execute("SELECT 1 / 0")
+
+    def test_scalar_functions(self, loaded):
+        assert loaded.execute("SELECT UPPER('ab'), LENGTH('abc'), ABS(-4)").rows == [
+            ("AB", 3, 4)
+        ]
+        assert loaded.execute("SELECT COALESCE(NULL, NULL, 7)").scalar() == 7
+        assert loaded.execute("SELECT SUBSTR('hello', 2, 3)").scalar() == "ell"
+        assert loaded.execute("SELECT NULLIF(5, 5)").scalar() is None
+        assert loaded.execute("SELECT LEAST(3, NULL, 1)").scalar() == 1
+        assert loaded.execute("SELECT GREATEST(3, NULL, 1)").scalar() == 3
+
+    def test_parameters(self, loaded):
+        rows = loaded.execute("SELECT k FROM t WHERE v = ?", [3]).rows
+        assert rows == [("b",)]
+
+    def test_missing_parameter_raises(self, loaded):
+        with pytest.raises(ExecutionError):
+            loaded.execute("SELECT ? ")
+
+
+class TestOrderLimit:
+    def test_order_by_column(self, loaded):
+        rows = loaded.execute("SELECT v FROM t ORDER BY v").rows
+        assert rows == [(1,), (2,), (3,), (None,)]  # NULLS LAST ascending
+
+    def test_order_desc_nulls_first(self, loaded):
+        rows = loaded.execute("SELECT v FROM t ORDER BY v DESC").rows
+        assert rows == [(None,), (3,), (2,), (1,)]
+
+    def test_order_by_ordinal(self, loaded):
+        rows = loaded.execute("SELECT k, v FROM t ORDER BY 2 DESC LIMIT 1").rows
+        assert rows[0][1] is None
+
+    def test_order_by_alias(self, loaded):
+        rows = loaded.execute("SELECT v * -1 AS neg FROM t WHERE v IS NOT NULL ORDER BY neg").rows
+        assert rows == [(-3,), (-2,), (-1,)]
+
+    def test_limit_offset(self, loaded):
+        rows = loaded.execute("SELECT v FROM t ORDER BY v LIMIT 2 OFFSET 1").rows
+        assert rows == [(2,), (3,)]
+
+    def test_multi_key_order(self, loaded):
+        rows = loaded.execute("SELECT k, v FROM t ORDER BY k DESC, v DESC").rows
+        assert rows[0][0] == "c"
+        assert rows[-1] == ("a", 1)
+
+
+class TestDistinctAndSetOps:
+    def test_distinct(self, loaded):
+        rows = loaded.execute("SELECT DISTINCT k FROM t ORDER BY k").rows
+        assert rows == [("a",), ("b",), ("c",)]
+
+    def test_union_all_and_union(self, loaded):
+        assert len(loaded.execute("SELECT 1 UNION ALL SELECT 1").rows) == 2
+        assert len(loaded.execute("SELECT 1 UNION SELECT 1").rows) == 1
+
+    def test_except(self, loaded):
+        rows = loaded.execute(
+            "SELECT k FROM t EXCEPT SELECT 'a'"
+        ).sorted()
+        assert rows == [("b",), ("c",)]
+
+    def test_intersect(self, loaded):
+        rows = loaded.execute("SELECT k FROM t INTERSECT SELECT 'a'").rows
+        assert rows == [("a",)]
+
+    def test_arity_mismatch_raises(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT 1 UNION SELECT 1, 2")
+
+
+class TestCtes:
+    def test_basic_cte(self, loaded):
+        rows = loaded.execute(
+            "WITH sums AS (SELECT k, SUM(v) AS s FROM t GROUP BY k) "
+            "SELECT k FROM sums WHERE s > 2 ORDER BY k"
+        ).rows
+        assert rows == [("a",), ("b",)]
+
+    def test_cte_referenced_twice(self, loaded):
+        rows = loaded.execute(
+            "WITH c AS (SELECT DISTINCT k FROM t) "
+            "SELECT a.k FROM c a JOIN c b ON a.k = b.k ORDER BY 1"
+        ).rows
+        assert len(rows) == 3
+
+    def test_cte_column_rename(self, loaded):
+        rows = loaded.execute(
+            "WITH c (name) AS (SELECT DISTINCT k FROM t) "
+            "SELECT name FROM c ORDER BY name"
+        ).rows
+        assert rows[0] == ("a",)
+
+    def test_cte_shadows_table(self, loaded):
+        rows = loaded.execute("WITH t AS (SELECT 1 AS only) SELECT * FROM t").rows
+        assert rows == [(1,)]
+
+
+class TestErrors:
+    def test_unknown_table(self, con):
+        with pytest.raises(CatalogError):
+            con.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT missing FROM t")
+
+    def test_ambiguous_column(self, loaded):
+        loaded.execute("CREATE TABLE t2 (k VARCHAR)")
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT k FROM t, t2")
+
+    def test_unknown_function(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT MYSTERY(v) FROM t")
+
+    def test_explain_renders_tree(self, loaded):
+        text = loaded.explain("SELECT k, SUM(v) FROM t WHERE v > 0 GROUP BY k")
+        assert "AGGREGATE" in text and "GET t" in text and "FILTER" in text

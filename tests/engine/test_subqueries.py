@@ -1,0 +1,93 @@
+"""Uncorrelated subqueries: scalar, EXISTS, IN."""
+
+import pytest
+
+from repro import Connection
+from repro.errors import BinderError, ExecutionError
+
+
+@pytest.fixture
+def loaded(con: Connection) -> Connection:
+    con.execute("CREATE TABLE t (k VARCHAR, v INTEGER)")
+    con.execute("INSERT INTO t VALUES ('a', 1), ('b', 5), ('c', NULL)")
+    con.execute("CREATE TABLE other (v INTEGER)")
+    con.execute("INSERT INTO other VALUES (5), (7)")
+    return con
+
+
+class TestScalarSubquery:
+    def test_in_select_list(self, loaded):
+        assert loaded.execute("SELECT (SELECT MAX(v) FROM t)").scalar() == 5
+
+    def test_in_where(self, loaded):
+        rows = loaded.execute(
+            "SELECT k FROM t WHERE v = (SELECT MAX(v) FROM t)"
+        ).rows
+        assert rows == [("b",)]
+
+    def test_empty_subquery_is_null(self, loaded):
+        value = loaded.execute("SELECT (SELECT v FROM t WHERE v > 100)").scalar()
+        assert value is None
+
+    def test_multi_row_raises(self, loaded):
+        with pytest.raises(ExecutionError):
+            loaded.execute("SELECT (SELECT v FROM t)")
+
+    def test_multi_column_rejected(self, loaded):
+        with pytest.raises(BinderError):
+            loaded.execute("SELECT (SELECT k, v FROM t)")
+
+    def test_arithmetic_on_subquery(self, loaded):
+        assert loaded.execute("SELECT (SELECT MIN(v) FROM t) + 10").scalar() == 11
+
+
+class TestExists:
+    def test_exists_true(self, loaded):
+        assert loaded.execute("SELECT EXISTS (SELECT 1 FROM t WHERE v = 5)").scalar() is True
+
+    def test_exists_false(self, loaded):
+        assert loaded.execute("SELECT EXISTS (SELECT 1 FROM t WHERE v = 99)").scalar() is False
+
+    def test_not_exists(self, loaded):
+        assert loaded.execute("SELECT NOT EXISTS (SELECT 1 FROM t WHERE v = 99)").scalar() is True
+
+    def test_exists_in_where(self, loaded):
+        rows = loaded.execute(
+            "SELECT k FROM t WHERE EXISTS (SELECT 1 FROM other WHERE v = 7) ORDER BY k"
+        ).rows
+        assert len(rows) == 3
+
+
+class TestInSubquery:
+    def test_in(self, loaded):
+        rows = loaded.execute("SELECT k FROM t WHERE v IN (SELECT v FROM other)").rows
+        assert rows == [("b",)]
+
+    def test_not_in(self, loaded):
+        rows = loaded.execute(
+            "SELECT k FROM t WHERE v NOT IN (SELECT v FROM other)"
+        ).rows
+        assert rows == [("a",)]  # NULL v row yields UNKNOWN, filtered
+
+    def test_not_in_with_null_in_list_is_unknown(self, loaded):
+        loaded.execute("INSERT INTO other VALUES (NULL)")
+        rows = loaded.execute(
+            "SELECT k FROM t WHERE v NOT IN (SELECT v FROM other)"
+        ).rows
+        assert rows == []  # NULL in the list poisons NOT IN entirely
+
+    def test_in_empty_subquery(self, loaded):
+        rows = loaded.execute(
+            "SELECT k FROM t WHERE v IN (SELECT v FROM other WHERE v > 100)"
+        ).rows
+        assert rows == []
+
+    def test_subquery_executed_once_cached(self, loaded):
+        # Smoke test: large outer + IN subquery completes fast (cache works).
+        loaded.execute("CREATE TABLE big (v INTEGER)")
+        for chunk in range(20):
+            loaded.execute(
+                "INSERT INTO big SELECT v FROM t"
+            )
+        result = loaded.execute("SELECT COUNT(*) FROM big WHERE v IN (SELECT v FROM other)")
+        assert result.scalar() == 20

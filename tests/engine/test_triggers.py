@@ -1,0 +1,98 @@
+"""Trigger manager tests: the delta-capture substrate."""
+
+import pytest
+
+from repro import Connection
+
+
+@pytest.fixture
+def log_trigger(con: Connection):
+    con.execute("CREATE TABLE t (a VARCHAR, b INTEGER)")
+    events = []
+
+    def record(connection, event, table, rows):
+        events.append((event, table, rows))
+
+    for event in ("INSERT", "DELETE", "UPDATE"):
+        con.triggers.register("logger", "t", event, record)
+    return events
+
+
+class TestFiring:
+    def test_insert_fires_with_rows(self, con, log_trigger):
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        assert log_trigger == [("INSERT", "t", [("a", 1), ("b", 2)])]
+
+    def test_delete_fires_with_deleted_rows(self, con, log_trigger):
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        log_trigger.clear()
+        con.execute("DELETE FROM t WHERE b = 1")
+        assert log_trigger == [("DELETE", "t", [("a", 1)])]
+
+    def test_update_fires_with_pairs(self, con, log_trigger):
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        log_trigger.clear()
+        con.execute("UPDATE t SET b = 10")
+        assert log_trigger == [("UPDATE", "t", [(("a", 1), ("a", 10))])]
+
+    def test_no_fire_on_empty_change(self, con, log_trigger):
+        con.execute("DELETE FROM t WHERE b = 999")
+        con.execute("UPDATE t SET b = 1 WHERE a = 'missing'")
+        assert log_trigger == []
+
+    def test_no_fire_on_other_table(self, con, log_trigger):
+        con.execute("CREATE TABLE u (x INTEGER)")
+        con.execute("INSERT INTO u VALUES (1)")
+        assert log_trigger == []
+
+
+class TestRegistry:
+    def test_unregister(self, con, log_trigger):
+        con.triggers.unregister("logger")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        assert log_trigger == []
+
+    def test_triggers_on_lists_names(self, con, log_trigger):
+        assert con.triggers.triggers_on("t") == ["logger"] * 3
+        assert con.triggers.triggers_on("unknown") == []
+
+    def test_multiple_triggers_fire_in_order(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        calls = []
+        con.triggers.register("first", "t", "INSERT", lambda *a: calls.append(1))
+        con.triggers.register("second", "t", "INSERT", lambda *a: calls.append(2))
+        con.execute("INSERT INTO t VALUES (1)")
+        assert calls == [1, 2]
+
+    def test_unknown_event_rejected(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        with pytest.raises(ValueError):
+            con.triggers.register("x", "t", "TRUNCATE", lambda *a: None)
+
+
+class TestRecursionGuard:
+    def test_trigger_writing_same_table_does_not_loop(self, con):
+        con.execute("CREATE TABLE t (a INTEGER)")
+        fired = []
+
+        def reinsert(connection, event, table, rows):
+            fired.append(rows)
+            # Would recurse forever without the guard:
+            connection.execute("INSERT INTO t VALUES (99)")
+
+        con.triggers.register("loop", "t", "INSERT", reinsert)
+        con.execute("INSERT INTO t VALUES (1)")
+        assert len(fired) == 1
+        assert len(con.table("t")) == 2
+
+    def test_trigger_cascades_to_other_table(self, con):
+        con.execute("CREATE TABLE src (a INTEGER)")
+        con.execute("CREATE TABLE audit (a INTEGER)")
+
+        def mirror(connection, event, table, rows):
+            for row in rows:
+                connection.execute("INSERT INTO audit VALUES (?)", list(row))
+
+        con.triggers.register("mirror", "src", "INSERT", mirror)
+        con.execute("INSERT INTO src VALUES (1), (2)")
+        assert con.execute("SELECT COUNT(*) FROM audit").scalar() == 2

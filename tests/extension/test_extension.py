@@ -1,0 +1,164 @@
+"""OpenIVM extension tests: fall-back parser, DML interception, lifecycle."""
+
+import pathlib
+
+import pytest
+
+from repro import Connection, IVMError
+from repro.core.flags import PropagationMode
+
+
+class TestFallbackParser:
+    def test_materialized_view_via_fallback(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        assert ext.views() == ["q"]
+        assert con.catalog.has_table("q")
+        assert con.catalog.has_table("delta_t")
+        assert con.catalog.has_table("delta_q")
+
+    def test_core_syntax_errors_still_raise(self, ivm_con):
+        con, _ = ivm_con()
+        with pytest.raises(Exception):
+            con.execute("CREATE MATERIALIZD VIEW broken AS SELECT 1")
+
+    def test_refresh_statement_parses(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        result = con.execute("REFRESH MATERIALIZED VIEW q")
+        assert result.statement_type == "REFRESH MATERIALIZED VIEW"
+
+    def test_duplicate_view_rejected(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        with pytest.raises(IVMError):
+            con.execute(
+                "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+            )
+
+    def test_metadata_table_filled(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        row = con.execute(
+            "SELECT view_name, view_class FROM _duckdb_ivm_views"
+        ).rows[0]
+        assert row == ("q", "aggregation")
+
+
+class TestDeltaCapture:
+    def test_insert_captured_with_true_multiplicity(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        assert con.execute("SELECT * FROM delta_t").rows == [("a", 1, True)]
+
+    def test_delete_captured_with_false_multiplicity(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("DELETE FROM t")
+        assert con.execute("SELECT * FROM delta_t").rows == [("a", 1, False)]
+
+    def test_update_captured_as_delete_plus_insert(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("UPDATE t SET v = 5")
+        assert con.execute("SELECT * FROM delta_t ORDER BY 3").rows == [
+            ("a", 1, False),
+            ("a", 5, True),
+        ]
+
+    def test_unwatched_table_not_captured(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE TABLE other (x INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("INSERT INTO other VALUES (1)")
+        assert con.execute("SELECT COUNT(*) FROM delta_t").scalar() == 0
+
+
+class TestSharedDeltaTables:
+    def test_two_views_over_one_base(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+        con.execute("CREATE MATERIALIZED VIEW sums AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("CREATE MATERIALIZED VIEW counts AS SELECT g, COUNT(*) AS c FROM t GROUP BY g")
+        con.execute("INSERT INTO t VALUES ('a', 10)")
+        # Querying one view must not starve the other of its delta rows.
+        assert con.execute("SELECT s FROM sums WHERE g = 'a'").scalar() == 11
+        assert con.execute("SELECT c FROM counts WHERE g = 'a'").scalar() == 2
+
+    def test_refresh_consumes_shared_delta_once(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW a AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("CREATE MATERIALIZED VIEW b AS SELECT g, COUNT(*) AS c FROM t GROUP BY g")
+        con.execute("INSERT INTO t VALUES ('x', 1)")
+        ext.refresh("a")
+        assert con.execute("SELECT COUNT(*) FROM delta_t").scalar() == 0
+        # b was refreshed as part of a's closure:
+        assert con.execute("SELECT c FROM b", ).scalar() == 1
+
+
+class TestDropView:
+    def test_drop_cleans_everything(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("DROP VIEW q")
+        assert ext.views() == []
+        assert not con.catalog.has_table("q")
+        assert not con.catalog.has_table("delta_q")
+        assert not con.catalog.has_table("delta_t")
+        assert con.execute("SELECT COUNT(*) FROM _duckdb_ivm_views").scalar() == 0
+        # DML on the former base table no longer captures deltas:
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+
+    def test_drop_keeps_shared_delta_for_other_views(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW a AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("CREATE MATERIALIZED VIEW b AS SELECT g, COUNT(*) AS c FROM t GROUP BY g")
+        con.execute("DROP VIEW a")
+        assert con.catalog.has_table("delta_t")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        assert con.execute("SELECT c FROM b").scalar() == 1
+
+    def test_plain_view_drop_untouched(self, ivm_con):
+        con, _ = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE VIEW plain AS SELECT g FROM t")
+        con.execute("DROP VIEW plain")  # must not hit the IVM path
+
+
+class TestScriptStore:
+    def test_script_written_to_disk(self, tmp_path):
+        from repro import CompilerFlags, load_ivm
+
+        con = Connection()
+        load_ivm(con, CompilerFlags(), script_dir=tmp_path)
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        script = (tmp_path / "q.sql").read_text()
+        assert "INSERT INTO delta_q" in script
+        assert "INSERT OR REPLACE INTO q" in script
+
+
+class TestDoubleLoad:
+    def test_loading_twice_rejected(self, ivm_con):
+        con, ext = ivm_con()
+        with pytest.raises(IVMError):
+            ext.register(con)

@@ -1,0 +1,86 @@
+"""Extension introspection and auxiliary surfaces."""
+
+import pytest
+
+from repro.core.flags import PropagationMode
+
+
+class TestStatus:
+    def test_status_report(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('b', 2)")
+        (entry,) = ext.status()
+        assert entry["view"] == "q"
+        assert entry["class"] == "aggregation"
+        assert entry["mode"] == "lazy"
+        assert entry["pending_changes"] == 1
+        assert entry["rows"] == 1  # only the populate row so far
+        assert entry["base_tables"] == ["t"]
+
+    def test_status_after_refresh(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        ext.refresh("q")
+        (entry,) = ext.status()
+        assert entry["pending_changes"] == 0
+        assert entry["refresh_count"] == 1
+        assert entry["rows"] == 1
+
+    def test_multiple_views_sorted(self, ivm_con):
+        con, ext = ivm_con()
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("CREATE MATERIALIZED VIEW zz AS SELECT g, SUM(v) AS s FROM t GROUP BY g")
+        con.execute("CREATE MATERIALIZED VIEW aa AS SELECT g, COUNT(*) AS c FROM t GROUP BY g")
+        assert [e["view"] for e in ext.status()] == ["aa", "zz"]
+
+
+class TestCaptureTriggerDDL:
+    def test_postgres_trigger_script(self):
+        from repro import OLTPSystem
+
+        oltp = OLTPSystem()
+        oltp.execute("CREATE TABLE sales (region VARCHAR, amount INTEGER)")
+        ddl = oltp.capture_trigger_ddl("sales")
+        assert "CREATE OR REPLACE FUNCTION delta_sales_capture_fn()" in ddl
+        assert "AFTER INSERT OR UPDATE OR DELETE ON sales" in ddl
+        assert "VALUES (NEW.region, NEW.amount, TRUE)" in ddl
+        assert "VALUES (OLD.region, OLD.amount, FALSE)" in ddl
+        assert "LANGUAGE plpgsql" in ddl
+
+    def test_trigger_ddl_respects_prefixes(self):
+        from repro import OLTPSystem
+
+        oltp = OLTPSystem(delta_prefix="chg_", multiplicity_column="_sign")
+        oltp.execute("CREATE TABLE t (a INTEGER)")
+        ddl = oltp.capture_trigger_ddl("t")
+        assert "chg_t" in ddl and "_sign" in ddl
+
+
+class TestRebuildStrategiesWithAvg:
+    @pytest.mark.parametrize("strategy_name", ["union_regroup", "full_outer_join"])
+    def test_avg_under_rebuild_strategies(self, ivm_con, strategy_name):
+        from repro import MaterializationStrategy
+
+        con, ext = ivm_con(strategy=MaterializationStrategy(strategy_name))
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute("INSERT INTO t VALUES ('a', 2), ('a', 4), ('b', 10)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, AVG(v) AS a, COUNT(*) AS c "
+            "FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 6), ('c', 1)")
+        con.execute("DELETE FROM t WHERE g = 'b'")
+        got = con.execute("SELECT g, a, c FROM q").sorted()
+        want = con.execute(
+            "SELECT g, AVG(v), COUNT(*) FROM t GROUP BY g"
+        ).sorted()
+        assert got == want

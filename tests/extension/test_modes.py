@@ -1,0 +1,107 @@
+"""Propagation modes: eager, lazy, batched (paper §3 + the §1 trade-off)."""
+
+import pytest
+
+from repro.core.flags import PropagationMode
+
+
+def pending_delta(con) -> int:
+    return con.execute("SELECT COUNT(*) FROM delta_t").scalar()
+
+
+@pytest.fixture
+def setup(ivm_con):
+    def make(**flags):
+        con, ext = ivm_con(**flags)
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s FROM t GROUP BY g"
+        )
+        return con, ext
+
+    return make
+
+
+class TestEager:
+    def test_view_current_after_every_dml(self, setup):
+        con, ext = setup(mode=PropagationMode.EAGER)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        # Read the mv table directly (no lazy hook involvement).
+        assert list(con.table("q").scan()) == [("a", 1)]
+        assert pending_delta(con) == 0
+        con.execute("INSERT INTO t VALUES ('a', 2)")
+        assert list(con.table("q").scan()) == [("a", 3)]
+
+    def test_refresh_count_tracks_statements(self, setup):
+        con, ext = setup(mode=PropagationMode.EAGER)
+        for i in range(4):
+            con.execute(f"INSERT INTO t VALUES ('a', {i})")
+        assert ext.view_state("q").refresh_count == 4
+
+
+class TestLazy:
+    def test_deltas_accumulate_until_query(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute("INSERT INTO t VALUES ('a', 2)")
+        assert pending_delta(con) == 2
+        assert list(con.table("q").scan()) == []  # stale storage
+        assert con.execute("SELECT s FROM q").scalar() == 3  # refresh on query
+        assert pending_delta(con) == 0
+
+    def test_query_not_touching_view_does_not_refresh(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute("SELECT COUNT(*) FROM t")
+        assert pending_delta(con) == 1
+
+    def test_view_inside_subquery_triggers_refresh(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        value = con.execute(
+            "SELECT total FROM (SELECT SUM(s) AS total FROM q) AS sub"
+        ).scalar()
+        assert value == 1
+
+    def test_view_inside_cte_triggers_refresh(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        value = con.execute(
+            "WITH c AS (SELECT s FROM q) SELECT SUM(s) FROM c"
+        ).scalar()
+        assert value == 1
+
+    def test_explicit_refresh(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        ext.refresh("q")
+        assert list(con.table("q").scan()) == [("a", 1)]
+
+    def test_refresh_all(self, setup):
+        con, ext = setup(mode=PropagationMode.LAZY)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        ext.refresh_all()
+        assert pending_delta(con) == 0
+
+
+class TestBatch:
+    def test_refresh_fires_at_batch_size(self, setup):
+        con, ext = setup(mode=PropagationMode.BATCH, batch_size=3)
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        assert pending_delta(con) == 2  # below threshold
+        con.execute("INSERT INTO t VALUES ('a', 1)")
+        assert pending_delta(con) == 0  # threshold reached -> refreshed
+        assert list(con.table("q").scan()) == [("a", 3)]
+
+    def test_multi_row_statement_counts_rows(self, setup):
+        con, ext = setup(mode=PropagationMode.BATCH, batch_size=3)
+        con.execute("INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 1)")
+        assert pending_delta(con) == 0
+
+    def test_query_still_refreshes_below_threshold(self, setup):
+        # Batching trades recency for amortization, but an explicit query
+        # must still see fresh data (lazy refresh applies).
+        con, ext = setup(mode=PropagationMode.BATCH, batch_size=100)
+        con.execute("INSERT INTO t VALUES ('a', 7)")
+        assert con.execute("SELECT s FROM q").scalar() == 7

@@ -1,0 +1,147 @@
+"""Binder unit tests: plan shapes, types, and name resolution."""
+
+import pytest
+
+from repro import Connection
+from repro.datatypes.types import TypeId
+from repro.errors import BinderError
+from repro.planner.logical import (
+    LogicalAggregate,
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProject,
+)
+from repro.sql.parser import parse_one
+
+
+@pytest.fixture
+def binder_con(con: Connection) -> Connection:
+    con.execute("CREATE TABLE t (g VARCHAR, v INTEGER, f DOUBLE)")
+    con.execute("CREATE TABLE u (g VARCHAR, w INTEGER)")
+    return con
+
+
+def bind(con: Connection, sql: str):
+    return con.binder.bind_select(parse_one(sql))
+
+
+class TestPlanShapes:
+    def test_projection_shape(self, binder_con):
+        plan = bind(binder_con, "SELECT g, v FROM t")
+        assert isinstance(plan, LogicalProject)
+        assert isinstance(plan.child, LogicalGet)
+
+    def test_filter_below_project(self, binder_con):
+        plan = bind(binder_con, "SELECT g FROM t WHERE v > 0")
+        assert isinstance(plan, LogicalProject)
+        assert isinstance(plan.child, LogicalFilter)
+
+    def test_aggregate_shape(self, binder_con):
+        plan = bind(binder_con, "SELECT g, SUM(v) FROM t GROUP BY g")
+        assert isinstance(plan, LogicalProject)
+        agg = plan.child
+        assert isinstance(agg, LogicalAggregate)
+        assert len(agg.groups) == 1
+        assert agg.aggregates[0].function == "SUM"
+
+    def test_join_shape(self, binder_con):
+        plan = bind(binder_con, "SELECT t.g FROM t JOIN u ON t.g = u.g")
+        assert isinstance(plan.child, LogicalJoin)
+
+    def test_output_column_names(self, binder_con):
+        plan = bind(binder_con, "SELECT g AS key, SUM(v) AS total FROM t GROUP BY g")
+        assert [c.name for c in plan.output_columns] == ["key", "total"]
+
+    def test_default_aggregate_name(self, binder_con):
+        plan = bind(binder_con, "SELECT g, SUM(v) FROM t GROUP BY g")
+        assert plan.output_columns[1].name == "sum"
+
+
+class TestTypeInference:
+    def types(self, con, sql):
+        return [c.type.id for c in bind(con, sql).output_columns]
+
+    def test_column_types(self, binder_con):
+        assert self.types(binder_con, "SELECT g, v, f FROM t") == [
+            TypeId.VARCHAR,
+            TypeId.INTEGER,
+            TypeId.DOUBLE,
+        ]
+
+    def test_sum_integer_widens_to_bigint(self, binder_con):
+        assert self.types(binder_con, "SELECT SUM(v) FROM t") == [TypeId.BIGINT]
+
+    def test_sum_double_stays_double(self, binder_con):
+        assert self.types(binder_con, "SELECT SUM(f) FROM t") == [TypeId.DOUBLE]
+
+    def test_count_is_bigint(self, binder_con):
+        assert self.types(binder_con, "SELECT COUNT(*) FROM t") == [TypeId.BIGINT]
+
+    def test_avg_is_double(self, binder_con):
+        assert self.types(binder_con, "SELECT AVG(v) FROM t") == [TypeId.DOUBLE]
+
+    def test_min_preserves_type(self, binder_con):
+        assert self.types(binder_con, "SELECT MIN(g), MIN(v) FROM t") == [
+            TypeId.VARCHAR,
+            TypeId.INTEGER,
+        ]
+
+    def test_mixed_arithmetic_promotes(self, binder_con):
+        assert self.types(binder_con, "SELECT v + f FROM t") == [TypeId.DOUBLE]
+
+    def test_division_is_double(self, binder_con):
+        assert self.types(binder_con, "SELECT v / 2 FROM t") == [TypeId.DOUBLE]
+
+    def test_comparison_is_boolean(self, binder_con):
+        assert self.types(binder_con, "SELECT v > 1 FROM t") == [TypeId.BOOLEAN]
+
+    def test_case_unifies_branches(self, binder_con):
+        assert self.types(
+            binder_con, "SELECT CASE WHEN v > 0 THEN v ELSE f END FROM t"
+        ) == [TypeId.DOUBLE]
+
+    def test_concat_is_varchar(self, binder_con):
+        assert self.types(binder_con, "SELECT g || 'x' FROM t") == [TypeId.VARCHAR]
+
+
+class TestResolution:
+    def test_alias_resolution(self, binder_con):
+        plan = bind(binder_con, "SELECT x.v FROM t AS x")
+        assert plan.output_columns[0].name == "v"
+
+    def test_original_name_hidden_behind_alias(self, binder_con):
+        with pytest.raises(BinderError):
+            bind(binder_con, "SELECT t.v FROM t AS x")
+
+    def test_ambiguity_across_join(self, binder_con):
+        with pytest.raises(BinderError):
+            bind(binder_con, "SELECT g FROM t JOIN u ON t.g = u.g")
+
+    def test_qualified_disambiguates(self, binder_con):
+        plan = bind(binder_con, "SELECT t.g, u.g FROM t JOIN u ON t.g = u.g")
+        assert len(plan.output_columns) == 2
+
+    def test_unique_unqualified_across_join_ok(self, binder_con):
+        plan = bind(binder_con, "SELECT v, w FROM t JOIN u ON t.g = u.g")
+        assert [c.name for c in plan.output_columns] == ["v", "w"]
+
+    def test_star_expansion_order(self, binder_con):
+        plan = bind(binder_con, "SELECT * FROM t JOIN u ON t.g = u.g")
+        assert [c.name for c in plan.output_columns] == ["g", "v", "f", "g", "w"]
+
+    def test_qualified_star(self, binder_con):
+        plan = bind(binder_con, "SELECT u.* FROM t JOIN u ON t.g = u.g")
+        assert [c.name for c in plan.output_columns] == ["g", "w"]
+
+    def test_subquery_alias_scope(self, binder_con):
+        plan = bind(binder_con, "SELECT s.total FROM (SELECT SUM(v) AS total FROM t) s")
+        assert plan.output_columns[0].name == "total"
+
+    def test_group_by_unknown_ordinal(self, binder_con):
+        with pytest.raises(BinderError):
+            bind(binder_con, "SELECT g FROM t GROUP BY 5")
+
+    def test_limit_must_be_literal(self, binder_con):
+        with pytest.raises(BinderError):
+            bind(binder_con, "SELECT g FROM t LIMIT v")

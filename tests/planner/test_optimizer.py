@@ -1,0 +1,118 @@
+"""Optimizer rule tests: folding, filter pushdown, extension hook."""
+
+import pytest
+
+from repro import Connection
+from repro.planner.expressions import BoundConstant
+from repro.planner.logical import (
+    LogicalFilter,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProject,
+    walk_plan,
+)
+
+
+@pytest.fixture
+def opt_con(con: Connection) -> Connection:
+    con.execute("CREATE TABLE t (a INTEGER, b INTEGER)")
+    con.execute("CREATE TABLE u (a INTEGER, c INTEGER)")
+    return con
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self, opt_con):
+        plan = opt_con.query_plan("SELECT 1 + 2 * 3 FROM t")
+        expr = plan.expressions[0]
+        assert isinstance(expr, BoundConstant) and expr.value == 7
+
+    def test_function_folds(self, opt_con):
+        plan = opt_con.query_plan("SELECT UPPER('ab') || '!' FROM t")
+        assert plan.expressions[0].value == "AB!"
+
+    def test_case_folds(self, opt_con):
+        plan = opt_con.query_plan("SELECT CASE WHEN TRUE THEN 1 ELSE 2 END FROM t")
+        assert plan.expressions[0].value == 1
+
+    def test_column_not_folded(self, opt_con):
+        plan = opt_con.query_plan("SELECT a + 1 FROM t")
+        assert not isinstance(plan.expressions[0], BoundConstant)
+
+    def test_where_true_removed(self, opt_con):
+        plan = opt_con.query_plan("SELECT a FROM t WHERE 1 = 1")
+        assert not any(isinstance(op, LogicalFilter) for op in walk_plan(plan))
+
+    def test_and_true_simplified(self, opt_con):
+        plan = opt_con.query_plan("SELECT a FROM t WHERE a > 0 AND TRUE")
+        filters = [op for op in walk_plan(plan) if isinstance(op, LogicalFilter)]
+        assert len(filters) == 1
+        # The TRUE conjunct must be gone, leaving only a > 0.
+        from repro.planner.expressions import BoundBinary
+
+        assert isinstance(filters[0].predicate, BoundBinary)
+        assert filters[0].predicate.op == ">"
+
+    def test_division_by_zero_not_folded_to_crash(self, opt_con):
+        # Folding must not raise at plan time; the error surfaces at run time.
+        plan = opt_con.query_plan("SELECT 1 / 0 FROM t")
+        assert plan is not None
+
+
+class TestFilterPushdown:
+    def find(self, plan, kind):
+        return [op for op in walk_plan(plan) if isinstance(op, kind)]
+
+    def test_single_side_predicates_pushed(self, opt_con):
+        plan = opt_con.query_plan(
+            "SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.b > 1 AND u.c < 5"
+        )
+        join = self.find(plan, LogicalJoin)[0]
+        assert isinstance(join.left, LogicalFilter)
+        assert isinstance(join.right, LogicalFilter)
+
+    def test_cross_side_predicate_stays(self, opt_con):
+        plan = opt_con.query_plan("SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.b > u.c")
+        join = self.find(plan, LogicalJoin)[0]
+        assert isinstance(join.left, LogicalGet)
+        assert isinstance(join.right, LogicalGet)
+        # The filter remains above the join.
+        assert any(isinstance(op, LogicalFilter) for op in walk_plan(plan))
+
+    def test_no_pushdown_through_left_join(self, opt_con):
+        plan = opt_con.query_plan(
+            "SELECT t.a FROM t LEFT JOIN u ON t.a = u.a WHERE u.c IS NULL"
+        )
+        join = self.find(plan, LogicalJoin)[0]
+        assert isinstance(join.right, LogicalGet)  # not pushed
+
+    def test_pushdown_keeps_results_correct(self, opt_con):
+        opt_con.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        opt_con.execute("INSERT INTO u VALUES (1, 100), (2, 5)")
+        rows = opt_con.execute(
+            "SELECT t.a FROM t JOIN u ON t.a = u.a WHERE t.b > 1 AND u.c < 50"
+        ).rows
+        assert rows == [(2,)]
+
+
+class TestExtensionRules:
+    def test_registered_rule_runs_last(self, opt_con):
+        seen = []
+
+        def spy(plan):
+            seen.append(type(plan).__name__)
+            return plan
+
+        opt_con.optimizer.register_rule(spy)
+        opt_con.execute("SELECT a FROM t")
+        assert seen == ["LogicalProject"]
+
+    def test_rule_can_rewrite_plan(self, opt_con):
+        opt_con.execute("INSERT INTO t VALUES (1, 2)")
+
+        def limit_zero(plan):
+            from repro.planner.logical import LogicalLimit
+
+            return LogicalLimit(child=plan, limit=0)
+
+        opt_con.optimizer.register_rule(limit_zero)
+        assert opt_con.execute("SELECT a FROM t").rows == []

@@ -1,0 +1,166 @@
+"""Property-based end-to-end IVM equivalence.
+
+Hypothesis drives random change streams through the full stack (extension,
+trigger capture, compiled propagation SQL) and checks two oracles after
+every refresh:
+
+1. **Recomputation** — the materialized view equals running the view query
+   against the current base tables.
+2. **DBSP Z-sets** — the view contents equal the Z-set aggregate of the
+   base relation, computed with the lifted operators of
+   :mod:`repro.zset` (the paper's formal semantics).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import CompilerFlags, Connection, MaterializationStrategy, load_ivm
+from repro.core.flags import PropagationMode
+from repro.zset import ZSet, zset_aggregate, zset_filter, zset_project
+
+_KEYS = "abcd"
+
+# One operation: insert a (key, value) row, or delete all rows of one key
+# with a chosen value (deletes are no-ops when nothing matches — realistic).
+_op = st.one_of(
+    st.tuples(st.just("insert"), st.sampled_from(_KEYS), st.integers(-5, 20)),
+    st.tuples(st.just("delete"), st.sampled_from(_KEYS), st.integers(-5, 20)),
+)
+
+
+def _apply_ops(con: Connection, ops) -> None:
+    for kind, key, value in ops:
+        if kind == "insert":
+            con.execute("INSERT INTO t VALUES (?, ?)", [key, value])
+        else:
+            con.execute("DELETE FROM t WHERE k = ? AND v = ?", [key, value])
+
+
+def _base_zset(con: Connection) -> ZSet:
+    return ZSet.from_rows(con.execute("SELECT k, v FROM t").rows)
+
+
+def _setup(view_sql: str, **flags) -> Connection:
+    con = Connection()
+    load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY, **flags))
+    con.execute("CREATE TABLE t (k VARCHAR, v INTEGER)")
+    con.execute(view_sql)
+    return con
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.lists(_op, max_size=8), max_size=5))
+def test_sum_count_view_matches_both_oracles(batches):
+    con = _setup(
+        "CREATE MATERIALIZED VIEW q AS "
+        "SELECT k, SUM(v) AS s, COUNT(*) AS c FROM t GROUP BY k"
+    )
+    for ops in batches:
+        _apply_ops(con, ops)
+        got = set(con.execute("SELECT k, s, c FROM q").rows)
+        want = set(
+            con.execute("SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k").rows
+        )
+        assert got == want
+        # DBSP oracle: weighted aggregation over the base Z-set.
+        oracle = zset_aggregate(
+            _base_zset(con),
+            lambda row: row[0],
+            [("SUM", lambda row: row[1]), ("COUNT", None)],
+        )
+        assert got == {row for row, _ in oracle.items()}
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.lists(_op, max_size=8), max_size=4),
+    st.sampled_from(list(MaterializationStrategy)),
+)
+def test_every_strategy_matches_recompute(batches, strategy):
+    con = _setup(
+        "CREATE MATERIALIZED VIEW q AS SELECT k, SUM(v) AS s, COUNT(*) AS c "
+        "FROM t GROUP BY k",
+        strategy=strategy,
+    )
+    for ops in batches:
+        _apply_ops(con, ops)
+        got = con.execute("SELECT k, s, c FROM q").sorted()
+        want = con.execute(
+            "SELECT k, SUM(v), COUNT(*) FROM t GROUP BY k"
+        ).sorted()
+        assert got == want
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.lists(_op, max_size=8), max_size=4))
+def test_filtered_projection_view_matches_zset_oracle(batches):
+    con = _setup(
+        "CREATE MATERIALIZED VIEW q AS SELECT k, v + 1 AS v1 FROM t WHERE v > 0"
+    )
+    for ops in batches:
+        _apply_ops(con, ops)
+        got = set(con.execute("SELECT k, v1, _duckdb_ivm_count FROM q").rows)
+        oracle = zset_project(
+            zset_filter(_base_zset(con), lambda row: row[1] > 0),
+            lambda row: (row[0], row[1] + 1),
+        )
+        assert got == {row + (weight,) for row, weight in oracle.items()}
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.lists(_op, max_size=6), max_size=4))
+def test_minmax_avg_view_matches_recompute(batches):
+    con = _setup(
+        "CREATE MATERIALIZED VIEW q AS "
+        "SELECT k, MIN(v) AS lo, MAX(v) AS hi, AVG(v) AS a FROM t GROUP BY k"
+    )
+    for ops in batches:
+        _apply_ops(con, ops)
+        got = con.execute("SELECT k, lo, hi, a FROM q").sorted()
+        want = con.execute(
+            "SELECT k, MIN(v), MAX(v), AVG(v) FROM t GROUP BY k"
+        ).sorted()
+        assert got == want
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["o_ins", "o_del", "c_ins", "c_del"]),
+            st.integers(0, 5),
+            st.integers(1, 9),
+        ),
+        max_size=20,
+    )
+)
+def test_join_view_matches_recompute(ops):
+    con = Connection()
+    load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+    con.execute("CREATE TABLE o (ck VARCHAR, qty INTEGER)")
+    con.execute("CREATE TABLE c (ck VARCHAR, region VARCHAR)")
+    con.execute(
+        "CREATE MATERIALIZED VIEW q AS "
+        "SELECT c.region, SUM(o.qty) AS s FROM o JOIN c ON o.ck = c.ck "
+        "GROUP BY c.region"
+    )
+    for kind, key, value in ops:
+        ck = f"c{key}"
+        if kind == "o_ins":
+            con.execute("INSERT INTO o VALUES (?, ?)", [ck, value])
+        elif kind == "o_del":
+            con.execute("DELETE FROM o WHERE ck = ? AND qty = ?", [ck, value])
+        elif kind == "c_ins":
+            con.execute("INSERT INTO c VALUES (?, ?)", [ck, f"r{value % 3}"])
+        else:
+            con.execute("DELETE FROM c WHERE ck = ?", [ck])
+        got = con.execute("SELECT region, s FROM q").sorted()
+        want = con.execute(
+            "SELECT c.region, SUM(o.qty) FROM o JOIN c ON o.ck = c.ck "
+            "GROUP BY c.region"
+        ).sorted()
+        assert got == want

@@ -1,0 +1,124 @@
+"""Round-trip tests for the SQL renderer (the DuckAST emission backend)."""
+
+import pytest
+
+from repro.sql.dialect import DUCKDB, POSTGRES, dialect_by_name
+from repro.sql.parser import parse_one
+from repro.sql.render import render_expression, render_select
+from repro.errors import UnsupportedError
+
+
+def roundtrip(sql: str) -> str:
+    """Parse, render, re-parse, re-render — must be a fixed point."""
+    first = render_select(parse_one(sql))
+    second = render_select(parse_one(first))
+    assert first == second
+    return first
+
+
+class TestExpressionRendering:
+    def render(self, expr_sql: str) -> str:
+        stmt = parse_one(f"SELECT {expr_sql}")
+        return render_expression(stmt.items[0].expr)
+
+    def test_precedence_parens_preserved(self):
+        assert self.render("(1 + 2) * 3") == "(1 + 2) * 3"
+
+    def test_no_spurious_parens(self):
+        assert self.render("1 + 2 * 3") == "1 + 2 * 3"
+
+    def test_or_inside_and_parenthesized(self):
+        assert self.render("a AND (b OR c)") == "a AND (b OR c)"
+
+    def test_case(self):
+        out = self.render("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert out == "CASE WHEN a = 1 THEN 'x' ELSE 'y' END"
+
+    def test_cast(self):
+        assert self.render("CAST(a AS INTEGER)") == "CAST(a AS INTEGER)"
+
+    def test_postfix_cast_normalized_to_cast(self):
+        assert self.render("a::BIGINT") == "CAST(a AS BIGINT)"
+
+    def test_string_literal_escaped(self):
+        assert self.render("'o''brien'") == "'o''brien'"
+
+    def test_in_between_like(self):
+        assert self.render("a IN (1, 2)") == "a IN (1, 2)"
+        assert self.render("a NOT BETWEEN 1 AND 2") == "a NOT BETWEEN 1 AND 2"
+        assert self.render("a LIKE 'x%'") == "a LIKE 'x%'"
+
+    def test_is_null(self):
+        assert self.render("a IS NOT NULL") == "a IS NOT NULL"
+
+    def test_function_uppercased(self):
+        assert self.render("coalesce(a, 0)") == "COALESCE(a, 0)"
+
+    def test_count_star(self):
+        assert self.render("count(*)") == "COUNT(*)"
+
+
+class TestSelectRendering:
+    def test_full_query_roundtrip(self):
+        out = roundtrip(
+            "SELECT g, SUM(v) AS s FROM t WHERE v > 0 GROUP BY g "
+            "HAVING SUM(v) > 2 ORDER BY g DESC LIMIT 3 OFFSET 1"
+        )
+        assert "GROUP BY g" in out
+        assert "HAVING" in out
+        assert "LIMIT 3" in out
+
+    def test_joins_roundtrip(self):
+        out = roundtrip(
+            "SELECT a.x FROM a LEFT JOIN b ON a.k = b.k "
+            "FULL OUTER JOIN c ON b.j = c.j"
+        )
+        assert "LEFT JOIN" in out and "FULL OUTER JOIN" in out
+
+    def test_using_roundtrip(self):
+        assert "USING (k)" in roundtrip("SELECT 1 FROM a JOIN b USING (k)")
+
+    def test_cte_roundtrip(self):
+        out = roundtrip("WITH c AS (SELECT 1 AS x) SELECT x FROM c")
+        assert out.startswith("WITH c AS")
+
+    def test_set_ops_roundtrip(self):
+        out = roundtrip("SELECT 1 UNION ALL SELECT 2 UNION SELECT 3")
+        assert "UNION ALL" in out and " UNION SELECT 3" in out
+
+    def test_subquery_in_from(self):
+        out = roundtrip("SELECT s.x FROM (SELECT 1 AS x) AS s")
+        assert "(SELECT 1 AS x) AS s" in out
+
+    def test_distinct(self):
+        assert roundtrip("SELECT DISTINCT a FROM t").startswith("SELECT DISTINCT")
+
+
+class TestDialects:
+    def test_lookup(self):
+        assert dialect_by_name("duckdb") is DUCKDB
+        assert dialect_by_name("POSTGRES") is POSTGRES
+
+    def test_unknown_dialect(self):
+        with pytest.raises(UnsupportedError):
+            dialect_by_name("oracle")
+
+    def test_identifier_quoting(self):
+        assert DUCKDB.quote_identifier("plain") == "plain"
+        assert DUCKDB.quote_identifier("has space") == '"has space"'
+        assert DUCKDB.quote_identifier('has"quote') == '"has""quote"'
+
+    def test_type_spelling(self):
+        from repro.datatypes import DOUBLE, VARCHAR
+
+        assert DUCKDB.type_name(DOUBLE) == "DOUBLE"
+        assert POSTGRES.type_name(DOUBLE) == "DOUBLE PRECISION"
+        assert POSTGRES.type_name(VARCHAR) == "VARCHAR"
+
+    def test_upsert_styles_differ(self):
+        assert DUCKDB.upsert_style == "or_replace"
+        assert POSTGRES.upsert_style == "on_conflict"
+
+    def test_truncate_styles_differ(self):
+        assert DUCKDB.truncate_style == "delete"
+        assert POSTGRES.truncate_style == "truncate"

@@ -1,0 +1,203 @@
+"""ART index tests: adaptivity, point ops, scans, chunked build, fuzzing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConstraintError
+from repro.storage.art import ARTIndex
+from repro.storage.keys import encode_key
+
+
+def key(*values) -> bytes:
+    return encode_key(list(values))
+
+
+class TestPointOperations:
+    def test_insert_search(self):
+        art = ARTIndex()
+        art.insert(key("a"), 1)
+        assert art.search(key("a")) == [1]
+        assert art.search(key("b")) == []
+
+    def test_multi_value_per_key(self):
+        art = ARTIndex()
+        art.insert(key("a"), 1)
+        art.insert(key("a"), 2)
+        assert sorted(art.search(key("a"))) == [1, 2]
+        assert len(art) == 2
+
+    def test_unique_rejects_duplicates(self):
+        art = ARTIndex(unique=True)
+        art.insert(key("a"), 1)
+        with pytest.raises(ConstraintError):
+            art.insert(key("a"), 2)
+        assert len(art) == 1
+
+    def test_contains(self):
+        art = ARTIndex()
+        art.insert(key("x", 1), 0)
+        assert art.contains(key("x", 1))
+        assert not art.contains(key("x", 2))
+
+    def test_delete_specific_value(self):
+        art = ARTIndex()
+        art.insert(key("a"), 1)
+        art.insert(key("a"), 2)
+        assert art.delete(key("a"), 1)
+        assert art.search(key("a")) == [2]
+
+    def test_delete_whole_key(self):
+        art = ARTIndex()
+        art.insert(key("a"), 1)
+        art.insert(key("a"), 2)
+        assert art.delete(key("a"))
+        assert art.search(key("a")) == []
+        assert len(art) == 0
+
+    def test_delete_missing_returns_false(self):
+        art = ARTIndex()
+        art.insert(key("a"), 1)
+        assert not art.delete(key("zz"))
+        assert not art.delete(key("a"), 99)
+
+    def test_empty_index(self):
+        art = ARTIndex()
+        assert len(art) == 0
+        assert art.search(key("a")) == []
+        assert not art.delete(key("a"))
+        assert list(art.items()) == []
+
+
+class TestAdaptivity:
+    def test_node_growth_through_all_widths(self):
+        art = ARTIndex()
+        for i in range(256):
+            art.insert(bytes([3, i]) + b"\x00\x00", i)
+        histogram = art.node_histogram()
+        assert histogram["Node256"] >= 1
+        assert histogram["Leaf"] == 256
+
+    def test_small_fanout_stays_node4(self):
+        art = ARTIndex()
+        for word in ("cat", "car", "cab"):
+            art.insert(key(word), word)
+        histogram = art.node_histogram()
+        assert histogram["Node16"] == 0
+        assert histogram["Node48"] == 0
+        assert histogram["Node256"] == 0
+
+    def test_shrink_on_delete(self):
+        art = ARTIndex()
+        keys = [bytes([3, i]) + b"\x00\x00" for i in range(256)]
+        for i, k in enumerate(keys):
+            art.insert(k, i)
+        for k in keys[8:]:
+            art.delete(k)
+        histogram = art.node_histogram()
+        assert histogram["Node256"] == 0
+        for i, k in enumerate(keys[:8]):
+            assert art.search(k) == [i]
+
+    def test_path_compression_splits_correctly(self):
+        art = ARTIndex()
+        art.insert(key("abcdefgh"), 1)
+        art.insert(key("abcdefgz"), 2)  # long shared prefix then split
+        art.insert(key("abQ"), 3)  # splits the compressed prefix
+        assert art.search(key("abcdefgh")) == [1]
+        assert art.search(key("abcdefgz")) == [2]
+        assert art.search(key("abQ")) == [3]
+
+
+class TestScans:
+    def test_items_sorted(self):
+        art = ARTIndex()
+        words = ["pear", "apple", "fig", "banana", "applet", "app"]
+        for i, word in enumerate(words):
+            art.insert(key(word), i)
+        scanned = [k for k, _ in art.items()]
+        assert scanned == sorted(scanned)
+        assert len(scanned) == len(words)
+
+    def test_range_scan(self):
+        art = ARTIndex()
+        for i in range(100):
+            art.insert(key(i), i)
+        low, high = key(10), key(20)
+        values = [vs[0] for _, vs in art.range_scan(low, high)]
+        assert values == list(range(10, 20))
+
+    def test_range_scan_open_ends(self):
+        art = ARTIndex()
+        for i in range(10):
+            art.insert(key(i), i)
+        assert len(list(art.range_scan())) == 10
+        assert [v[0] for _, v in art.range_scan(low=key(7))] == [7, 8, 9]
+        assert [v[0] for _, v in art.range_scan(high=key(3))] == [0, 1, 2]
+
+
+class TestChunkedBuild:
+    def test_chunked_equals_sequential(self):
+        entries = [(key(f"k{i % 57}", i), i) for i in range(1000)]
+        sequential = ARTIndex()
+        for k, v in entries:
+            sequential.insert(k, v)
+        chunked = ARTIndex.build_chunked(entries, chunk_size=128)
+        assert list(chunked.items()) == list(sequential.items())
+
+    def test_chunked_unique_enforced_at_merge(self):
+        entries = [(key("same"), 1), (key("same"), 2)]
+        with pytest.raises(ConstraintError):
+            ARTIndex.build_chunked(entries, chunk_size=1, unique=True)
+
+
+class TestFuzz:
+    def test_against_dict_reference(self):
+        rng = random.Random(1234)
+        art = ARTIndex()
+        reference: dict[bytes, list[int]] = {}
+        for step in range(8000):
+            k = key(rng.choice("abcdefgh") * rng.randint(1, 6), rng.randint(0, 40))
+            if rng.random() < 0.65:
+                art.insert(k, step)
+                reference.setdefault(k, []).append(step)
+            else:
+                values = reference.get(k)
+                if values and rng.random() < 0.8:
+                    victim = rng.choice(values)
+                    assert art.delete(k, victim)
+                    values.remove(victim)
+                    if not values:
+                        del reference[k]
+                else:
+                    art.delete(k, -1)  # value never stored: must be a no-op
+        assert len(art) == sum(len(v) for v in reference.values())
+        for k, values in reference.items():
+            assert sorted(art.search(k)) == sorted(values)
+        scanned = [k for k, _ in art.items()]
+        assert scanned == sorted(reference)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["put", "del"]), st.text(max_size=6)),
+        max_size=200,
+    )
+)
+def test_art_matches_dict_property(operations):
+    art = ARTIndex()
+    reference: dict[bytes, int] = {}
+    for op, word in operations:
+        k = key(word)
+        if op == "put":
+            art.insert(k, 1)
+            reference[k] = reference.get(k, 0) + 1
+        else:
+            removed = art.delete(k)
+            assert removed == (k in reference)
+            reference.pop(k, None)
+    assert sorted(k for k, _ in art.items()) == sorted(reference)
+    for k, count in reference.items():
+        assert len(art.search(k)) == count

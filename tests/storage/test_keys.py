@@ -1,0 +1,137 @@
+"""Memcomparable key encoding: unit + property tests."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes.values import sql_compare
+from repro.errors import TypeError_
+from repro.storage.keys import decode_key, encode_key, encode_value
+
+
+class TestEncodeBasics:
+    def test_null_sorts_first(self):
+        assert encode_value(None) < encode_value(False)
+        assert encode_value(None) < encode_value(-1e300)
+        assert encode_value(None) < encode_value("")
+
+    def test_booleans_ordered(self):
+        assert encode_value(False) < encode_value(True)
+
+    def test_numbers_ordered(self):
+        values = [-1e12, -5.5, -1, 0, 0.25, 1, 2, 1e12]
+        encoded = [encode_value(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_int_float_interleave(self):
+        assert encode_value(1) < encode_value(1.5) < encode_value(2)
+        assert encode_value(2) == encode_value(2.0)
+
+    def test_strings_ordered(self):
+        values = ["", "a", "ab", "b", "ba"]
+        encoded = [encode_value(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_string_prefix_sorts_before_extension(self):
+        assert encode_value("a") < encode_value("aa")
+
+    def test_embedded_nul_handled(self):
+        values = ["a", "a\x00", "a\x00b", "ab"]
+        encoded = [encode_value(v) for v in values]
+        assert encoded == sorted(encoded)
+        assert decode_key(encode_key(["a\x00b"])) == ["a\x00b"]
+
+    def test_dates_ordered(self):
+        early = datetime.date(2020, 1, 1)
+        late = datetime.date(2024, 12, 31)
+        assert encode_value(early) < encode_value(late)
+
+    def test_huge_int_raises(self):
+        with pytest.raises(TypeError_):
+            encode_value(2**60)
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError_):
+            encode_value(object())
+
+
+class TestCompositeKeys:
+    def test_composite_ordering_is_lexicographic(self):
+        assert encode_key(["a", 2]) < encode_key(["a", 10])
+        assert encode_key(["a", 99]) < encode_key(["b", 0])
+
+    def test_keys_are_prefix_free(self):
+        # No full key may be a strict prefix of another (ART relies on it).
+        keys = [
+            encode_key(values)
+            for values in (
+                [None, None],
+                [None, False],
+                ["a", 1],
+                ["a", None],
+                ["ab", 1],
+                ["a\x00", 1],
+            )
+        ]
+        for a in keys:
+            for b in keys:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_decode_roundtrip(self):
+        original = [None, True, "hello", "with'quote"]
+        decoded = decode_key(encode_key(original))
+        assert decoded == original
+
+    def test_decode_numbers_as_floats(self):
+        assert decode_key(encode_key([42]))[0] == 42.0
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+)
+
+
+def _rank(value):
+    """Total order over mixed scalars mirroring the encoding's tag order."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, value)
+
+
+@given(st.lists(_scalar, min_size=2, max_size=30))
+def test_encoding_preserves_order(values):
+    """Sorting by encoded bytes equals sorting by SQL value order."""
+    by_encoding = sorted(values, key=lambda v: encode_value(v))
+    by_value = sorted(values, key=_rank)
+    assert [_rank(v) for v in by_encoding] == [_rank(v) for v in by_value]
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(max_size=10), st.integers(-(2**40), 2**40)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_composite_roundtrip_property(rows):
+    for row in rows:
+        decoded = decode_key(encode_key(list(row)))
+        assert decoded[0] == row[0]
+        assert decoded[1] == float(row[1])
+
+
+@given(_scalar, _scalar)
+def test_equal_values_equal_encodings(a, b):
+    same_rank = _rank(a) == _rank(b)
+    same_encoding = encode_value(a) == encode_value(b)
+    assert same_rank == same_encoding

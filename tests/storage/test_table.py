@@ -1,0 +1,166 @@
+"""Row-store table tests: constraints, upserts, index maintenance."""
+
+import pytest
+
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import INTEGER, VARCHAR
+from repro.errors import BinderError, ConstraintError, ExecutionError
+from repro.storage.table import Table
+
+
+def make_table(primary_key=None) -> Table:
+    schema = TableSchema(
+        "t",
+        [Column("k", VARCHAR), Column("v", INTEGER)],
+        primary_key=primary_key or [],
+    )
+    return Table(schema)
+
+
+class TestSchema:
+    def test_column_index_case_insensitive(self):
+        table = make_table()
+        assert table.schema.column_index("K") == 0
+        assert table.schema.column_index("v") == 1
+
+    def test_missing_column_raises(self):
+        with pytest.raises(BinderError):
+            make_table().schema.column_index("nope")
+
+    def test_bad_primary_key_raises(self):
+        with pytest.raises(BinderError):
+            TableSchema("t", [Column("a", INTEGER)], primary_key=["missing"])
+
+
+class TestInsertDelete:
+    def test_insert_and_scan(self):
+        table = make_table()
+        table.insert(["a", 1])
+        table.insert(["b", 2])
+        assert list(table.scan()) == [("a", 1), ("b", 2)]
+        assert len(table) == 2
+
+    def test_insert_coerces_types(self):
+        table = make_table()
+        table.insert(["a", "42"])
+        assert list(table.scan()) == [("a", 42)]
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ExecutionError):
+            make_table().insert(["a"])
+
+    def test_delete_row_reuses_slot(self):
+        table = make_table()
+        rid = table.insert(["a", 1])
+        table.insert(["b", 2])
+        table.delete_row(rid)
+        assert len(table) == 1
+        new_rid = table.insert(["c", 3])
+        assert new_rid == rid  # slot reuse
+        assert sorted(table.scan()) == [("b", 2), ("c", 3)]
+
+    def test_delete_where(self):
+        table = make_table()
+        for i in range(10):
+            table.insert([f"k{i}", i])
+        removed = table.delete_where(lambda row: row[1] % 2 == 0)
+        assert removed == 5
+        assert all(row[1] % 2 == 1 for row in table.scan())
+
+    def test_truncate(self):
+        table = make_table(primary_key=["k"])
+        table.insert(["a", 1])
+        assert table.truncate() == 1
+        assert len(table) == 0
+        table.insert(["a", 2])  # PK index was reset too
+        assert table.pk_lookup(["a"]) == ("a", 2)
+
+
+class TestPrimaryKey:
+    def test_duplicate_pk_rejected(self):
+        table = make_table(primary_key=["k"])
+        table.insert(["a", 1])
+        with pytest.raises(ConstraintError):
+            table.insert(["a", 2])
+        assert len(table) == 1
+
+    def test_pk_lookup(self):
+        table = make_table(primary_key=["k"])
+        table.insert(["a", 1])
+        assert table.pk_lookup(["a"]) == ("a", 1)
+        assert table.pk_lookup(["z"]) is None
+
+    def test_upsert_inserts_then_replaces(self):
+        table = make_table(primary_key=["k"])
+        table.upsert(["a", 1])
+        table.upsert(["a", 99])
+        assert len(table) == 1
+        assert table.pk_lookup(["a"]) == ("a", 99)
+
+    def test_upsert_requires_pk(self):
+        with pytest.raises(ExecutionError):
+            make_table().upsert(["a", 1])
+
+    def test_null_pk_values_group_as_equal(self):
+        # IVM-generated tables rely on NULL keys colliding (Z-set grouping).
+        table = make_table(primary_key=["k"])
+        table.insert([None, 1])
+        with pytest.raises(ConstraintError):
+            table.insert([None, 2])
+        table.upsert([None, 3])
+        assert table.pk_lookup([None]) == (None, 3)
+
+
+class TestNotNull:
+    def test_not_null_enforced(self):
+        schema = TableSchema("t", [Column("a", INTEGER, not_null=True)])
+        table = Table(schema)
+        with pytest.raises(ConstraintError):
+            table.insert([None])
+
+
+class TestSecondaryIndexes:
+    def test_add_index_populates_existing_rows(self):
+        table = make_table()
+        table.insert(["a", 1])
+        table.insert(["b", 1])
+        table.add_index("by_v", [1])
+        assert sorted(table.lookup("by_v", [1])) == [("a", 1), ("b", 1)]
+
+    def test_index_maintained_on_mutations(self):
+        table = make_table()
+        table.add_index("by_v", [1])
+        rid = table.insert(["a", 1])
+        table.insert(["b", 2])
+        assert table.lookup("by_v", [1]) == [("a", 1)]
+        table.update_row(rid, ["a", 5])
+        assert table.lookup("by_v", [1]) == []
+        assert table.lookup("by_v", [5]) == [("a", 5)]
+        table.delete_where(lambda row: row[0] == "a")
+        assert table.lookup("by_v", [5]) == []
+
+    def test_chunked_index_build_matches(self):
+        table = make_table()
+        for i in range(500):
+            table.insert([f"k{i}", i % 13])
+        plain = table.add_index("plain", [1])
+        chunked = table.add_index("chunked", [1], chunked=True, chunk_size=64)
+        assert list(plain.items()) == list(chunked.items())
+
+    def test_unique_index_rollback_on_conflict(self):
+        table = make_table(primary_key=["k"])
+        table.add_index("by_v", [1], unique=True)
+        table.insert(["a", 1])
+        with pytest.raises(ConstraintError):
+            table.insert(["b", 1])  # secondary unique violation
+        # The PK index entry for 'b' must have been rolled back:
+        assert table.pk_lookup(["b"]) is None
+        table.insert(["b", 2])  # now fine
+
+    def test_update_rollback_on_conflict(self):
+        table = make_table(primary_key=["k"])
+        table.insert(["a", 1])
+        rid = table.insert(["b", 2])
+        with pytest.raises(ConstraintError):
+            table.update_row(rid, ["a", 9])  # PK collision with 'a'
+        assert table.pk_lookup(["b"]) == ("b", 2)  # old state restored

@@ -1,0 +1,115 @@
+"""Catalog registry and error-hierarchy tests."""
+
+import pytest
+
+from repro import Connection, ReproError
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, IndexSchema, TableSchema, ViewSchema
+from repro.datatypes import INTEGER, VARCHAR
+from repro.errors import (
+    BinderError,
+    CatalogError,
+    ConstraintError,
+    ExecutionError,
+    IVMError,
+    ParserError,
+    TypeError_,
+    UnsupportedError,
+)
+from repro.storage.table import Table
+
+
+def make_table(name: str) -> Table:
+    return Table(TableSchema(name, [Column("a", INTEGER)]))
+
+
+class TestCatalog:
+    def test_case_insensitive_lookup(self):
+        catalog = Catalog()
+        catalog.create_table(make_table("MyTable"))
+        assert catalog.table("mytable").schema.name == "MyTable"
+        assert catalog.has_table("MYTABLE")
+
+    def test_table_and_view_share_namespace(self):
+        catalog = Catalog()
+        catalog.create_table(make_table("x"))
+        with pytest.raises(CatalogError):
+            catalog.create_view(ViewSchema("x", None, ""))
+
+    def test_drop_missing_table(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop_table("missing")
+        catalog.drop_table("missing", if_exists=True)
+
+    def test_index_requires_table(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_index(IndexSchema("idx", "missing", ["a"]))
+
+    def test_indexes_on(self):
+        catalog = Catalog()
+        catalog.create_table(make_table("t"))
+        catalog.create_index(IndexSchema("i1", "t", ["a"]))
+        catalog.create_index(IndexSchema("i2", "t", ["a"], unique=True))
+        assert [i.name for i in catalog.indexes_on("t")] == ["i1", "i2"]
+
+    def test_drop_table_cascades_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(make_table("t"))
+        catalog.create_index(IndexSchema("i1", "t", ["a"]))
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("i1")
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        for name in ("zz", "aa", "mm"):
+            catalog.create_table(make_table(name))
+        assert catalog.table_names() == ["aa", "mm", "zz"]
+
+    def test_attached_aliases(self):
+        catalog = Catalog()
+        other = Catalog()
+        catalog.attach("remote", other)
+        assert catalog.attached_aliases() == ["remote"]
+        assert catalog.attached("REMOTE") is other
+        catalog.detach("remote")
+        with pytest.raises(CatalogError):
+            catalog.attached("remote")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ParserError,
+            BinderError,
+            CatalogError,
+            TypeError_,
+            ConstraintError,
+            ExecutionError,
+            IVMError,
+            UnsupportedError,
+        ],
+    )
+    def test_all_errors_are_repro_errors(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_unsupported_is_ivm_error(self):
+        assert issubclass(UnsupportedError, IVMError)
+
+    def test_single_catch_all(self):
+        con = Connection()
+        with pytest.raises(ReproError):
+            con.execute("SELECT * FROM nope")
+        with pytest.raises(ReproError):
+            con.execute("THIS IS NOT SQL")
+
+    def test_parser_error_position(self):
+        try:
+            Connection().execute("SELECT FROM")
+        except ParserError as exc:
+            assert exc.line == 1
+        else:
+            pytest.fail("expected ParserError")

@@ -1,0 +1,100 @@
+"""CLI tests: the standalone command-line compiler."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompile:
+    def test_compile_to_stdout(self, capsys):
+        exit_code = main(
+            [
+                "compile",
+                "--schema",
+                "CREATE TABLE t (g VARCHAR, v INTEGER)",
+                "--view",
+                "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+                "FROM t GROUP BY g",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "INSERT INTO delta_q" in out
+        assert "INSERT OR REPLACE INTO q" in out
+
+    def test_compile_postgres_dialect(self, capsys):
+        main(
+            [
+                "compile",
+                "--schema",
+                "CREATE TABLE t (g VARCHAR, v INTEGER)",
+                "--view",
+                "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+                "FROM t GROUP BY g",
+                "--dialect",
+                "postgres",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "ON CONFLICT" in out
+        assert "TRUNCATE" in out
+
+    def test_compile_strategy_flag(self, capsys):
+        main(
+            [
+                "compile",
+                "--schema",
+                "CREATE TABLE t (g VARCHAR, v INTEGER)",
+                "--view",
+                "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+                "FROM t GROUP BY g",
+                "--strategy",
+                "union_regroup",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "UNION ALL" in out
+
+    def test_compile_from_files(self, tmp_path, capsys):
+        schema = tmp_path / "schema.sql"
+        schema.write_text("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        view = tmp_path / "view.sql"
+        view.write_text(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, COUNT(*) AS c "
+            "FROM t GROUP BY g"
+        )
+        output = tmp_path / "out.sql"
+        main(
+            [
+                "compile",
+                "--schema",
+                str(schema),
+                "--view",
+                str(view),
+                "--output",
+                str(output),
+            ]
+        )
+        assert "INSERT INTO delta_q" in output.read_text()
+
+    def test_unknown_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestDemo:
+    def test_demo_reproduces_paper_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        # The §2 worked example: apple 5→2, banana 2→3.
+        assert "apple        2" in out
+        assert "banana       3" in out
+        assert "INSERT OR REPLACE INTO query_groups" in out
+
+
+class TestBench:
+    def test_bench_runs_small(self, capsys):
+        assert main(["bench", "--rows", "2000", "--groups", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental refresh" in out
+        assert "full recomputation" in out

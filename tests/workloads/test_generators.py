@@ -1,0 +1,112 @@
+"""Workload generator tests: determinism, consistency, shapes."""
+
+from repro.workloads import (
+    ChangeBatch,
+    generate_change_stream,
+    generate_groups_rows,
+    generate_sales_workload,
+    zipf_group_keys,
+)
+from repro.workloads.runner import Stopwatch, format_table, time_call
+
+
+class TestGroupsRows:
+    def test_deterministic(self):
+        a = generate_groups_rows(100, seed=1)
+        b = generate_groups_rows(100, seed=1)
+        assert a == b
+        assert a != generate_groups_rows(100, seed=2)
+
+    def test_shape(self):
+        rows = generate_groups_rows(50, num_groups=5, value_range=(1, 10))
+        assert len(rows) == 50
+        assert all(1 <= v <= 10 for _, v in rows)
+        assert len({k for k, _ in rows}) <= 5
+
+    def test_zipf_skews_distribution(self):
+        uniform = zipf_group_keys(5000, 100, skew=0.0, seed=3)
+        skewed = zipf_group_keys(5000, 100, skew=1.5, seed=3)
+
+        def top_share(keys):
+            from collections import Counter
+
+            counts = Counter(keys)
+            return counts.most_common(1)[0][1] / len(keys)
+
+        assert top_share(skewed) > top_share(uniform) * 3
+
+
+class TestChangeStream:
+    def test_deletes_target_live_rows(self):
+        initial = generate_groups_rows(200, seed=5)
+        live = list(initial)
+        for batch in generate_change_stream(initial, batch_size=20, batches=10):
+            for row in batch.deletes:
+                live.remove(row)  # raises if the generator lied
+            live.extend(batch.inserts)
+
+    def test_batch_sizes(self):
+        initial = generate_groups_rows(100, seed=5)
+        batches = list(
+            generate_change_stream(
+                initial, batch_size=10, batches=5, delete_fraction=0.3
+            )
+        )
+        assert len(batches) == 5
+        assert all(b.size == 10 for b in batches)
+        assert all(len(b.deletes) == 3 for b in batches)
+
+    def test_insert_only_stream(self):
+        batches = list(
+            generate_change_stream([], batch_size=5, batches=2, delete_fraction=0.0)
+        )
+        assert all(not b.deletes for b in batches)
+
+    def test_change_batch_size_property(self):
+        batch = ChangeBatch(inserts=[(1,)], deletes=[(2,), (3,)])
+        assert batch.size == 3
+
+
+class TestSalesWorkload:
+    def test_referential_integrity(self):
+        w = generate_sales_workload(num_customers=20, num_orders=100)
+        customer_ids = {c[0] for c in w.customers}
+        assert all(o[1] in customer_ids for o in w.orders)
+
+    def test_unique_order_ids(self):
+        w = generate_sales_workload(num_orders=500)
+        ids = [o[0] for o in w.orders]
+        assert len(set(ids)) == len(ids)
+        assert w.next_order_id() == max(ids) + 1
+
+    def test_schema_executes(self):
+        from repro import Connection
+
+        w = generate_sales_workload(num_customers=5, num_orders=10)
+        con = Connection()
+        con.execute(w.SCHEMA)
+        for c in w.customers:
+            con.execute("INSERT INTO customers VALUES (?, ?)", list(c))
+        for o in w.orders:
+            con.execute("INSERT INTO orders VALUES (?, ?, ?, ?)", list(o))
+        assert con.execute("SELECT COUNT(*) FROM orders").scalar() == 10
+
+
+class TestRunner:
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        assert watch.measure("work", lambda: 42) == 42
+        watch.measure("work", lambda: 0)
+        assert len(watch.timings["work"]) == 2
+        assert watch.total("work") >= 0
+        assert watch.mean("missing") == 0.0
+
+    def test_time_call(self):
+        elapsed, result = time_call(lambda: "done", repeat=2)
+        assert result == "done" and elapsed >= 0
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "time"], [["fast", 0.000005], ["slow", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "5.0us" in text and "2.500s" in text

@@ -1,0 +1,58 @@
+"""D/I operator tests: differentiation, integration, brute-force deltas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zset import ZSet, delta_view
+from repro.zset.incremental import integrate
+from repro.zset.operators import zset_filter
+
+
+class TestDeltaView:
+    def query(self, z: ZSet) -> ZSet:
+        return zset_filter(z, lambda row: row[1] > 0).distinct()
+
+    def test_empty_delta_gives_empty_view_delta(self):
+        state = ZSet.from_rows([("a", 1)])
+        assert delta_view(self.query, [state], [ZSet()]) == ZSet()
+
+    def test_insert_produces_positive_delta(self):
+        state = ZSet.from_rows([("a", 1)])
+        delta = ZSet.deltas(inserts=[("b", 2)])
+        out = delta_view(self.query, [state], [delta])
+        assert out.weight(("b", 2)) == 1
+
+    def test_delete_produces_negative_delta(self):
+        state = ZSet.from_rows([("a", 1)])
+        delta = ZSet.deltas(deletes=[("a", 1)])
+        out = delta_view(self.query, [state], [delta])
+        assert out.weight(("a", 1)) == -1
+
+    def test_nonlinear_query_handled_by_brute_force(self):
+        # distinct() is non-linear; delta_view still gives the right ΔV.
+        state = ZSet.from_rows([("a", 1), ("a", 1)])
+        delta = ZSet.deltas(deletes=[("a", 1)])
+        out = delta_view(lambda z: z.distinct(), [state], [delta])
+        # Two copies minus one: still present, so the distinct view is
+        # unchanged.
+        assert out == ZSet()
+
+    def test_misaligned_arguments_raise(self):
+        with pytest.raises(ValueError):
+            delta_view(lambda z: z, [ZSet()], [])
+
+
+class TestIntegrate:
+    def test_integration_applies_delta(self):
+        state = ZSet.from_rows([("a",)])
+        delta = ZSet.deltas(inserts=[("b",)], deletes=[("a",)])
+        assert integrate(state, delta) == ZSet.from_rows([("b",)])
+
+    @given(
+        st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 3)), max_size=8),
+        st.lists(st.tuples(st.sampled_from("ab"), st.integers(0, 3)), max_size=8),
+    )
+    def test_integrate_then_differentiate_roundtrip(self, old_rows, new_rows):
+        old = ZSet.from_rows(old_rows)
+        new = ZSet.from_rows(new_rows)
+        assert integrate(old, new - old) == new

@@ -1,0 +1,115 @@
+"""Z-set group structure: unit tests + algebraic-law property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.zset import ZSet
+
+
+class TestConstruction:
+    def test_from_rows_counts_multiplicity(self):
+        z = ZSet.from_rows([("a",), ("a",), ("b",)])
+        assert z.weight(("a",)) == 2
+        assert z.weight(("b",)) == 1
+        assert z.weight(("zzz",)) == 0
+
+    def test_deltas(self):
+        z = ZSet.deltas(inserts=[("a",)], deletes=[("b",), ("b",)])
+        assert z.weight(("a",)) == 1
+        assert z.weight(("b",)) == -2
+
+    def test_zero_weights_dropped(self):
+        z = ZSet.deltas(inserts=[("a",)], deletes=[("a",)])
+        assert len(z) == 0
+        assert not z
+
+    def test_rows_expansion(self):
+        z = ZSet.from_rows([("a",), ("a",)])
+        assert z.rows() == [("a",), ("a",)]
+
+    def test_rows_with_negative_raises(self):
+        z = ZSet.deltas(deletes=[("a",)])
+        with pytest.raises(ValueError):
+            z.rows()
+
+    def test_is_set_and_is_positive(self):
+        assert ZSet.from_rows([("a",), ("b",)]).is_set()
+        assert not ZSet.from_rows([("a",), ("a",)]).is_set()
+        assert ZSet.from_rows([("a",), ("a",)]).is_positive()
+        assert not ZSet.deltas(deletes=[("a",)]).is_positive()
+
+
+class TestGroupOperations:
+    def test_addition_merges_weights(self):
+        a = ZSet.from_rows([("x",)])
+        b = ZSet.deltas(inserts=[("x",), ("y",)])
+        merged = a + b
+        assert merged.weight(("x",)) == 2
+        assert merged.weight(("y",)) == 1
+
+    def test_subtraction_is_differentiation(self):
+        old = ZSet.from_rows([("a",), ("b",)])
+        new = ZSet.from_rows([("b",), ("c",)])
+        delta = new - old
+        assert delta.weight(("a",)) == -1
+        assert delta.weight(("b",)) == 0
+        assert delta.weight(("c",)) == 1
+
+    def test_negation(self):
+        z = ZSet.from_rows([("a",)])
+        assert (-z).weight(("a",)) == -1
+
+    def test_scale(self):
+        z = ZSet.from_rows([("a",)])
+        assert z.scale(3).weight(("a",)) == 3
+
+    def test_distinct(self):
+        z = ZSet({("a",): 5, ("b",): -2})
+        d = z.distinct()
+        assert d.weight(("a",)) == 1
+        assert d.weight(("b",)) == 0
+
+
+_rows = st.lists(
+    st.tuples(st.sampled_from("abcde"), st.integers(0, 3)), max_size=12
+)
+
+
+def zsets():
+    return st.builds(
+        lambda ins, dels: ZSet.deltas(inserts=ins, deletes=dels), _rows, _rows
+    )
+
+
+@given(zsets(), zsets())
+def test_addition_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(zsets(), zsets(), zsets())
+def test_addition_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(zsets())
+def test_zero_identity(a):
+    zero = ZSet()
+    assert a + zero == a
+    assert a - zero == a
+
+
+@given(zsets())
+def test_negation_inverse(a):
+    assert a + (-a) == ZSet()
+
+
+@given(zsets(), zsets())
+def test_integration_of_differentiation(old, new):
+    """I(D(new, old), old) == new — the defining DBSP identity."""
+    delta = new - old
+    assert old + delta == new
+
+
+@given(zsets())
+def test_distinct_idempotent(a):
+    assert a.distinct().distinct() == a.distinct()
