@@ -39,6 +39,8 @@ from repro.extension.ivm_extension import IVMExtension, load_ivm
 from repro.htap.oltp import OLTPSystem
 from repro.htap.pipeline import CrossSystemPipeline
 from repro.zset.zset import ZSet
+from repro.zset.batch import ZSetBatch
+from repro.zset.incremental import IndexedJoinState
 from repro.errors import (
     IVMError,
     ReproError,
@@ -53,6 +55,7 @@ __all__ = [
     "Connection",
     "CrossSystemPipeline",
     "IVMError",
+    "IndexedJoinState",
     "IVMExtension",
     "MaterializationStrategy",
     "OLTPSystem",
@@ -62,6 +65,7 @@ __all__ = [
     "Result",
     "UnsupportedError",
     "ZSet",
+    "ZSetBatch",
     "load_ivm",
     "__version__",
 ]

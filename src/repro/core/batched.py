@@ -1,0 +1,370 @@
+"""Vectorized delta propagation: the paper's step 1 as batch kernels.
+
+The compiled propagation script computes ΔV with SQL — for join views a
+three-term UNION whose ``A ⋈ ΔB`` / ``ΔA ⋈ B`` terms rescan a full base
+side on every refresh.  This module executes the same step natively over
+:class:`~repro.zset.batch.ZSetBatch` columns:
+
+* delta tables are read columnarly (±1 weights from the boolean
+  multiplicity column),
+* join views probe a persistent :class:`~repro.zset.incremental.
+  IndexedJoinState` — per-key ART-indexed integrated state on both sides —
+  so propagation cost scales with |Δ|, not with |base|,
+* the per-sign partial aggregates (SUM / COUNT / MIN / MAX per group and
+  multiplicity) are folded by the weighted kernels of
+  :mod:`repro.execution.aggregates`,
+* the resulting rows are appended to the ΔV staging table, after which
+  steps 2–4 of the compiled SQL script run unchanged.
+
+Equivalence contract: the materialized view contents after a refresh are
+identical to the SQL step-1 path, with two deliberate caveats:
+
+* the transient ΔV *table* contents may differ when a batch contains
+  exactly cancelling changes — the batch path consolidates them to
+  nothing, the SQL path writes one row per sign; both fold to the same
+  view and ΔV is cleared in step 4 either way;
+* over *floating-point* SUM columns the two paths may round differently
+  (the SQL path sums the insert and delete partitions separately, the
+  batch path consolidates first), so a view relying on the paper's
+  imprecise ``DELETE ... WHERE sum = 0`` liveness fallback can disagree
+  about a group whose sum differs only by float residue.  The batch
+  path's exact cancellation is the better answer; views with a COUNT(*)
+  or hidden-count liveness column are unaffected.  Integer SUMs are
+  always exact on both paths.
+
+View shapes outside the kernel surface (WHERE clauses, computed key or
+aggregate expressions, non-equi joins) return ``None`` from
+:func:`try_build_batched_step1` and keep the SQL path — the emitted
+scripts always contain the portable SQL regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.sql import ast
+from repro.core.model import ColumnRole, MVModel
+from repro.core.strategies import delta_column_plan
+from repro.zset.batch import ZSetBatch
+from repro.zset.incremental import IndexedJoinState
+from repro.zset.operators import batch_aggregate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.connection import Connection
+
+
+@dataclass
+class _Source:
+    """Column-resolution info for one base table feeding the view."""
+
+    name: str
+    alias: str
+    ordinals: dict[str, int]  # lowercase column name -> ordinal
+    offset: int  # ordinal offset in the combined (joined) row
+
+
+class _Unsupported(Exception):
+    """Internal: view shape outside the batched kernel surface."""
+
+
+@dataclass
+class BatchedDeltaStep:
+    """Executable native form of propagation step 1 for one view."""
+
+    model: MVModel
+    delta_tables: list[str]
+    # Key columns of the delta view, in model.key_columns() order: either a
+    # source ordinal (into the combined row) or a constant value.
+    key_ordinals: list[int | None]
+    key_constants: list[Any]
+    # Aggregate kernels for the non-key delta columns, in delta order:
+    # (kernel name, combined-row ordinal or None for COUNT(*)).
+    functions: list[tuple[str, int | None]]
+    # Maps delta-view column positions to batch_aggregate output positions.
+    output_permutation: list[int]
+    # Join state (None for single-table views).
+    join_left_key: list[int] = field(default_factory=list)
+    join_right_key: list[int] = field(default_factory=list)
+    state: IndexedJoinState | None = None
+    refresh_rounds: int = 0
+
+    @property
+    def is_join(self) -> bool:
+        return len(self.delta_tables) == 2
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def initialize(self, connection: "Connection") -> None:
+        """Build the indexed join state from the current base tables.
+
+        Any rows already pending in the delta tables are rewound out, so
+        the state always equals ``base − unconsumed ΔT`` — the integrated
+        state as of the last refresh.
+        """
+        if not self.is_join:
+            return
+        left, right = self.model.analysis.tables
+        state = IndexedJoinState(self.join_left_key, self.join_right_key)
+        state.load_left(connection.table(left.name).scan())
+        state.load_right(connection.table(right.name).scan())
+        pending_left = connection.read_delta_batch(self.delta_tables[0])
+        pending_right = connection.read_delta_batch(self.delta_tables[1])
+        if len(pending_left) or len(pending_right):
+            state.rewind(pending_left, pending_right)
+        self.state = state
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, connection: "Connection") -> int:
+        """Compute ΔV from the delta tables and append it to the ΔV table.
+
+        Returns the number of ΔV rows written.
+        """
+        self.refresh_rounds += 1
+        batches = [
+            connection.read_delta_batch(name) for name in self.delta_tables
+        ]
+        if self.is_join:
+            if self.state is None:
+                raise RuntimeError(
+                    "batched join step used before initialize()"
+                )
+            source = self.state.apply(batches[0], batches[1])
+        else:
+            source = batches[0]
+        if len(source) == 0:
+            return 0
+
+        source = self._with_constant_keys(source)
+        key_ordinals = [
+            ordinal if ordinal is not None else self._const_ordinal(source, i)
+            for i, ordinal in enumerate(self.key_ordinals)
+        ]
+
+        rows: list[tuple] = []
+        positive, negative = source.split_signs()
+        for partition, multiplicity in ((positive, True), (negative, False)):
+            if len(partition) == 0:
+                continue
+            aggregated = batch_aggregate(
+                partition, key_ordinals, self.functions
+            )
+            permuted = [
+                aggregated.columns[j] for j in self.output_permutation
+            ]
+            for i in range(len(aggregated)):
+                rows.append(
+                    tuple(column[i] for column in permuted) + (multiplicity,)
+                )
+        if rows:
+            connection.insert_rows(self.model.delta_view_table, rows)
+        return len(rows)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _with_constant_keys(self, source: ZSetBatch) -> ZSetBatch:
+        """Append one materialized column per constant key (the hidden
+        scalar-aggregate key is ``CAST(0 AS INTEGER)``)."""
+        constants = [
+            value
+            for ordinal, value in zip(self.key_ordinals, self.key_constants)
+            if ordinal is None
+        ]
+        if not constants:
+            return source
+        columns = list(source.columns)
+        for value in constants:
+            columns.append(np.full(len(source), value, dtype=object))
+        return ZSetBatch(
+            columns, source.weights, consolidated=source.is_consolidated
+        )
+
+    def _const_ordinal(self, source: ZSetBatch, key_index: int) -> int:
+        """Ordinal of the materialized constant column for key ``key_index``
+        (constant columns sit after the real ones, in key order)."""
+        consts_before = sum(
+            1 for ordinal in self.key_ordinals[:key_index] if ordinal is None
+        )
+        total_consts = sum(1 for ordinal in self.key_ordinals if ordinal is None)
+        return source.arity - total_consts + consts_before
+
+
+# ---------------------------------------------------------------------------
+# Spec construction
+# ---------------------------------------------------------------------------
+
+
+def try_build_batched_step1(model: MVModel, catalog) -> BatchedDeltaStep | None:
+    """A :class:`BatchedDeltaStep` for ``model``, or None when the view
+    shape is outside the kernel surface (the caller keeps the SQL path)."""
+    try:
+        return _build(model, catalog)
+    except _Unsupported:
+        return None
+
+
+def _build(model: MVModel, catalog) -> BatchedDeltaStep:
+    analysis = model.analysis
+    if analysis.where is not None:
+        raise _Unsupported("WHERE clauses use the SQL path")
+    if len(analysis.tables) > 2:
+        raise _Unsupported("more than two base tables")
+
+    sources: list[_Source] = []
+    offset = 0
+    for table in analysis.tables:
+        schema = catalog.table(table.name).schema
+        ordinals = {
+            column.name.lower(): j for j, column in enumerate(schema.columns)
+        }
+        sources.append(
+            _Source(
+                name=table.name, alias=table.alias,
+                ordinals=ordinals, offset=offset,
+            )
+        )
+        offset += len(schema.columns)
+
+    join_left_key: list[int] = []
+    join_right_key: list[int] = []
+    if len(sources) == 2:
+        if analysis.join_condition is None:
+            raise _Unsupported("join views need an equi-join condition")
+        for left_ordinal, right_ordinal in _equi_key_pairs(
+            analysis.join_condition, sources
+        ):
+            join_left_key.append(left_ordinal)
+            join_right_key.append(right_ordinal)
+        if not join_left_key:
+            raise _Unsupported("no equi-join key pairs")
+
+    key_ordinals: list[int | None] = []
+    key_constants: list[Any] = []
+    functions: list[tuple[str, int | None]] = []
+    key_positions: dict[str, int] = {}
+    agg_positions: dict[str, int] = {}
+    for column, kind in delta_column_plan(model):
+        if kind == "key":
+            constant = _constant_value(column.expr)
+            if constant is not _NOT_CONSTANT:
+                key_ordinals.append(None)
+                key_constants.append(constant)
+            else:
+                key_ordinals.append(_resolve_column(column.expr, sources))
+                key_constants.append(None)
+            key_positions[column.name] = len(key_ordinals) - 1
+        else:
+            functions.append(_aggregate_kernel(column, sources))
+            agg_positions[column.name] = len(functions) - 1
+
+    num_keys = len(key_ordinals)
+    output_permutation = []
+    for column in model.delta_columns():
+        if column.role is ColumnRole.KEY:
+            output_permutation.append(key_positions[column.name])
+        else:
+            output_permutation.append(num_keys + agg_positions[column.name])
+
+    return BatchedDeltaStep(
+        model=model,
+        delta_tables=[
+            model.flags.delta_table(table.name) for table in analysis.tables
+        ],
+        key_ordinals=key_ordinals,
+        key_constants=key_constants,
+        functions=functions,
+        output_permutation=output_permutation,
+        join_left_key=join_left_key,
+        join_right_key=join_right_key,
+    )
+
+
+_NOT_CONSTANT = object()
+
+_KERNELS = {
+    ColumnRole.SUM: "SUM",
+    ColumnRole.AVG_SUM: "SUM",
+    ColumnRole.COUNT: "COUNT",
+    ColumnRole.AVG_COUNT: "COUNT",
+    ColumnRole.COUNT_STAR: "COUNT",
+    ColumnRole.HIDDEN_COUNT: "COUNT",
+    ColumnRole.MIN: "MIN",
+    ColumnRole.MAX: "MAX",
+}
+
+
+def _aggregate_kernel(column, sources) -> tuple[str, int | None]:
+    kernel = _KERNELS.get(column.role)
+    if kernel is None:
+        raise _Unsupported(f"no batch kernel for role {column.role}")
+    if column.expr is None:
+        return kernel, None
+    return kernel, _resolve_column(column.expr, sources)
+
+
+def _constant_value(expr: ast.Expression):
+    """The literal value of a constant key expression (possibly CAST-
+    wrapped), or the _NOT_CONSTANT sentinel."""
+    node = expr
+    while isinstance(node, ast.Cast):
+        node = node.operand
+    if isinstance(node, ast.Literal):
+        return node.value
+    return _NOT_CONSTANT
+
+
+def _resolve_column(expr: ast.Expression, sources: list[_Source]) -> int:
+    """Combined-row ordinal of a plain column reference."""
+    if not isinstance(expr, ast.ColumnRef):
+        raise _Unsupported(f"computed expression {type(expr).__name__}")
+    name = expr.name.lower()
+    if expr.table is not None:
+        alias = expr.table.lower()
+        for source in sources:
+            if source.alias.lower() == alias:
+                if name not in source.ordinals:
+                    raise _Unsupported(f"unknown column {expr.name}")
+                return source.offset + source.ordinals[name]
+        raise _Unsupported(f"unknown alias {expr.table}")
+    owners = [source for source in sources if name in source.ordinals]
+    if len(owners) != 1:
+        raise _Unsupported(f"ambiguous or unknown column {expr.name}")
+    return owners[0].offset + owners[0].ordinals[name]
+
+
+def _equi_key_pairs(
+    condition: ast.Expression, sources: list[_Source]
+) -> list[tuple[int, int]]:
+    """(left_ordinal, right_ordinal) pairs from an AND-ed equality chain.
+
+    Ordinals are relative to each side's own row (not the combined row).
+    """
+    pairs: list[tuple[int, int]] = []
+    left_width = len(sources[0].ordinals)
+
+    def visit(node: ast.Expression) -> None:
+        if isinstance(node, ast.BinaryOp) and node.op == "AND":
+            visit(node.left)
+            visit(node.right)
+            return
+        if not (
+            isinstance(node, ast.BinaryOp)
+            and node.op == "="
+            and isinstance(node.left, ast.ColumnRef)
+            and isinstance(node.right, ast.ColumnRef)
+        ):
+            raise _Unsupported("non-equi join condition")
+        a = _resolve_column(node.left, sources)
+        b = _resolve_column(node.right, sources)
+        if a < left_width <= b:
+            pairs.append((a, b - left_width))
+        elif b < left_width <= a:
+            pairs.append((b, a - left_width))
+        else:
+            raise _Unsupported("join condition does not span both tables")
+
+    visit(condition)
+    return pairs

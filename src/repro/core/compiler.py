@@ -27,7 +27,7 @@ from repro.core.ddl import (
 )
 from repro.core.flags import CompilerFlags
 from repro.core.model import MVModel, build_model
-from repro.core.propagate import build_propagation, clear_deltas
+from repro.core.propagate import build_propagation_plan, clear_deltas
 from repro.core import duckast as d
 from repro.core.strategies import recompute_item
 
@@ -50,6 +50,10 @@ class CompiledView:
     populate: str = ""
     # The propagation script — the paper's steps 1–4, labelled.
     propagation: list[tuple[str, str]] = field(default_factory=list)
+    # Native vectorized form of step 1 (None when the view shape is
+    # outside the batch-kernel surface or batch_kernels is off); the SQL
+    # in ``propagation`` is always complete regardless.
+    batched_step1: object | None = None
 
     @property
     def delta_tables(self) -> dict[str, str]:
@@ -143,7 +147,7 @@ class OpenIVMCompiler:
         ddl.append(metadata_insert(model, analysis.sql, dialect))
 
         populate = self._populate_sql(model, dialect)
-        propagation = build_propagation(model, dialect)
+        plan = build_propagation_plan(model, dialect, self.catalog)
         return CompiledView(
             name=name,
             view_class=analysis.view_class,
@@ -152,7 +156,8 @@ class OpenIVMCompiler:
             view_sql=analysis.sql,
             ddl=ddl,
             populate=populate,
-            propagation=propagation,
+            propagation=plan.statements,
+            batched_step1=plan.batched_step1,
         )
 
     # -- initial population ------------------------------------------------

@@ -46,6 +46,11 @@ class CompilerFlags:
     mode: PropagationMode = PropagationMode.LAZY
     # Batch size for PropagationMode.BATCH.
     batch_size: int = 64
+    # Compute ΔV with the vectorized Z-set batch kernels and ART-indexed
+    # join state instead of executing the step-1 SQL (falls back to SQL
+    # automatically for view shapes the kernels don't cover).  The emitted
+    # scripts always contain the portable SQL either way.
+    batch_kernels: bool = True
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

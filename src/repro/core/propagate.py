@@ -15,6 +15,8 @@ assembles the labelled statement list.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.sql.dialect import Dialect
 from repro.core import duckast as d
 from repro.core.model import MVModel
@@ -23,12 +25,47 @@ from repro.core.strategies import apply_strategy
 
 Statement = tuple[str, str]
 
+STEP1_LABEL = "step1: compute delta view from delta tables"
+
+
+@dataclass
+class PropagationPlan:
+    """An executable propagation plan: the labelled SQL script plus, when
+    the view shape supports it, the vectorized native form of step 1.
+
+    Runners (the IVM extension's ``refresh``) execute ``batched_step1`` in
+    place of the ``STEP1_LABEL`` statement when it is present; the SQL
+    statement list is always complete, so the stored scripts stay portable
+    and the SQL path remains available as the row-at-a-time baseline
+    (``CompilerFlags.batch_kernels = False``).
+    """
+
+    statements: list[Statement]
+    batched_step1: "object | None" = None  # BatchedDeltaStep, avoids cycle
+
+
+def build_propagation_plan(
+    model: MVModel, dialect: Dialect, catalog=None
+) -> PropagationPlan:
+    """The propagation plan: SQL script + optional batched step 1.
+
+    The native step is attempted only when the compiler flags ask for
+    batch kernels and a catalog is available to resolve column ordinals;
+    unsupported view shapes silently keep the pure-SQL plan.
+    """
+    from repro.core.batched import try_build_batched_step1
+
+    statements = build_propagation(model, dialect)
+    batched = None
+    if catalog is not None and model.flags.batch_kernels:
+        batched = try_build_batched_step1(model, catalog)
+    return PropagationPlan(statements=statements, batched_step1=batched)
+
 
 def build_propagation(model: MVModel, dialect: Dialect) -> list[Statement]:
     """The full propagation script, in execution order, labelled by step."""
     statements: list[Statement] = [
-        ("step1: compute delta view from delta tables",
-         build_delta_view_insert(model, dialect)),
+        (STEP1_LABEL, build_delta_view_insert(model, dialect)),
     ]
     statements.extend(apply_strategy(model, dialect))
     invalid = _delete_invalid_rows(model, dialect)

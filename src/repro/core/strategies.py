@@ -33,6 +33,30 @@ from repro.core.model import ColumnRole, MVColumn, MVModel
 _TOUCHED_ALIAS = "_duckdb_ivm_touched"
 
 
+def delta_column_plan(model: MVModel) -> list[tuple[MVColumn, str]]:
+    """How each delta-view column participates in ΔV folding.
+
+    Returns ``(column, kind)`` pairs with kind ∈ {"key", "additive",
+    "min", "max"}.  This single spec is consumed twice: by the SQL signed
+    collapse below (``_signed_cte_select``) and by the vectorized delta
+    kernels (:mod:`repro.core.batched`), which keeps the two propagation
+    paths folding deltas with identical column semantics.
+    """
+    plan: list[tuple[MVColumn, str]] = []
+    for column in model.delta_columns():
+        if column.role is ColumnRole.KEY:
+            plan.append((column, "key"))
+        elif column.role.is_additive:
+            plan.append((column, "additive"))
+        elif column.role is ColumnRole.MIN:
+            plan.append((column, "min"))
+        elif column.role is ColumnRole.MAX:
+            plan.append((column, "max"))
+        else:  # pragma: no cover - delta_columns excludes derived AVG
+            raise IVMError(f"column role {column.role} has no delta plan")
+    return plan
+
+
 def apply_strategy(model: MVModel, dialect: Dialect) -> list[tuple[str, str]]:
     """Emit the labelled step-2 statements for the model's strategy."""
     strategy = model.flags.strategy
@@ -72,25 +96,25 @@ def _signed_cte_select(model: MVModel) -> ast.Select:
     """
     mult = d.col(model.multiplicity)
     items: list[ast.SelectItem] = []
-    for column in model.delta_columns():
+    for column, kind in delta_column_plan(model):
         name = d.col(column.name)
-        if column.role is ColumnRole.KEY:
+        if kind == "key":
             items.append(d.item(name, column.name))
-        elif column.role.is_additive:
+        elif kind == "additive":
             items.append(
                 d.item(
                     d.agg("SUM", d.signed_by_multiplicity(name, copy.deepcopy(mult))),
                     column.name,
                 )
             )
-        elif column.role is ColumnRole.MIN:
+        elif kind == "min":
             items.append(
                 d.item(
                     d.agg("MIN", d.only_inserts(name, copy.deepcopy(mult))),
                     column.name,
                 )
             )
-        elif column.role is ColumnRole.MAX:
+        elif kind == "max":
             items.append(
                 d.item(
                     d.agg("MAX", d.only_inserts(name, copy.deepcopy(mult))),

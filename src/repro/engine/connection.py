@@ -107,6 +107,38 @@ class Connection:
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
 
+    # -- batched Z-set bridge ---------------------------------------------
+    #
+    # The IVM extension's vectorized propagation path moves deltas between
+    # tables and Z-set batches without going through SQL statement
+    # execution; these two helpers are that bridge.
+
+    def read_delta_batch(self, delta_table: str):
+        """Read a delta table (base columns + trailing boolean multiplicity)
+        into a columnar :class:`~repro.zset.batch.ZSetBatch`: multiplicity
+        TRUE becomes weight +1, FALSE becomes −1."""
+        import numpy as np
+
+        from repro.zset.batch import ZSetBatch, _object_array
+
+        table = self.catalog.table(delta_table)
+        columns = table.scan_columns()
+        mult = columns[-1]
+        weights = np.fromiter(
+            (1 if m else -1 for m in mult), dtype=np.int64, count=len(mult)
+        )
+        return ZSetBatch([_object_array(c) for c in columns[:-1]], weights)
+
+    def insert_rows(self, table_name: str, rows) -> int:
+        """Bulk-append pre-shaped rows (no coercion, no triggers) — the
+        write half of the batched propagation path."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row, coerce=False)
+            count += 1
+        return count
+
     # -- parsing with extension fall-back ----------------------------------
 
     def _parse(self, sql: str) -> list[ast.Statement]:

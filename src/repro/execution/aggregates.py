@@ -1,14 +1,24 @@
-"""Aggregate function state machines for hash aggregation.
+"""Aggregate function state machines and weighted batch kernels.
 
 Each aggregate is a small class with ``update(value)`` and ``result()``.
 SQL semantics: NULL inputs are skipped; SUM/MIN/MAX/AVG over zero non-NULL
 inputs yield NULL; COUNT yields 0.  DISTINCT variants wrap a base state
 with a seen-set.
+
+The ``grouped_weighted_*`` functions at the bottom are the *linear*
+aggregates (SUM / COUNT / COUNT(*)) lifted to Z-set batches: inputs are
+parallel arrays (dense group ids, values, integer weights) and each kernel
+folds a whole batch per group in vectorized NumPy instead of per-row state
+updates.  They are shared by the Z-set batch operators
+(:func:`repro.zset.operators.batch_aggregate`) and the engine's batched
+delta propagation (:mod:`repro.core.batched`).
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+import numpy as np
 
 from repro.datatypes.values import sql_compare
 from repro.errors import ExecutionError
@@ -151,3 +161,90 @@ def make_aggregate_state(function: str, star: bool, distinct: bool):
     if distinct:
         return _DistinctState(state)
     return state
+
+
+# ---------------------------------------------------------------------------
+# Weighted batch kernels (linear aggregates over Z-set batches)
+# ---------------------------------------------------------------------------
+
+_is_null = np.frompyfunc(lambda v: v is None, 1, 1)
+
+
+def null_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of NULL entries in an object-dtype value column."""
+    return _is_null(values).astype(bool)
+
+
+def grouped_weighted_sum(
+    ids: np.ndarray, values: np.ndarray, weights: np.ndarray, num_groups: int
+) -> list:
+    """SUM lifted to Z-sets: per group, Σ value·weight over non-NULL values.
+
+    Matches the row-at-a-time reference (``state += value * weight``): a
+    group whose values are all NULL yields 0, not NULL — delta partial sums
+    start from the additive identity.  Integer inputs produce integer
+    results (the float accumulation is exact below 2**53, which the
+    memcomparable key encoding already requires of this engine's numbers).
+    """
+    nulls = null_mask(values)
+    clean = np.where(nulls, 0, values)
+    try:
+        numeric = np.asarray(clean, dtype=np.float64)
+    except (TypeError, ValueError):
+        # Non-numeric payloads (Decimals etc.): object-level fallback.
+        sums: list[Any] = [0] * num_groups
+        for g, value, weight in zip(ids, clean, weights):
+            sums[int(g)] = sums[int(g)] + value * int(weight)
+        return sums
+    totals = np.bincount(ids, weights=numeric * weights, minlength=num_groups)
+    keep_int = not any(isinstance(v, float) for v in values[~nulls])
+    if keep_int:
+        return [int(total) for total in totals]
+    return [float(total) for total in totals]
+
+
+def grouped_weighted_count(
+    ids: np.ndarray, values: np.ndarray, weights: np.ndarray, num_groups: int
+) -> list:
+    """COUNT(x) lifted to Z-sets: per group, Σ weight over non-NULL x."""
+    present = (~null_mask(values)).astype(np.int64)
+    totals = np.bincount(ids, weights=weights * present, minlength=num_groups)
+    return [int(total) for total in totals]
+
+
+def grouped_weighted_count_star(
+    ids: np.ndarray, weights: np.ndarray, num_groups: int
+) -> list:
+    """COUNT(*) lifted to Z-sets: per group, Σ weight (the group liveness)."""
+    totals = np.bincount(ids, weights=weights, minlength=num_groups)
+    return [int(total) for total in totals]
+
+
+def grouped_minmax(
+    ids: np.ndarray,
+    values: np.ndarray,
+    weights: np.ndarray,
+    num_groups: int,
+    want_max: bool,
+) -> list:
+    """MIN/MAX over a *positive* batch partition (presence = weight > 0).
+
+    MIN/MAX are not linear, so this kernel is only meaningful on a
+    sign-partitioned batch (all weights > 0), where it reduces to a plain
+    grouped extremum over the distinct rows present.  NULLs are skipped;
+    an all-NULL group yields NULL, as in SQL.
+    """
+    if len(weights) and np.any(weights <= 0):
+        raise ValueError(
+            "grouped_minmax requires a positive batch partition; "
+            "split signs before aggregating MIN/MAX"
+        )
+    best: list[Any] = [None] * num_groups
+    direction = 1 if want_max else -1
+    for g, value in zip(ids, values):
+        if value is None:
+            continue
+        g = int(g)
+        if best[g] is None or sql_compare(value, best[g]) * direction > 0:
+            best[g] = value
+    return best

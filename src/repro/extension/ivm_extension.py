@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.flags import CompilerFlags, PropagationMode
+from repro.core.propagate import STEP1_LABEL
 from repro.engine.connection import Connection
 from repro.engine.result import Result
 from repro.errors import IVMError, ParserError
@@ -117,14 +118,25 @@ class IVMExtension:
 
     def refresh(self, name: str) -> None:
         """Run the propagation scripts for ``name`` (and for every view
-        sharing one of its delta tables, so shared ΔT are consumed once)."""
+        sharing one of its delta tables, so shared ΔT are consumed once).
+
+        Views whose shape the batch kernels cover compute step 1 natively
+        (vectorized Z-set deltas + indexed join state); all propagation
+        modes — eager, lazy, and batch — funnel through here, so they all
+        take the batched path.  The remaining steps run the compiled SQL.
+        """
         state = self.view_state(name)
         closure = self._refresh_closure(state)
         con = self._require_connection()
         for member in closure:
+            batched = member.compiled.batched_step1
+            if batched is not None:
+                batched.run(con)
             for label, statement in member.prepared:
                 if label.startswith("step4: clear delta table"):
                     continue  # cleared once for the whole closure below
+                if batched is not None and label == STEP1_LABEL:
+                    continue  # computed natively above
                 con.execute_statement(statement)
             member.pending_changes = 0
             member.refresh_count += 1
@@ -155,6 +167,7 @@ class IVMExtension:
                     "class": compiled.view_class.value,
                     "strategy": compiled.model.flags.strategy.value,
                     "mode": compiled.model.flags.mode.value,
+                    "batched": state.compiled.batched_step1 is not None,
                     "pending_changes": state.pending_changes,
                     "refresh_count": state.refresh_count,
                     "rows": len(con.table(compiled.name)),
@@ -231,6 +244,10 @@ class IVMExtension:
         for sql in compiled.ddl:
             con.execute(sql)
         con.execute(compiled.populate)
+        if compiled.batched_step1 is not None:
+            # Build the ART-indexed join state from the just-populated base
+            # tables (rewinding any ΔT rows other views left pending).
+            compiled.batched_step1.initialize(con)
         self._store_script(compiled)
         prepared = [
             (label, parse_script(sql)[0]) for label, sql in compiled.propagation

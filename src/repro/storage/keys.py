@@ -38,7 +38,10 @@ _MAX_EXACT_INT = 2**53
 def _encode_number(value: float) -> bytes:
     # IEEE-754 total-order trick: flip all bits of negative numbers, flip
     # just the sign bit of non-negatives.  Resulting bytes sort like floats.
-    bits = struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+    value = float(value)
+    if value == 0.0:
+        value = 0.0  # -0.0 == 0 in SQL; normalize so equal values encode equal
+    bits = struct.unpack(">Q", struct.pack(">d", value))[0]
     if bits & 0x8000_0000_0000_0000:
         bits ^= 0xFFFF_FFFF_FFFF_FFFF
     else:

@@ -50,6 +50,17 @@ class Table:
             if row is not None:
                 yield row_id, row
 
+    def scan_columns(self) -> list[list]:
+        """Live rows transposed into per-column value lists (struct-of-
+        arrays order matches the schema).  One pass; the batched Z-set
+        kernels columnarize from this without touching row tuples again."""
+        columns: list[list] = [[] for _ in self.schema.columns]
+        for row in self._rows:
+            if row is not None:
+                for j, value in enumerate(row):
+                    columns[j].append(value)
+        return columns
+
     def row(self, row_id: int) -> Row:
         row = self._rows[row_id]
         if row is None:

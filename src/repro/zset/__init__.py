@@ -10,17 +10,34 @@ SQL must agree with.
 """
 
 from repro.zset.zset import ZSet
+from repro.zset.batch import ZSetBatch
 from repro.zset.operators import (
+    batch_aggregate,
+    batch_distinct,
+    batch_filter,
+    batch_join,
+    batch_project,
     zset_aggregate,
     zset_distinct,
     zset_filter,
     zset_join,
     zset_project,
 )
-from repro.zset.incremental import delta_view, incremental_join_delta
+from repro.zset.incremental import (
+    IndexedJoinState,
+    delta_view,
+    incremental_join_delta,
+)
 
 __all__ = [
+    "IndexedJoinState",
     "ZSet",
+    "ZSetBatch",
+    "batch_aggregate",
+    "batch_distinct",
+    "batch_filter",
+    "batch_join",
+    "batch_project",
     "delta_view",
     "incremental_join_delta",
     "zset_aggregate",

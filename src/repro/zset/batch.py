@@ -1,0 +1,280 @@
+"""Columnar batch representation for Z-set deltas.
+
+A :class:`ZSetBatch` stores a Z-set as parallel column arrays plus a
+weight array::
+
+    columns[j][i]  — value of column j in entry i   (object-dtype ndarray)
+    weights[i]     — signed integer weight of entry i (int64 ndarray)
+
+compared to the dict-backed :class:`~repro.zset.zset.ZSet`, the batch
+layout keeps the weight arithmetic (negation, scaling, sign partitioning,
+weight products in joins) and the row movement (filters, gathers,
+projections) in NumPy kernels instead of per-row Python.  Entries are
+*positional*: the same row may appear in several entries until
+:meth:`consolidate` merges duplicates and drops zero weights — the same
+normal form ``ZSet`` maintains eagerly.
+
+The kernels over this layout live in :mod:`repro.zset.operators`
+(``batch_filter`` / ``batch_project`` / ``batch_join`` /
+``batch_distinct`` / ``batch_aggregate``) and
+:mod:`repro.zset.incremental` (:class:`~repro.zset.incremental.IndexedJoinState`).
+See ``docs/batching.md`` for the design notes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.zset.zset import ZSet
+
+Row = tuple
+
+
+def _object_array(values: Sequence[Any]) -> np.ndarray:
+    """A 1-D object ndarray that never collapses tuples into 2-D shapes."""
+    array = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        array[i] = value
+    return array
+
+
+class ZSetBatch:
+    """A Z-set in columnar (struct-of-arrays) form."""
+
+    __slots__ = ("columns", "weights", "_consolidated")
+
+    def __init__(
+        self,
+        columns: Sequence[np.ndarray],
+        weights: np.ndarray,
+        *,
+        consolidated: bool = False,
+    ) -> None:
+        self.columns: tuple[np.ndarray, ...] = tuple(columns)
+        self.weights: np.ndarray = np.asarray(weights, dtype=np.int64)
+        for column in self.columns:
+            if len(column) != len(self.weights):
+                raise ValueError(
+                    "column arrays and weight array must have equal length"
+                )
+        self._consolidated = consolidated
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls, arity: int) -> "ZSetBatch":
+        return cls(
+            [np.empty(0, dtype=object) for _ in range(arity)],
+            np.empty(0, dtype=np.int64),
+            consolidated=True,
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Row],
+        weights: Sequence[int] | None = None,
+        arity: int | None = None,
+    ) -> "ZSetBatch":
+        """Columnarize ``rows``; ``weights`` defaults to +1 per row.
+
+        ``arity`` disambiguates the empty case (an empty row list carries
+        no column count of its own).
+        """
+        if not rows:
+            return cls.empty(arity or 0)
+        arity = len(rows[0])
+        columns = [
+            _object_array([row[j] for row in rows]) for j in range(arity)
+        ]
+        if weights is None:
+            weight_array = np.ones(len(rows), dtype=np.int64)
+        else:
+            weight_array = np.asarray(list(weights), dtype=np.int64)
+        return cls(columns, weight_array)
+
+    @classmethod
+    def from_zset(cls, zset: ZSet, arity: int | None = None) -> "ZSetBatch":
+        rows = []
+        weights = []
+        for row, weight in zset.items():
+            rows.append(row)
+            weights.append(weight)
+        batch = cls.from_rows(rows, weights, arity=arity)
+        batch._consolidated = True  # ZSet is always in normal form
+        return batch
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        """Number of physical entries (not necessarily distinct rows)."""
+        return len(self.weights)
+
+    def __bool__(self) -> bool:
+        return bool(self.consolidate())
+
+    @property
+    def is_consolidated(self) -> bool:
+        return self._consolidated
+
+    def row_at(self, i: int) -> Row:
+        return tuple(column[i] for column in self.columns)
+
+    def iter_rows(self) -> Iterator[Row]:
+        return zip(*self.columns) if self.columns else iter(())
+
+    def iter_entries(self) -> Iterator[tuple[Row, int]]:
+        for i in range(len(self.weights)):
+            yield self.row_at(i), int(self.weights[i])
+
+    def to_zset(self) -> ZSet:
+        merged: dict[Row, int] = {}
+        for row, weight in self.iter_entries():
+            merged[row] = merged.get(row, 0) + weight
+        return ZSet(merged)
+
+    def __eq__(self, other: object) -> bool:
+        """Z-set equality (normal forms compared), not layout equality."""
+        if isinstance(other, ZSetBatch):
+            return self.to_zset() == other.to_zset()
+        if isinstance(other, ZSet):
+            return self.to_zset() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - batches are not hashed
+        raise TypeError("ZSetBatch is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"ZSetBatch(arity={self.arity}, entries={len(self)}, "
+            f"consolidated={self._consolidated})"
+        )
+
+    # -- group structure (vectorized) ------------------------------------
+
+    def __add__(self, other: "ZSetBatch") -> "ZSetBatch":
+        """Concatenation — O(n) array appends, no hashing until consolidate."""
+        if self.arity != other.arity:
+            if len(self) == 0:
+                return other
+            if len(other) == 0:
+                return self
+            raise ValueError("cannot add batches of different arity")
+        columns = [
+            np.concatenate([a, b]) for a, b in zip(self.columns, other.columns)
+        ]
+        weights = np.concatenate([self.weights, other.weights])
+        return ZSetBatch(columns, weights)
+
+    def __sub__(self, other: "ZSetBatch") -> "ZSetBatch":
+        return self + (-other)
+
+    def __neg__(self) -> "ZSetBatch":
+        return ZSetBatch(
+            self.columns, -self.weights, consolidated=self._consolidated
+        )
+
+    def scale(self, factor: int) -> "ZSetBatch":
+        if isinstance(factor, bool) or not isinstance(factor, (int, np.integer)):
+            raise TypeError(
+                f"Z-set scale factor must be an integer, got {factor!r}"
+            )
+        if factor == 0:
+            return ZSetBatch.empty(self.arity)
+        return ZSetBatch(self.columns, self.weights * np.int64(factor))
+
+    # -- gathers ----------------------------------------------------------
+
+    def gather(self, indices: np.ndarray) -> "ZSetBatch":
+        """Entries at ``indices`` (fancy indexing on every column)."""
+        return ZSetBatch(
+            [column[indices] for column in self.columns], self.weights[indices]
+        )
+
+    def mask(self, keep: np.ndarray) -> "ZSetBatch":
+        """Entries where boolean ``keep`` is True; weights pass through."""
+        keep = np.asarray(keep, dtype=bool)
+        return ZSetBatch(
+            [column[keep] for column in self.columns],
+            self.weights[keep],
+            consolidated=self._consolidated,
+        )
+
+    def select_columns(self, ordinals: Sequence[int]) -> "ZSetBatch":
+        """Projection onto a list of column ordinals (pure array reuse)."""
+        return ZSetBatch(
+            [self.columns[j] for j in ordinals], self.weights
+        )
+
+    # -- consolidation ------------------------------------------------------
+
+    def group_ids(
+        self, key_ordinals: Sequence[int] | None = None
+    ) -> tuple[np.ndarray, list[int]]:
+        """Factorize entries by key columns.
+
+        Returns ``(ids, firsts)`` where ``ids[i]`` is a dense group id per
+        entry and ``firsts[g]`` is the position of group ``g``'s first
+        entry.  The dict pass is the only per-entry Python loop; everything
+        downstream (weight sums, sign splits) runs on the id array.
+        """
+        if key_ordinals is None:
+            key_columns = self.columns
+        else:
+            key_columns = [self.columns[j] for j in key_ordinals]
+        ids = np.empty(len(self.weights), dtype=np.int64)
+        seen: dict[Row, int] = {}
+        firsts: list[int] = []
+        if not key_columns:
+            ids[:] = 0
+            return ids, ([0] if len(self.weights) else [])
+        for i, key in enumerate(zip(*key_columns)):
+            group = seen.get(key)
+            if group is None:
+                group = len(firsts)
+                seen[key] = group
+                firsts.append(i)
+            ids[i] = group
+        return ids, firsts
+
+    def consolidate(self) -> "ZSetBatch":
+        """Merge duplicate rows (summing weights) and drop zero weights.
+
+        This is the batch analogue of ``ZSet``'s eager normal form; the
+        weight summation and the zero elimination are vectorized
+        (``np.bincount`` over dense group ids).
+        """
+        if self._consolidated:
+            return self
+        if len(self.weights) == 0:
+            result = ZSetBatch(self.columns, self.weights, consolidated=True)
+            return result
+        ids, firsts = self.group_ids()
+        sums = np.bincount(ids, weights=self.weights, minlength=len(firsts))
+        sums = sums.astype(np.int64)
+        nonzero = np.nonzero(sums)[0]
+        first_array = np.asarray(firsts, dtype=np.int64)[nonzero]
+        columns = [column[first_array] for column in self.columns]
+        return ZSetBatch(columns, sums[nonzero], consolidated=True)
+
+    # -- sign partitioning ---------------------------------------------------
+
+    def split_signs(self) -> tuple["ZSetBatch", "ZSetBatch"]:
+        """``(positive, negative)`` partitions of the consolidated batch.
+
+        The negative partition carries the *magnitudes* (weights > 0) — the
+        shape the boolean-multiplicity delta tables store deletions in.
+        """
+        batch = self.consolidate()
+        positive = batch.mask(batch.weights > 0)
+        negative = batch.mask(batch.weights < 0)
+        negative = ZSetBatch(
+            negative.columns, -negative.weights, consolidated=True
+        )
+        return positive, negative

@@ -1,4 +1,5 @@
-"""Differentiation / integration and reference delta computations.
+"""Differentiation / integration, reference delta computations, and the
+persistent indexed join state.
 
 These are the D and I operators of DBSP as the paper states them:
 
@@ -9,12 +10,23 @@ These are the D and I operators of DBSP as the paper states them:
 old and new integrated states and difference them.  The compiler's output
 must produce exactly this ΔV effect on the materialized table, so tests
 run both and compare.
+
+:class:`IndexedJoinState` is the *implementation-grade* form of the
+three-term join delta: instead of rescanning the full stored Z-set on
+every propagation, each side keeps its integrated state in a per-key index
+backed by the ART of :mod:`repro.storage.art`, so a delta batch only
+touches the keys it actually contains.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
+from repro.storage.art import ARTIndex
+from repro.storage.keys import encode_key
+from repro.zset.batch import ZSetBatch
 from repro.zset.zset import ZSet
 
 Query = Callable[..., ZSet]
@@ -60,3 +72,194 @@ def incremental_join_delta(
         + join(left, delta_right)
         + join(delta_left, delta_right)
     )
+
+
+# ---------------------------------------------------------------------------
+# Persistent indexed join state
+# ---------------------------------------------------------------------------
+
+
+class _SideIndex:
+    """One join side's integrated Z-set, indexed by encoded join key.
+
+    The ART maps each memcomparable key encoding to a single mutable
+    ``dict[row, weight]`` payload, so point lookups cost one tree descent
+    and integration of a delta batch touches only the keys in the batch.
+    """
+
+    __slots__ = ("key_ordinals", "_art", "_row_count")
+
+    def __init__(self, key_ordinals: Sequence[int]) -> None:
+        self.key_ordinals = list(key_ordinals)
+        self._art = ARTIndex()
+        self._row_count = 0
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def key_of(self, row: tuple) -> tuple:
+        return tuple(row[i] for i in self.key_ordinals)
+
+    def lookup(self, key: tuple) -> dict[tuple, int]:
+        """Rows stored under ``key`` (empty dict when absent)."""
+        found = self._art.search(encode_key(key))
+        return found[0] if found else {}
+
+    def integrate(self, batch: ZSetBatch) -> None:
+        """Fold a delta batch into the state (I operator), per key."""
+        for row, weight in batch.consolidate().iter_entries():
+            key = self.key_of(row)
+            if any(v is None for v in key):
+                continue  # NULL keys can never join; don't store them
+            encoded = encode_key(key)
+            found = self._art.search(encoded)
+            if found:
+                bucket = found[0]
+            else:
+                bucket = {}
+                self._art.insert(encoded, bucket)
+            new_weight = bucket.get(row, 0) + weight
+            if new_weight == 0:
+                if row in bucket:
+                    del bucket[row]
+                    self._row_count -= 1
+            else:
+                if row not in bucket:
+                    self._row_count += 1
+                bucket[row] = new_weight
+
+    def bulk_load(self, rows: Iterable[tuple]) -> None:
+        """Initial build from base rows (weight +1 each), via the chunked
+        ART construction path used for CREATE-time index builds."""
+        buckets: dict[tuple, dict[tuple, int]] = {}
+        for row in rows:
+            key = self.key_of(row)
+            if any(v is None for v in key):
+                continue
+            bucket = buckets.setdefault(key, {})
+            bucket[row] = bucket.get(row, 0) + 1
+        self._row_count = sum(len(b) for b in buckets.values())
+        entries = [(encode_key(key), bucket) for key, bucket in buckets.items()]
+        entries.sort(key=lambda kv: kv[0])
+        self._art = ARTIndex.build_chunked(entries)
+
+
+class IndexedJoinState:
+    """Incremental equi-join with ART-indexed per-key state on both sides.
+
+    Maintains A and B (as Z-sets over their row tuples) and answers
+
+        Δ(A ⋈ B) = ΔA ⋈ B  +  A ⋈ ΔB  +  ΔA ⋈ ΔB
+
+    per update *without* rescanning A or B: the ΔA⋈B term probes B's index
+    once per distinct key in ΔA (and symmetrically), so propagation cost is
+    O(|Δ| · matches), independent of |A| + |B|.  After computing the output
+    delta both deltas are integrated, keeping the state consistent for the
+    next round.
+    """
+
+    def __init__(
+        self,
+        left_key: Sequence[int],
+        right_key: Sequence[int],
+        left_out: Sequence[int] | None = None,
+        right_out: Sequence[int] | None = None,
+    ) -> None:
+        self._left = _SideIndex(left_key)
+        self._right = _SideIndex(right_key)
+        self._left_out = None if left_out is None else list(left_out)
+        self._right_out = None if right_out is None else list(right_out)
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def left_rows(self) -> int:
+        return len(self._left)
+
+    @property
+    def right_rows(self) -> int:
+        return len(self._right)
+
+    # -- loading -----------------------------------------------------------
+
+    def load_left(self, rows: Iterable[tuple]) -> None:
+        self._left.bulk_load(rows)
+
+    def load_right(self, rows: Iterable[tuple]) -> None:
+        self._right.bulk_load(rows)
+
+    def rewind(self, delta_left: ZSetBatch, delta_right: ZSetBatch) -> None:
+        """Back the state out of deltas that are already *in* the loaded
+        base rows but not yet propagated (pending ΔT at load time)."""
+        self._left.integrate(-delta_left.consolidate())
+        self._right.integrate(-delta_right.consolidate())
+
+    # -- the three-term delta ----------------------------------------------
+
+    def apply(
+        self, delta_left: ZSetBatch, delta_right: ZSetBatch
+    ) -> ZSetBatch:
+        """Output delta for one round of input deltas; integrates them."""
+        delta_left = delta_left.consolidate()
+        delta_right = delta_right.consolidate()
+
+        pieces: list[tuple[list[tuple], list[tuple], list[int]]] = []
+        # ΔA ⋈ B and ΔA ⋈ ΔB share the ΔA probe loop: build a transient
+        # key index over ΔB once, then per ΔA entry hit both B's ART and
+        # the ΔB index.
+        db_index: dict[tuple, list[tuple[tuple, int]]] = {}
+        for row, weight in delta_right.iter_entries():
+            key = self._right.key_of(row)
+            if any(v is None for v in key):
+                continue
+            db_index.setdefault(key, []).append((row, weight))
+
+        lrows: list[tuple] = []
+        rrows: list[tuple] = []
+        wprod: list[int] = []
+        for lrow, lweight in delta_left.iter_entries():
+            key = self._left.key_of(lrow)
+            if any(v is None for v in key):
+                continue
+            stored = self._right.lookup(key)
+            for rrow, rweight in stored.items():
+                lrows.append(lrow)
+                rrows.append(rrow)
+                wprod.append(lweight * rweight)
+            for rrow, rweight in db_index.get(key, ()):
+                lrows.append(lrow)
+                rrows.append(rrow)
+                wprod.append(lweight * rweight)
+        # A ⋈ ΔB: probe A's index per ΔB entry (old A — ΔA not yet folded).
+        for rrow, rweight in delta_right.iter_entries():
+            key = self._right.key_of(rrow)
+            if any(v is None for v in key):
+                continue
+            stored = self._left.lookup(key)
+            for lrow, lweight in stored.items():
+                lrows.append(lrow)
+                rrows.append(rrow)
+                wprod.append(lweight * rweight)
+
+        self._left.integrate(delta_left)
+        self._right.integrate(delta_right)
+
+        left_out = self._left_out
+        right_out = self._right_out
+        if not lrows:
+            left_arity = len(left_out) if left_out is not None else (
+                delta_left.arity
+            )
+            right_arity = len(right_out) if right_out is not None else (
+                delta_right.arity
+            )
+            return ZSetBatch.empty(left_arity + right_arity)
+        left_batch = ZSetBatch.from_rows(lrows, wprod)
+        right_batch = ZSetBatch.from_rows(rrows, np.ones(len(rrows), dtype=np.int64))
+        if left_out is None:
+            left_out = range(left_batch.arity)
+        if right_out is None:
+            right_out = range(right_batch.arity)
+        columns = [left_batch.columns[j] for j in left_out]
+        columns += [right_batch.columns[j] for j in right_out]
+        return ZSetBatch(columns, left_batch.weights).consolidate()

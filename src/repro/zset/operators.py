@@ -6,12 +6,30 @@ forms of selection and projection operators are the same as their
 relational form".  The bilinear join gives the three-term delta rule, and
 aggregation is linear for SUM/COUNT (weighted sums), which is what the
 compiler exploits.
+
+Each operator exists twice:
+
+* a row-at-a-time form over :class:`~repro.zset.zset.ZSet` (``zset_*``) —
+  the executable *specification*, kept deliberately simple;
+* a vectorized batch kernel over
+  :class:`~repro.zset.batch.ZSetBatch` (``batch_*``) — the hot-path form
+  the engine's batched propagation uses.  The differential tests in
+  ``tests/zset/test_batch.py`` hold the two equal on randomized inputs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from repro.execution.aggregates import (
+    grouped_minmax,
+    grouped_weighted_count,
+    grouped_weighted_count_star,
+    grouped_weighted_sum,
+)
+from repro.zset.batch import ZSetBatch, _object_array
 from repro.zset.zset import ZSet
 
 RowFn = Callable[[tuple], Any]
@@ -110,3 +128,184 @@ def zset_aggregate(
         out_key = group if isinstance(group, tuple) else (group,)
         result[out_key + tuple(state)] = 1
     return ZSet(result)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized batch kernels
+# ---------------------------------------------------------------------------
+
+
+def batch_filter(
+    batch: ZSetBatch,
+    predicate: Callable[[tuple], bool] | None = None,
+    *,
+    mask: np.ndarray | Callable[..., np.ndarray] | None = None,
+) -> ZSetBatch:
+    """σ kernel: one boolean mask + one compressed gather per column.
+
+    ``mask`` is either a precomputed boolean array or a callable receiving
+    the column arrays and returning one (the fully vectorized form);
+    ``predicate`` is the row-at-a-time fallback for arbitrary Python
+    predicates.
+    """
+    if mask is not None:
+        keep = mask(*batch.columns) if callable(mask) else mask
+    elif predicate is not None:
+        keep = np.fromiter(
+            (bool(predicate(row)) for row in batch.iter_rows()),
+            dtype=bool,
+            count=len(batch),
+        )
+    else:
+        raise TypeError("batch_filter needs a predicate or a mask")
+    return batch.mask(np.asarray(keep, dtype=bool))
+
+
+def batch_project(
+    batch: ZSetBatch,
+    projection: Sequence[int] | Callable[[tuple], tuple],
+) -> ZSetBatch:
+    """π kernel: column gather (ordinal list) or row mapping (callable).
+
+    The ordinal form reuses the existing column arrays outright — zero
+    copies before consolidation.  Weight collisions merge exactly as in
+    :func:`zset_project`.
+    """
+    if callable(projection):
+        rows = [projection(row) for row in batch.iter_rows()]
+        projected = ZSetBatch.from_rows(rows, batch.weights)
+    else:
+        projected = batch.select_columns(list(projection))
+    return projected.consolidate()
+
+
+def batch_distinct(batch: ZSetBatch) -> ZSetBatch:
+    """δ kernel: consolidate, keep net-positive rows, clamp weights to 1."""
+    consolidated = batch.consolidate()
+    positive = consolidated.mask(consolidated.weights > 0)
+    return ZSetBatch(
+        positive.columns,
+        np.ones(len(positive), dtype=np.int64),
+        consolidated=True,
+    )
+
+
+def batch_join(
+    left: ZSetBatch,
+    right: ZSetBatch,
+    left_on: Sequence[int],
+    right_on: Sequence[int],
+    *,
+    combine_cols: tuple[Sequence[int], Sequence[int]] | None = None,
+) -> ZSetBatch:
+    """⋈ kernel: hash build + probe produce two gather-index arrays, then
+    every output column and the weight products are materialized with
+    vectorized gathers (weights multiply — the bilinear sign algebra).
+
+    Entries whose key contains NULL never match (SQL semantics).
+    ``combine_cols`` selects (left_ordinals, right_ordinals) for the output
+    row; the default is all left columns followed by all right columns.
+    """
+    left_out, right_out = combine_cols or (
+        range(left.arity), range(right.arity)
+    )
+    out_arity = len(list(left_out)) + len(list(right_out))
+    if len(left) == 0 or len(right) == 0:
+        return ZSetBatch.empty(out_arity)
+
+    right_keys = [right.columns[j] for j in right_on]
+    build: dict[tuple, list[int]] = {}
+    for j, key in enumerate(zip(*right_keys)):
+        if any(v is None for v in key):
+            continue
+        build.setdefault(key, []).append(j)
+
+    left_keys = [left.columns[j] for j in left_on]
+    probe_left: list[int] = []
+    probe_right: list[int] = []
+    for i, key in enumerate(zip(*left_keys)):
+        if any(v is None for v in key):
+            continue
+        matches = build.get(key)
+        if matches:
+            probe_left.extend([i] * len(matches))
+            probe_right.extend(matches)
+    if not probe_left:
+        return ZSetBatch.empty(out_arity)
+
+    li = np.asarray(probe_left, dtype=np.int64)
+    ri = np.asarray(probe_right, dtype=np.int64)
+    columns = [left.columns[j][li] for j in left_out]
+    columns += [right.columns[j][ri] for j in right_out]
+    weights = left.weights[li] * right.weights[ri]
+    return ZSetBatch(columns, weights).consolidate()
+
+
+def batch_aggregate(
+    batch: ZSetBatch,
+    key_ordinals: Sequence[int],
+    functions: list[tuple[str, int | None]],
+) -> ZSetBatch:
+    """γ kernel for the linear aggregates (SUM / COUNT / COUNT(*)).
+
+    ``functions`` entries are ``(name, column_ordinal)`` with ``None`` for
+    COUNT(*).  One factorization pass produces dense group ids; every
+    aggregate then folds in a vectorized kernel from
+    :mod:`repro.execution.aggregates`.  Groups whose weight sum (liveness)
+    is ≤ 0 disappear, mirroring :func:`zset_aggregate`.
+
+    MIN/MAX are accepted only on positive sign partitions (see
+    :func:`repro.execution.aggregates.grouped_minmax`) — the form the
+    batched delta propagation needs.
+    """
+    if len(batch) == 0:
+        return ZSetBatch.empty(len(list(key_ordinals)) + len(functions))
+    ids, firsts = batch.group_ids(key_ordinals)
+    num_groups = len(firsts)
+    liveness = np.bincount(ids, weights=batch.weights, minlength=num_groups)
+    liveness = liveness.astype(np.int64)
+
+    agg_results: list[list] = []
+    for fname, ordinal in functions:
+        if fname == "SUM":
+            agg_results.append(
+                grouped_weighted_sum(
+                    ids, batch.columns[ordinal], batch.weights, num_groups
+                )
+            )
+        elif fname == "COUNT":
+            if ordinal is None:
+                agg_results.append(
+                    grouped_weighted_count_star(ids, batch.weights, num_groups)
+                )
+            else:
+                agg_results.append(
+                    grouped_weighted_count(
+                        ids, batch.columns[ordinal], batch.weights, num_groups
+                    )
+                )
+        elif fname in ("MIN", "MAX"):
+            agg_results.append(
+                grouped_minmax(
+                    ids,
+                    batch.columns[ordinal],
+                    batch.weights,
+                    num_groups,
+                    want_max=(fname == "MAX"),
+                )
+            )
+        else:
+            raise ValueError(
+                f"aggregate {fname} is not linear over Z-sets; "
+                "compute it from the integrated state"
+            )
+
+    alive = np.nonzero(liveness > 0)[0]
+    first_array = np.asarray(firsts, dtype=np.int64)[alive]
+    columns = [batch.columns[k][first_array] for k in key_ordinals]
+    for result in agg_results:
+        values = _object_array(result)
+        columns.append(values[alive])
+    return ZSetBatch(
+        columns, np.ones(len(alive), dtype=np.int64), consolidated=True
+    )

@@ -12,7 +12,19 @@ multiplicity 1".
 
 from __future__ import annotations
 
+import numbers
 from typing import Any, Callable, Iterable, Iterator
+
+
+def _check_weight(row: Any, weight: Any) -> None:
+    """Z-set weights form the group (ℤ, +): anything non-integral (floats,
+    bools, Decimals, ...) silently corrupts the algebra downstream, so it
+    is rejected loudly at construction time."""
+    if isinstance(weight, bool) or not isinstance(weight, numbers.Integral):
+        raise TypeError(
+            f"Z-set weight for {row!r} must be an integer, "
+            f"got {type(weight).__name__} ({weight!r})"
+        )
 
 
 class ZSet:
@@ -24,6 +36,7 @@ class ZSet:
         self._weights: dict[tuple, int] = {}
         if weights:
             for row, weight in weights.items():
+                _check_weight(row, weight)
                 if weight != 0:
                     self._weights[row] = weight
 
@@ -50,6 +63,8 @@ class ZSet:
         return zset
 
     def _normalize(self) -> None:
+        for row, weight in self._weights.items():
+            _check_weight(row, weight)
         for row in [r for r, w in self._weights.items() if w == 0]:
             del self._weights[row]
 

@@ -1,0 +1,67 @@
+"""Smoke tests for the benchmark entry points.
+
+The benchmarks live outside the tier-1 test run, so a refactor can silently
+rot them.  These tests import the benchmark modules and drive their
+builders at tiny sizes — no timing assertions, just "the harness still
+constructs, propagates, and agrees with recomputation".
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+# The benchmarks/ directory is a plain folder next to tests/, importable
+# once the repo root is on the path (as it is when pytest runs from the
+# repo root; CI and local runs alike).
+_REPO_ROOT = str(pathlib.Path(__file__).resolve().parents[2])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
+
+bench_join = pytest.importorskip("benchmarks.bench_join_ivm")
+
+
+@pytest.mark.parametrize("batch_kernels", [False, True])
+def test_join_bench_builder_smoke(batch_kernels):
+    """_build at a tiny scale: create, refresh, and verify both kernel paths."""
+    con, ext, workload = bench_join._build(
+        orders=200, batch_kernels=batch_kernels
+    )
+    assert ext.status()[0]["batched"] is batch_kernels
+    oid = workload.next_order_id()
+    bench_join._apply_delta(con, workload, oid, 10)
+    ext.refresh("rev")
+    got = con.execute("SELECT region, revenue, n FROM rev").sorted()
+    want = con.execute(bench_join.RECOMPUTE).sorted()
+    assert got == want
+    assert got, "view should not be empty at this scale"
+
+
+def test_join_bench_repeated_refreshes_stay_consistent():
+    """Several delta rounds through the batched path keep the indexed join
+    state in sync with the base tables (the invariant the bench relies on)."""
+    con, ext, workload = bench_join._build(orders=150, batch_kernels=True)
+    oid = workload.next_order_id()
+    for _ in range(4):
+        bench_join._apply_delta(con, workload, oid, 7)
+        oid += 7
+        ext.refresh("rev")
+        got = con.execute("SELECT region, revenue, n FROM rev").sorted()
+        want = con.execute(bench_join.RECOMPUTE).sorted()
+        assert got == want
+
+
+def test_incremental_bench_builder_smoke():
+    """The E1 builder + one propagation round at a tiny scale."""
+    conftest = pytest.importorskip("benchmarks.conftest")
+    con, ext = conftest.build_groups_connection(300, num_groups=10)
+    (batch,) = conftest.change_batches(300, 20, batches=1)
+    conftest.fill_delta(con, batch)
+    ext.refresh("q")
+    got = con.execute("SELECT group_index, total_value FROM q").sorted()
+    want = con.execute(
+        "SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index"
+    ).sorted()
+    assert got == want

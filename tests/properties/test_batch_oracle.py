@@ -1,0 +1,249 @@
+"""Differential-testing harness: recompute vs. row-at-a-time vs. batched.
+
+Randomized DML scripts (seeded, from :mod:`repro.workloads.generators`)
+are replayed through three implementations of the same view:
+
+(a) **full recompute** — the view query re-run against the base tables
+    (the specification);
+(b) **row-at-a-time incremental** — the compiled step-1 SQL path
+    (``batch_kernels=False``);
+(c) **batched incremental** — the vectorized Z-set kernels with
+    ART-indexed join state (``batch_kernels=True``).
+
+After *every* step all three must agree.  The scripts total well over the
+200 randomized DML steps the batching milestone requires (each test
+asserts its own step count).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro.workloads import generate_change_stream, generate_groups_rows
+from repro.workloads.generators import generate_sales_workload
+
+GROUPS_VIEW = (
+    "CREATE MATERIALIZED VIEW q AS "
+    "SELECT group_index, SUM(group_value) AS total_value, COUNT(*) AS n "
+    "FROM groups GROUP BY group_index"
+)
+GROUPS_RECOMPUTE = (
+    "SELECT group_index, SUM(group_value), COUNT(*) "
+    "FROM groups GROUP BY group_index"
+)
+
+JOIN_VIEW = (
+    "CREATE MATERIALIZED VIEW rev AS "
+    "SELECT c.region, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+JOIN_RECOMPUTE = (
+    "SELECT c.region, SUM(o.amount), COUNT(*) "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+
+
+def _engines(schema_fn, view_sql):
+    """Two IVM engines (row-at-a-time and batched) over identical data."""
+    engines = []
+    for batched in (False, True):
+        con = Connection()
+        ext = load_ivm(
+            con,
+            CompilerFlags(mode=PropagationMode.LAZY, batch_kernels=batched),
+        )
+        schema_fn(con)
+        con.execute(view_sql)
+        engines.append((con, ext))
+    (con_row, ext_row), (con_batch, ext_batch) = engines
+    # The harness is only meaningful if the two engines actually take
+    # different propagation paths.
+    assert ext_row.status()[0]["batched"] is False
+    assert ext_batch.status()[0]["batched"] is True
+    return con_row, con_batch
+
+
+def _check_agreement(con_row: Connection, con_batch: Connection,
+                     view_name: str, columns: str, recompute_sql: str):
+    """(a) == (b) == (c), where querying the lazy view refreshes it."""
+    got_row = con_row.execute(f"SELECT {columns} FROM {view_name}").sorted()
+    got_batch = con_batch.execute(f"SELECT {columns} FROM {view_name}").sorted()
+    want_row = con_row.execute(recompute_sql).sorted()
+    want_batch = con_batch.execute(recompute_sql).sorted()
+    assert want_row == want_batch, "engines diverged on base data"
+    assert got_row == want_row, "row-at-a-time path diverged from recompute"
+    assert got_batch == want_batch, "batched path diverged from recompute"
+    assert got_row == got_batch
+
+
+def test_groups_three_way_oracle():
+    """Single-table SUM/COUNT view over a mixed insert/delete stream."""
+    initial = generate_groups_rows(300, num_groups=20, seed=9)
+
+    def schema(con: Connection) -> None:
+        con.execute(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+        )
+        table = con.table("groups")
+        for row in initial:
+            table.insert(row, coerce=False)
+
+    con_row, con_batch = _engines(schema, GROUPS_VIEW)
+
+    steps = 0
+    stream = generate_change_stream(
+        initial, batch_size=2, batches=70, num_groups=20, seed=13
+    )
+    for batch in stream:
+        for row in batch.inserts:
+            for con in (con_row, con_batch):
+                con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
+            steps += 1
+        for row in batch.deletes:
+            for con in (con_row, con_batch):
+                con.execute(
+                    "DELETE FROM groups WHERE group_index = ? AND group_value = ?",
+                    list(row),
+                )
+            steps += 1
+        _check_agreement(
+            con_row, con_batch, "q", "group_index, total_value, n",
+            GROUPS_RECOMPUTE,
+        )
+    assert steps >= 140
+
+
+def test_join_three_way_oracle():
+    """Two-table join-aggregation view: the ART-indexed state path."""
+    workload = generate_sales_workload(
+        num_customers=30, num_orders=200, num_regions=5, seed=23
+    )
+
+    def schema(con: Connection) -> None:
+        con.execute(workload.SCHEMA)
+        customers = con.table("customers")
+        for row in workload.customers:
+            customers.insert(row, coerce=False)
+        orders = con.table("orders")
+        for row in workload.orders:
+            orders.insert(row, coerce=False)
+
+    con_row, con_batch = _engines(schema, JOIN_VIEW)
+
+    rng = random.Random(37)
+    live_orders = [row[0] for row in workload.orders]
+    next_oid = workload.next_order_id()
+    next_cust = len(workload.customers)
+    steps = 0
+    for _ in range(90):
+        roll = rng.random()
+        if roll < 0.5 or not live_orders:
+            # Insert an order (sometimes for a brand-new customer).
+            if rng.random() < 0.15:
+                cust = f"cust_{next_cust:05d}"
+                next_cust += 1
+                region = rng.choice(workload.regions)
+                for con in (con_row, con_batch):
+                    con.execute(
+                        "INSERT INTO customers VALUES (?, ?)", [cust, region]
+                    )
+                steps += 1
+            else:
+                cust = workload.customers[
+                    rng.randrange(len(workload.customers))
+                ][0]
+            oid = next_oid
+            next_oid += 1
+            amount = rng.randint(1, 500)
+            for con in (con_row, con_batch):
+                con.execute(
+                    "INSERT INTO orders VALUES (?, ?, ?, ?)",
+                    [oid, cust, "p", amount],
+                )
+            live_orders.append(oid)
+            steps += 1
+        elif roll < 0.85:
+            victim = live_orders.pop(rng.randrange(len(live_orders)))
+            for con in (con_row, con_batch):
+                con.execute("DELETE FROM orders WHERE oid = ?", [victim])
+            steps += 1
+        else:
+            # Update an order's amount (captured as delete+insert).
+            target = live_orders[rng.randrange(len(live_orders))]
+            amount = rng.randint(1, 500)
+            for con in (con_row, con_batch):
+                con.execute(
+                    "UPDATE orders SET amount = ? WHERE oid = ?",
+                    [amount, target],
+                )
+            steps += 1
+        if steps % 3 == 0:
+            _check_agreement(
+                con_row, con_batch, "rev", "region, revenue, n",
+                JOIN_RECOMPUTE,
+            )
+    _check_agreement(
+        con_row, con_batch, "rev", "region, revenue, n", JOIN_RECOMPUTE
+    )
+    assert steps >= 60
+
+
+def test_float_sums_agree_given_precise_liveness():
+    """Floating-point SUM views: the batch path consolidates before
+    summing while SQL sums each sign partition separately, so float
+    rounding may differ — but with a COUNT(*) liveness column (the
+    precise step-3 form) group membership, counts, and recompute-level
+    values all agree.  This pins the documented equivalence boundary
+    (docs/batching.md)."""
+    rng = random.Random(51)
+
+    def schema(con: Connection) -> None:
+        con.execute("CREATE TABLE t (k VARCHAR, w DOUBLE)")
+
+    view = (
+        "CREATE MATERIALIZED VIEW f AS "
+        "SELECT k, SUM(w) AS s, COUNT(*) AS n FROM t GROUP BY k"
+    )
+    con_row, con_batch = _engines(schema, view)
+    live: list[tuple[str, float]] = []
+    for step in range(60):
+        if rng.random() < 0.6 or not live:
+            row = (rng.choice("ab"), rng.uniform(-1, 1))
+            live.append(row)
+            for con in (con_row, con_batch):
+                con.execute("INSERT INTO t VALUES (?, ?)", list(row))
+        else:
+            row = live.pop(rng.randrange(len(live)))
+            for con in (con_row, con_batch):
+                con.execute(
+                    "DELETE FROM t WHERE k = ? AND w = ?", list(row)
+                )
+        got_row = con_row.execute("SELECT k, s, n FROM f").sorted()
+        got_batch = con_batch.execute("SELECT k, s, n FROM f").sorted()
+        # Group membership and counts are exact; float sums agree to
+        # within accumulated rounding of the two summation orders.
+        assert [(k, n) for k, _, n in got_row] == [
+            (k, n) for k, _, n in got_batch
+        ]
+        for (_, s1, _), (_, s2, _) in zip(got_row, got_batch):
+            assert abs(s1 - s2) < 1e-9
+
+
+def test_combined_scripts_exceed_two_hundred_steps():
+    """The milestone's acceptance bar: the randomized scripts above replay
+    ≥ 200 DML steps in total.  Recomputed here so the bound is explicit
+    and breaks loudly if someone shrinks the workloads."""
+    groups_steps = sum(
+        batch.size
+        for batch in generate_change_stream(
+            generate_groups_rows(300, num_groups=20, seed=9),
+            batch_size=2, batches=70, num_groups=20, seed=13,
+        )
+    )
+    join_steps = 90  # lower bound: each loop iteration issues ≥ 1 DML
+    assert groups_steps + join_steps >= 200

@@ -1,0 +1,239 @@
+"""Property-based tests for the columnar Z-set batch representation.
+
+Three families, per the batching design (docs/batching.md):
+
+1. **Round-trip** — ``ZSet`` ↔ ``ZSetBatch`` conversions are lossless.
+2. **Group laws** — the batch layout is still the abelian group (ℤ-module)
+   the paper's delta algebra requires: associativity, inverse,
+   zero-elimination, scaling.
+3. **Kernel equivalence** — every vectorized kernel equals its
+   row-at-a-time reference operator on randomized weighted inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.zset import (
+    ZSet,
+    ZSetBatch,
+    batch_aggregate,
+    batch_distinct,
+    batch_filter,
+    batch_join,
+    batch_project,
+    zset_aggregate,
+    zset_distinct,
+    zset_filter,
+    zset_join,
+    zset_project,
+)
+
+# Rows are (key: str|None, value: int|None) pairs — enough shape to hit
+# NULL handling, weight collisions, and join key overlap.
+_key = st.one_of(st.none(), st.sampled_from("abcde"))
+_value = st.one_of(st.none(), st.integers(-50, 50))
+_weight = st.integers(-4, 4)
+
+_entries = st.lists(
+    st.tuples(st.tuples(_key, _value), _weight), max_size=30
+)
+
+
+def _zset(entries) -> ZSet:
+    merged: dict[tuple, int] = {}
+    for row, weight in entries:
+        merged[row] = merged.get(row, 0) + weight
+    return ZSet(merged)
+
+
+def _batch(entries) -> ZSetBatch:
+    """Unconsolidated batch straight from the raw entry list."""
+    if not entries:
+        return ZSetBatch.empty(2)
+    rows = [row for row, _ in entries]
+    weights = [weight for _, weight in entries]
+    return ZSetBatch.from_rows(rows, weights)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_round_trip_zset_batch_zset(entries):
+    zset = _zset(entries)
+    assert ZSetBatch.from_zset(zset).to_zset() == zset
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_unconsolidated_batch_to_zset_merges_duplicates(entries):
+    assert _batch(entries).to_zset() == _zset(entries)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_consolidate_reaches_normal_form(entries):
+    consolidated = _batch(entries).consolidate()
+    # Normal form: distinct rows, no zero weights — exactly ZSet's invariant.
+    rows = list(consolidated.iter_rows())
+    assert len(rows) == len(set(rows))
+    assert not np.any(consolidated.weights == 0)
+    assert consolidated.to_zset() == _zset(entries)
+
+
+# ---------------------------------------------------------------------------
+# Group laws
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_entries, _entries, _entries)
+def test_addition_associative_and_commutative(a, b, c):
+    ba, bb, bc = _batch(a), _batch(b), _batch(c)
+    assert ((ba + bb) + bc).to_zset() == (ba + (bb + bc)).to_zset()
+    assert (ba + bb).to_zset() == (bb + ba).to_zset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_entries)
+def test_inverse_and_zero(entries):
+    batch = _batch(entries)
+    assert (batch + (-batch)).consolidate().to_zset() == ZSet()
+    assert len((batch + (-batch)).consolidate()) == 0  # zero-elimination
+    zero = ZSetBatch.empty(2)
+    assert (batch + zero).to_zset() == batch.to_zset()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_entries, st.integers(-3, 3))
+def test_scaling_matches_reference(entries, factor):
+    assert _batch(entries).scale(factor).to_zset() == _zset(entries).scale(factor)
+
+
+def test_scale_rejects_non_integer_factor():
+    with pytest.raises(TypeError):
+        _batch([(("a", 1), 1)]).scale(1.5)
+
+
+# ---------------------------------------------------------------------------
+# Kernel equivalence (batch vs. row-at-a-time reference)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_filter_kernel_matches_reference(entries):
+    predicate = lambda row: row[1] is not None and row[1] > 0
+    zset, batch = _zset(entries), _batch(entries)
+    assert batch_filter(batch, predicate).to_zset() == zset_filter(zset, predicate)
+    # The vectorized-mask form agrees with the row-predicate form.
+    mask = lambda keys, values: np.fromiter(
+        (v is not None and v > 0 for v in values), dtype=bool, count=len(values)
+    )
+    assert batch_filter(batch, mask=mask).to_zset() == zset_filter(zset, predicate)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_project_kernel_matches_reference(entries):
+    zset, batch = _zset(entries), _batch(entries)
+    # Ordinal (columnar) form.
+    assert batch_project(batch, [0]).to_zset() == zset_project(
+        zset, lambda row: (row[0],)
+    )
+    # Callable (row) form with collisions.
+    fn = lambda row: (row[0], None)
+    assert batch_project(batch, fn).to_zset() == zset_project(zset, fn)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_distinct_kernel_matches_reference(entries):
+    assert batch_distinct(_batch(entries)).to_zset() == zset_distinct(
+        _zset(entries)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries, _entries)
+def test_join_kernel_matches_reference(left, right):
+    lz, rz = _zset(left), _zset(right)
+    reference = zset_join(lz, rz, lambda r: r[0], lambda r: r[0])
+    got = batch_join(_batch(left), _batch(right), [0], [0])
+    assert got.to_zset() == reference
+
+
+@settings(max_examples=100, deadline=None)
+@given(_entries)
+def test_aggregate_kernel_matches_reference(entries):
+    reference = zset_aggregate(
+        _zset(entries),
+        lambda row: row[0],
+        [("SUM", lambda row: row[1]), ("COUNT", lambda row: row[1]),
+         ("COUNT", None)],
+    )
+    got = batch_aggregate(
+        _batch(entries), [0], [("SUM", 1), ("COUNT", 1), ("COUNT", None)]
+    )
+    assert got.to_zset() == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(_entries, _entries)
+def test_kernels_are_linear_over_addition(a, b):
+    """σ and π commute with +: kernel(a + b) == kernel(a) + kernel(b)."""
+    ba, bb = _batch(a), _batch(b)
+    predicate = lambda row: row[0] is not None and row[0] in "abc"
+    both = (ba + bb)
+    assert batch_filter(both, predicate).to_zset() == (
+        batch_filter(ba, predicate) + batch_filter(bb, predicate)
+    ).to_zset()
+    assert batch_project(both, [0]).to_zset() == (
+        batch_project(ba, [0]) + batch_project(bb, [0])
+    ).to_zset()
+
+
+# ---------------------------------------------------------------------------
+# Weight validation (regression: floats used to flow through silently)
+# ---------------------------------------------------------------------------
+
+
+class TestIntegerWeightValidation:
+    def test_constructor_rejects_float_weights(self):
+        with pytest.raises(TypeError, match="must be an integer"):
+            ZSet({("a",): 1.5})
+
+    def test_constructor_rejects_bool_weights(self):
+        with pytest.raises(TypeError, match="must be an integer"):
+            ZSet({("a",): True})
+
+    def test_normalize_rejects_floats_from_constructors(self):
+        zset = ZSet.from_rows([("a",)])
+        zset._weights[("a",)] = 0.0
+        with pytest.raises(TypeError, match="must be an integer"):
+            zset._normalize()
+
+    def test_deltas_validates(self):
+        # deltas() funnels through _normalize, so tampered inputs raise.
+        assert ZSet.deltas(inserts=[("a",)], deletes=[("a",)]) == ZSet()
+
+    def test_scale_by_float_rejected(self):
+        with pytest.raises(TypeError, match="must be an integer"):
+            ZSet.from_rows([("a",)]).scale(0.5)
+
+    def test_arithmetic_preserves_integer_weights(self):
+        zset = ZSet.from_rows([("a",), ("a",), ("b",)])
+        total = zset + zset - zset
+        assert total == zset
+        assert all(isinstance(w, int) for _, w in total.items())
+
+    def test_numpy_integer_weights_accepted(self):
+        # Batch kernels hand back np.int64 weights; integral types pass.
+        import numpy as np
+
+        zset = ZSet({("a",): np.int64(2)})
+        assert zset.weight(("a",)) == 2
