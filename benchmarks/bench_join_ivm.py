@@ -12,7 +12,18 @@ Expected shape: for small deltas the three delta joins (each with one tiny
 input) are far cheaper than the full join; the gap narrows as deltas grow
 because the A⋈ΔB / ΔA⋈B terms scan a full base side.  The batched path
 removes those rescans, so its refresh cost tracks |Δ| alone.
+
+Since the full-pipeline milestone this module also emits the
+``BENCH_pipeline.json`` trajectory artifact
+(:func:`emit_pipeline_trajectory`, uploaded by CI): the same refresh
+measured under the three propagation configurations — pure SQL, native
+step 1 only (the first batching milestone), and the full native
+``NativeStep`` pipeline — recording which steps ran natively and the
+measured end-to-end speedups.
 """
+
+import json
+import pathlib
 
 import pytest
 
@@ -33,13 +44,43 @@ RECOMPUTE = (
     "GROUP BY c.region"
 )
 
+# The per-customer variant keeps |V| in the hundreds of groups, so the
+# SQL steps 2–3 (view-sized CTE join + full-view DELETE scan) are a
+# visible share of the refresh — the part the native pipeline removes.
+VIEW_BY_CUSTOMER = (
+    "CREATE MATERIALIZED VIEW rev_cust AS "
+    "SELECT o.cust_id, SUM(o.amount) AS revenue, COUNT(*) AS n "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY o.cust_id"
+)
 
-def _build(orders: int = ORDERS, batch_kernels: bool = True):
+# name -> CompilerFlags overrides, in increasing nativeness.
+PIPELINE_CONFIGS = [
+    ("sql", dict(batch_kernels=False)),
+    ("step1_native", dict(batch_kernels=True, native_steps=(1,))),
+    ("full_native", dict(batch_kernels=True)),
+]
+
+BENCH_PIPELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / (
+    "BENCH_pipeline.json"
+)
+
+
+def _build(
+    orders: int = ORDERS,
+    batch_kernels: bool = True,
+    view: str = VIEW,
+    **flag_overrides,
+):
     workload = generate_sales_workload(num_orders=orders, seed=21)
     con = Connection()
     extension = load_ivm(
         con,
-        CompilerFlags(mode=PropagationMode.LAZY, batch_kernels=batch_kernels),
+        CompilerFlags(
+            mode=PropagationMode.LAZY,
+            batch_kernels=batch_kernels,
+            **flag_overrides,
+        ),
     )
     con.execute(workload.SCHEMA)
     customers = con.table("customers")
@@ -48,7 +89,7 @@ def _build(orders: int = ORDERS, batch_kernels: bool = True):
     orders_table = con.table("orders")
     for row in workload.orders:
         orders_table.insert(row, coerce=False)
-    con.execute(VIEW)
+    con.execute(view)
     return con, extension, workload
 
 
@@ -129,4 +170,104 @@ def test_join_batched_vs_row_shape(report_lines):
     )
     assert ratio > 1.0, (
         f"batched join refresh should beat row-at-a-time, got {ratio:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full-pipeline trajectory: native vs SQL per step (BENCH_pipeline.json)
+# ---------------------------------------------------------------------------
+
+
+def collect_pipeline_trajectory(
+    orders: int = ORDERS, delta_rows: int = 50, rounds: int = 8
+) -> dict:
+    """Measure the full refresh under each pipeline configuration.
+
+    Uses the per-customer join view (hundreds of groups) so the steps the
+    native pipeline replaces — the view-sized SQL upsert join and the
+    full-view step-3 scan — actually show up in the measurement.  Records,
+    per configuration, which steps ran natively vs on SQL and the per-round
+    refresh times (the trajectory), plus the end-to-end speedups.
+    """
+    from repro.workloads import time_call
+
+    result: dict = {
+        "benchmark": "bench_join_ivm.pipeline_trajectory",
+        "workload": {
+            "orders": orders,
+            "delta_rows": delta_rows,
+            "rounds": rounds,
+            "view": "rev_cust (join, GROUP BY cust_id)",
+        },
+        "configs": {},
+    }
+    for name, overrides in PIPELINE_CONFIGS:
+        con, ext, workload = _build(
+            orders=orders, view=VIEW_BY_CUSTOMER, **overrides
+        )
+        status = ext.status()[0]
+        native = status["native_steps"]
+        all_steps = ["step1", "step2", "step3", "step4"]
+        oid = workload.next_order_id()
+        timings = []
+        for _ in range(rounds):
+            _apply_delta(con, workload, oid, delta_rows)
+            oid += delta_rows
+            elapsed, _ = time_call(lambda: ext.refresh("rev_cust"))
+            timings.append(elapsed)
+        result["configs"][name] = {
+            "native_steps": native,
+            "sql_steps": [s for s in all_steps if s not in native],
+            "refresh_seconds": timings,
+            "best_seconds": min(timings),
+        }
+    best = {name: cfg["best_seconds"] for name, cfg in result["configs"].items()}
+    result["speedup_full_native_vs_sql"] = best["sql"] / best["full_native"]
+    result["speedup_full_native_vs_step1_only"] = (
+        best["step1_native"] / best["full_native"]
+    )
+    return result
+
+
+def emit_pipeline_trajectory(
+    path: "pathlib.Path | str | None" = None,
+    orders: int = ORDERS,
+    delta_rows: int = 50,
+    rounds: int = 8,
+) -> dict:
+    """Collect the trajectory and write ``BENCH_pipeline.json``."""
+    data = collect_pipeline_trajectory(
+        orders=orders, delta_rows=delta_rows, rounds=rounds
+    )
+    target = pathlib.Path(path) if path is not None else BENCH_PIPELINE_PATH
+    target.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    return data
+
+
+def test_pipeline_trajectory_shape(report_lines):
+    """The full-pipeline milestone's claim: running steps 2–4 natively
+    beats the step-1-only baseline end to end, and the trajectory artifact
+    records the measurement (CI uploads BENCH_pipeline.json)."""
+    data = emit_pipeline_trajectory()
+    best = {
+        name: cfg["best_seconds"] * 1e3
+        for name, cfg in data["configs"].items()
+    }
+    report_lines.append(
+        f"E6c pipeline delta=50  sql={best['sql']:8.2f}ms  "
+        f"step1-only={best['step1_native']:8.2f}ms  "
+        f"full-native={best['full_native']:8.2f}ms  "
+        f"full-vs-step1={data['speedup_full_native_vs_step1_only']:5.2f}x  "
+        f"full-vs-sql={data['speedup_full_native_vs_sql']:5.2f}x"
+    )
+    assert data["configs"]["full_native"]["sql_steps"] == []
+    assert data["speedup_full_native_vs_sql"] > 1.0, (
+        "full native pipeline should beat the pure-SQL script"
+    )
+    # The step1-only margin (~1.3x) is real but too narrow to hard-gate on
+    # a noisy shared CI runner; it is recorded in BENCH_pipeline.json and
+    # the report line above, and only sanity-bounded here (native steps
+    # 2-4 must at least not be materially slower than their SQL forms).
+    assert data["speedup_full_native_vs_step1_only"] > 0.8, (
+        "native steps 2-4 regressed against running them as SQL"
     )

@@ -1,44 +1,76 @@
-"""Vectorized delta propagation: the paper's step 1 as batch kernels.
+"""Vectorized delta propagation: the paper's steps 1–4 as native kernels.
 
-The compiled propagation script computes ΔV with SQL — for join views a
-three-term UNION whose ``A ⋈ ΔB`` / ``ΔA ⋈ B`` terms rescan a full base
-side on every refresh.  This module executes the same step natively over
-:class:`~repro.zset.batch.ZSetBatch` columns:
+The compiled propagation script is a four-step SQL program (ΔV compute,
+upsert into V, liveness delete, delta truncation).  This module provides
+a native :class:`~repro.core.propagate.NativeStep` implementation of each
+step, executing over :class:`~repro.zset.batch.ZSetBatch` columns instead
+of row-at-a-time SQL:
 
-* delta tables are read columnarly (±1 weights from the boolean
-  multiplicity column),
-* join views probe a persistent :class:`~repro.zset.incremental.
-  IndexedJoinState` — per-key ART-indexed integrated state on both sides —
-  so propagation cost scales with |Δ|, not with |base|,
-* the per-sign partial aggregates (SUM / COUNT / MIN / MAX per group and
-  multiplicity) are folded by the weighted kernels of
-  :mod:`repro.execution.aggregates`,
-* the resulting rows are appended to the ΔV staging table, after which
-  steps 2–4 of the compiled SQL script run unchanged.
+* **step 1** (:class:`BatchedDeltaStep`): delta tables are read columnarly
+  (±1 weights from the boolean multiplicity column); join views probe a
+  persistent :class:`~repro.zset.incremental.IndexedJoinState` — per-key
+  ART-indexed integrated state on both sides — so propagation cost scales
+  with |Δ|, not with |base|; the per-sign partial aggregates are folded by
+  the weighted kernels of :mod:`repro.execution.aggregates` and land in
+  the ΔV staging table;
+* **step 2** (:class:`NativeUpsertStep`): the signed collapse + upsert —
+  ΔV is collapsed to one signed row per group and merged per key directly
+  into the view's stored columns (``merge_additive`` / ``merge_minmax`` /
+  ``derive_avg`` from :mod:`repro.execution.aggregates`).  MIN/MAX
+  retraction is not invertible from the stored partials, so deletions are
+  handled by the step-2b rescan, which stays on SQL (per-step fallback);
+* **step 3** (:class:`NativeLivenessStep`): the liveness delete.  With a
+  stored COUNT(*)/hidden-count column the test is the exact ``count <= 0``
+  restricted to the keys the ΔV batch touched (the SQL form scans the
+  whole view).  Without one, the step integrates each group's *weighted
+  count* in a persistent :class:`~repro.zset.incremental.
+  GroupLivenessState` and deletes on exact integer cancellation — fixing
+  the float-residue caveat of the paper's ``DELETE ... WHERE sum = 0``
+  fallback (which also deletes live groups whose values genuinely sum to
+  zero; the native test matches the recompute specification in both
+  cases);
+* **step 4** (:class:`NativeTruncateStep`): in-memory truncation of the
+  ΔV staging table (delta tables are truncated once per refresh closure
+  by the extension, through the same ``Connection.truncate_table`` API).
+
+Selection is *per step* (:func:`build_native_steps`): each step declares
+the SQL statement labels it replaces, and any step whose shape falls
+outside its kernel surface keeps the SQL form individually — a view with
+a WHERE clause runs step 1 on SQL but steps 2–4 natively, a UNION-regroup
+view runs step 2 on SQL but steps 3–4 natively, and so on.  The emitted
+scripts always contain the full portable SQL regardless.
 
 Equivalence contract: the materialized view contents after a refresh are
-identical to the SQL step-1 path, with two deliberate caveats:
+identical to the SQL path, with two deliberate caveats:
 
 * the transient ΔV *table* contents may differ when a batch contains
   exactly cancelling changes — the batch path consolidates them to
   nothing, the SQL path writes one row per sign; both fold to the same
   view and ΔV is cleared in step 4 either way;
-* over *floating-point* SUM columns the two paths may round differently
-  (the SQL path sums the insert and delete partitions separately, the
-  batch path consolidates first), so a view relying on the paper's
-  imprecise ``DELETE ... WHERE sum = 0`` liveness fallback can disagree
-  about a group whose sum differs only by float residue.  The batch
-  path's exact cancellation is the better answer; views with a COUNT(*)
-  or hidden-count liveness column are unaffected.  Integer SUMs are
-  always exact on both paths.
+* for a view relying on the paper's imprecise ``DELETE ... WHERE sum = 0``
+  liveness fallback, the native step 3 deletes by exact weighted-count
+  cancellation instead of testing float sums.  The historical caveat —
+  float residue making the two paths disagree about a group's existence —
+  no longer applies to the native pipeline: group liveness is an integer
+  on the native path, so a dead group is deleted even when its float sum
+  carries residue, and a live group whose values genuinely sum to zero is
+  kept.  Both are exactly the recompute answer; the pure-SQL script keeps
+  the paper's behaviour as the portable fallback.  Integer SUM values are
+  identical on both paths; float SUM *values* may still round differently
+  (the two paths sum in different orders).
 
-View shapes outside the kernel surface (WHERE clauses, computed key or
-aggregate expressions, non-equi joins) return ``None`` from
-:func:`try_build_batched_step1` and keep the SQL path — the emitted
-scripts always contain the portable SQL regardless.
+View shapes outside the step-1 kernel surface (WHERE clauses, computed
+key or aggregate expressions, non-equi joins) return ``None`` from
+:func:`try_build_batched_step1`.  Because the exact counters are fed by
+the native step 1 (only the source rows carry count information for
+sum-only views), such views — and scalar-aggregate views, whose single
+group must follow the paper's semantics — keep the SQL step 3 as their
+per-step fallback.
 """
 
 from __future__ import annotations
+
+import copy
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -46,10 +78,20 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro.sql import ast
+from repro.sql.dialect import Dialect
+from repro.core import duckast as d
+from repro.core.flags import MaterializationStrategy
 from repro.core.model import ColumnRole, MVModel
 from repro.core.strategies import delta_column_plan
+from repro.execution.aggregates import (
+    derive_avg,
+    grouped_minmax,
+    grouped_weighted_sum,
+    merge_additive,
+    merge_minmax,
+)
 from repro.zset.batch import ZSetBatch
-from repro.zset.incremental import IndexedJoinState
+from repro.zset.incremental import GroupLivenessState, IndexedJoinState
 from repro.zset.operators import batch_aggregate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,6 +116,9 @@ class _Unsupported(Exception):
 class BatchedDeltaStep:
     """Executable native form of propagation step 1 for one view."""
 
+    name = "step1"
+    step_prefix = "step1:"
+
     model: MVModel
     delta_tables: list[str]
     # Key columns of the delta view, in model.key_columns() order: either a
@@ -90,10 +135,25 @@ class BatchedDeltaStep:
     join_right_key: list[int] = field(default_factory=list)
     state: IndexedJoinState | None = None
     refresh_rounds: int = 0
+    # SQL statement labels this step replaces (assigned at plan assembly).
+    replaces: frozenset = frozenset()
+    # Wired when the view has no stored liveness column: this step is the
+    # only place the *source-level* weighted counts per group are visible
+    # (ΔV rows are group rows, one ±1 entry per sign — their weights do
+    # not carry row multiplicities), so it feeds the liveness step's exact
+    # counters as part of computing ΔV.
+    liveness_step: "NativeLivenessStep | None" = None
 
     @property
     def is_join(self) -> bool:
         return len(self.delta_tables) == 2
+
+    @property
+    def requires_base_tables(self) -> bool:
+        """Join views bulk-load the indexed state from the base tables, so
+        they can only run where those tables are locally scannable (the
+        HTAP pipeline keeps them on the attached OLTP side)."""
+        return self.is_join
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -143,6 +203,9 @@ class BatchedDeltaStep:
             ordinal if ordinal is not None else self._const_ordinal(source, i)
             for i, ordinal in enumerate(self.key_ordinals)
         ]
+        if self.liveness_step is not None:
+            _, keys, net = source.group_structure(key_ordinals)
+            self.liveness_step.absorb(keys, net)
 
         rows: list[tuple] = []
         positive, negative = source.split_signs()
@@ -368,3 +431,347 @@ def _equi_key_pairs(
 
     visit(condition)
     return pairs
+
+
+# ---------------------------------------------------------------------------
+# Steps 2–4: signed-collapse upsert, liveness delete, delta truncation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ColumnFold:
+    """How one stored view column combines with the collapsed ΔV batch."""
+
+    name: str
+    kind: str  # "key" | "additive" | "min" | "max" | "avg"
+    stored_ordinal: int  # position in the mv row (model.columns order)
+    key_index: int = -1  # for "key": index into the group key tuple
+    delta_pos: int = -1  # for folds: column position in the ΔV row
+    companion_sum: str = ""  # for "avg": names of the hidden companions
+    companion_count: str = ""
+
+
+@dataclass
+class NativeUpsertStep:
+    """Native step 2: collapse ΔV by sign and fold it into the view.
+
+    The SQL form (Listing 2) builds a signed CTE over ΔV and LEFT-JOINs it
+    against the stored table before an INSERT OR REPLACE; this step runs
+    the same per-key merge directly: one vectorized signed collapse of the
+    ΔV batch, then a point lookup + merge + upsert per touched group, so
+    the cost tracks |ΔV|, never |V|.  MIN/MAX partials only tighten the
+    stored extremum (insert side); retractions are repaired by the SQL
+    step-2b rescan that follows.
+    """
+
+    name = "step2"
+    step_prefix = "step2:"
+
+    mv_table: str
+    delta_view_table: str
+    key_positions: list[int]  # key column positions in the ΔV row
+    folds: list[_ColumnFold]  # one per mv column, in storage order
+    replaces: frozenset = frozenset()
+    requires_base_tables = False
+    # Wired when the liveness step runs natively too: the touched keys are
+    # already grouped here, so step 3 need not re-read and re-group ΔV.
+    liveness_step: "NativeLivenessStep | None" = None
+
+    def initialize(self, connection: "Connection") -> None:
+        return None
+
+    def run(self, connection: "Connection") -> int:
+        batch = connection.read_delta_batch(self.delta_view_table)
+        if len(batch) == 0:
+            return 0
+        ids, keys, _ = batch.group_structure(self.key_positions)
+        if self.liveness_step is not None:
+            self.liveness_step.absorb_keys(keys)
+        num_groups = len(keys)
+        positive = batch.weights > 0
+        pos_ids = ids[positive]
+        pos_weights = batch.weights[positive]
+
+        collapsed: dict[int, list] = {}
+        for fold in self.folds:
+            if fold.kind == "additive":
+                collapsed[fold.delta_pos] = grouped_weighted_sum(
+                    ids, batch.columns[fold.delta_pos], batch.weights,
+                    num_groups,
+                )
+            elif fold.kind in ("min", "max"):
+                collapsed[fold.delta_pos] = grouped_minmax(
+                    pos_ids, batch.columns[fold.delta_pos][positive],
+                    pos_weights, num_groups, want_max=(fold.kind == "max"),
+                )
+
+        table = connection.table(self.mv_table)
+        rows: list[tuple] = []
+        for g, key in enumerate(keys):
+            stored = table.pk_lookup(key)
+            new: dict[str, Any] = {}
+            for fold in self.folds:
+                if fold.kind == "key":
+                    new[fold.name] = key[fold.key_index]
+                elif fold.kind == "additive":
+                    new[fold.name] = merge_additive(
+                        None if stored is None else stored[fold.stored_ordinal],
+                        collapsed[fold.delta_pos][g],
+                    )
+                elif fold.kind in ("min", "max"):
+                    new[fold.name] = merge_minmax(
+                        None if stored is None else stored[fold.stored_ordinal],
+                        collapsed[fold.delta_pos][g],
+                        want_max=(fold.kind == "max"),
+                    )
+            for fold in self.folds:
+                if fold.kind == "avg":
+                    new[fold.name] = derive_avg(
+                        new[fold.companion_sum], new[fold.companion_count]
+                    )
+            rows.append(tuple(new[fold.name] for fold in self.folds))
+        connection.upsert_rows(self.mv_table, rows)
+        return len(rows)
+
+
+@dataclass
+class NativeLivenessStep:
+    """Native step 3: delete dead groups by exact integer cancellation.
+
+    Only the groups the refresh touched can have died, so the step tests
+    those keys alone (the SQL form scans the whole view).  With a stored
+    liveness column the test is the exact ``count <= 0`` against the
+    post-step-2 row of every key in the ΔV batch.  Without one, the ΔV
+    rows carry no count at all (they are group rows, ±1 per sign), so the
+    step is fed the *source-level* weighted counts by the native step 1
+    (:attr:`BatchedDeltaStep.liveness_step`) and integrates them in a
+    persistent :class:`~repro.zset.incremental.GroupLivenessState`,
+    replacing the paper's imprecise ``DELETE ... WHERE sum = 0`` with
+    exact integer cancellation.
+    """
+
+    name = "step3"
+    step_prefix = "step3:"
+
+    mv_table: str
+    delta_view_table: str
+    key_positions: list[int]
+    liveness_ordinal: int | None = None  # stored-row ordinal, if stored
+    counters: GroupLivenessState | None = None
+    init_count_sql: str | None = None  # seeds the counters at CREATE time
+    replaces: frozenset = frozenset()
+    # Per-group count deltas pushed by the native step 1 this round.
+    pending: list = field(default_factory=list)
+    # Touched group keys pushed by the native step 2 this round (saves a
+    # second ΔV read+group on the stored-liveness path).
+    pending_keys: list = field(default_factory=list)
+
+    @property
+    def requires_base_tables(self) -> bool:
+        # Counter seeding recomputes COUNT(*) per group from the bases.
+        return self.counters is not None
+
+    def initialize(self, connection: "Connection") -> None:
+        if self.counters is None:
+            return
+        result = connection.execute(self.init_count_sql)
+        self.counters.load(
+            (tuple(row[:-1]), row[-1]) for row in result.rows
+        )
+
+    def absorb(self, keys: list, nets) -> None:
+        """Receive one round of per-group weighted-count deltas (from the
+        native step 1, which sees the source rows)."""
+        self.pending.extend(zip(keys, (int(n) for n in nets)))
+
+    def absorb_keys(self, keys: list) -> None:
+        """Receive one round's touched group keys (from the native step 2,
+        which has already grouped the ΔV batch)."""
+        self.pending_keys.extend(keys)
+
+    def run(self, connection: "Connection") -> int:
+        if self.counters is not None:
+            if not self.pending:
+                return 0
+            keys = [key for key, _ in self.pending]
+            nets = [net for _, net in self.pending]
+            self.pending.clear()
+            dead = self.counters.apply(keys, nets)
+        else:
+            if self.pending_keys:
+                keys = list(self.pending_keys)
+                self.pending_keys.clear()
+            else:
+                batch = connection.read_delta_batch(self.delta_view_table)
+                if len(batch) == 0:
+                    return 0
+                _, keys, _ = batch.group_structure(self.key_positions)
+            table = connection.table(self.mv_table)
+            dead = []
+            for key in keys:
+                stored = table.pk_lookup(key)
+                if (
+                    stored is not None
+                    and stored[self.liveness_ordinal] <= 0
+                ):
+                    dead.append(key)
+        if not dead:
+            return 0
+        return connection.delete_keys(self.mv_table, dead)
+
+
+@dataclass
+class NativeTruncateStep:
+    """Native step 4: in-memory truncation of the ΔV staging table.
+
+    The per-base ΔT tables are shared between views, so the refresh
+    closure truncates them once at the end (through the same
+    ``Connection.truncate_table`` API) rather than per view here.
+    """
+
+    name = "step4"
+    step_prefix = "step4: clear delta view"
+
+    tables: list[str]
+    replaces: frozenset = frozenset()
+    requires_base_tables = False
+
+    def initialize(self, connection: "Connection") -> None:
+        return None
+
+    def run(self, connection: "Connection") -> int:
+        return sum(connection.truncate_table(name) for name in self.tables)
+
+
+def build_native_steps(
+    model: MVModel, catalog, dialect: Dialect
+) -> list[object]:
+    """The native steps for ``model``, selected per step.
+
+    Each returned step knows which SQL labels it replaces by prefix; steps
+    whose shape is outside their kernel surface are simply absent, leaving
+    that step on the compiled SQL (the propagation pipeline mixes the two
+    freely).  ``CompilerFlags.native_steps`` narrows the selection.
+    """
+    wanted = set(model.flags.native_steps)
+    steps: list[object] = []
+    step1 = try_build_batched_step1(model, catalog) if 1 in wanted else None
+    if step1 is not None:
+        steps.append(step1)
+    step2 = None
+    if (
+        2 in wanted
+        and model.flags.strategy is MaterializationStrategy.LEFT_JOIN_UPSERT
+    ):
+        step2 = _build_upsert_step(model)
+        steps.append(step2)
+    if 3 in wanted:
+        step3 = _build_liveness_step(model, dialect, step1)
+        if step3 is not None:
+            steps.append(step3)
+            if step2 is not None and step3.counters is None:
+                # Step 2 has already grouped ΔV by key; hand the touched
+                # keys to the stored-liveness test instead of re-reading.
+                step2.liveness_step = step3
+    if 4 in wanted:
+        steps.append(NativeTruncateStep(tables=[model.delta_view_table]))
+    return steps
+
+
+def _build_upsert_step(model: MVModel) -> NativeUpsertStep:
+    delta_pos = {
+        column.name: i for i, column in enumerate(model.delta_columns())
+    }
+    key_positions = [delta_pos[k.name] for k in model.key_columns()]
+    folds: list[_ColumnFold] = []
+    key_index = 0
+    for ordinal, column in enumerate(model.columns):
+        if column.role is ColumnRole.KEY:
+            folds.append(
+                _ColumnFold(
+                    name=column.name, kind="key", stored_ordinal=ordinal,
+                    key_index=key_index,
+                )
+            )
+            key_index += 1
+        elif column.role.is_additive:
+            folds.append(
+                _ColumnFold(
+                    name=column.name, kind="additive", stored_ordinal=ordinal,
+                    delta_pos=delta_pos[column.name],
+                )
+            )
+        elif column.role.is_minmax:
+            folds.append(
+                _ColumnFold(
+                    name=column.name,
+                    kind="min" if column.role is ColumnRole.MIN else "max",
+                    stored_ordinal=ordinal,
+                    delta_pos=delta_pos[column.name],
+                )
+            )
+        else:  # ColumnRole.AVG
+            folds.append(
+                _ColumnFold(
+                    name=column.name, kind="avg", stored_ordinal=ordinal,
+                    companion_sum=column.companion_sum,
+                    companion_count=column.companion_count,
+                )
+            )
+    return NativeUpsertStep(
+        mv_table=model.mv_table,
+        delta_view_table=model.delta_view_table,
+        key_positions=key_positions,
+        folds=folds,
+    )
+
+
+def _build_liveness_step(
+    model: MVModel, dialect: Dialect, step1: BatchedDeltaStep | None
+) -> NativeLivenessStep | None:
+    delta_pos = {
+        column.name: i for i, column in enumerate(model.delta_columns())
+    }
+    key_positions = [delta_pos[k.name] for k in model.key_columns()]
+    liveness = model.liveness_column()
+    if liveness is not None:
+        ordinal = next(
+            i for i, c in enumerate(model.columns) if c.name == liveness.name
+        )
+        return NativeLivenessStep(
+            mv_table=model.mv_table,
+            delta_view_table=model.delta_view_table,
+            key_positions=key_positions,
+            liveness_ordinal=ordinal,
+        )
+    if not model.paper_sum_columns():
+        return None  # no SQL step 3 exists either
+    if step1 is None:
+        # The exact counters are fed source-level count deltas by the
+        # native step 1; without it (step 1 on SQL, or excluded by the
+        # flags) the view keeps the paper's SQL fallback.
+        return None
+    keys = model.key_columns()
+    if any(_constant_value(k.expr) is not _NOT_CONSTANT for k in keys):
+        # Scalar-aggregate views keep their single row under the paper's
+        # semantics; leave step 3 on the SQL fallback.
+        return None
+    analysis = model.analysis
+    items = [
+        d.item(copy.deepcopy(k.expr), k.name) for k in keys
+    ] + [d.item(d.agg("COUNT", None), "_duckdb_ivm_liveness")]
+    select = d.select(
+        items=items,
+        from_clause=copy.deepcopy(analysis.query.from_clause),
+        where=copy.deepcopy(analysis.where),
+        group_by=[copy.deepcopy(k.expr) for k in keys],
+    )
+    step3 = NativeLivenessStep(
+        mv_table=model.mv_table,
+        delta_view_table=model.delta_view_table,
+        key_positions=key_positions,
+        counters=GroupLivenessState(),
+        init_count_sql=d.emit(select, dialect),
+    )
+    step1.liveness_step = step3
+    return step3

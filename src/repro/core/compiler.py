@@ -50,10 +50,10 @@ class CompiledView:
     populate: str = ""
     # The propagation script — the paper's steps 1–4, labelled.
     propagation: list[tuple[str, str]] = field(default_factory=list)
-    # Native vectorized form of step 1 (None when the view shape is
-    # outside the batch-kernel surface or batch_kernels is off); the SQL
+    # Native vectorized pipeline steps (empty when batch_kernels is off);
+    # each covers the SQL statements it replaces, per step, and the SQL
     # in ``propagation`` is always complete regardless.
-    batched_step1: object | None = None
+    native_steps: list = field(default_factory=list)
 
     @property
     def delta_tables(self) -> dict[str, str]:
@@ -157,7 +157,7 @@ class OpenIVMCompiler:
             ddl=ddl,
             populate=populate,
             propagation=plan.statements,
-            batched_step1=plan.batched_step1,
+            native_steps=plan.native_steps,
         )
 
     # -- initial population ------------------------------------------------

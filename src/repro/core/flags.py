@@ -46,11 +46,20 @@ class CompilerFlags:
     mode: PropagationMode = PropagationMode.LAZY
     # Batch size for PropagationMode.BATCH.
     batch_size: int = 64
-    # Compute ΔV with the vectorized Z-set batch kernels and ART-indexed
-    # join state instead of executing the step-1 SQL (falls back to SQL
-    # automatically for view shapes the kernels don't cover).  The emitted
-    # scripts always contain the portable SQL either way.
+    # Run propagation on the vectorized Z-set batch kernels (ART-indexed
+    # join state for step 1, signed-collapse upsert for step 2, exact
+    # liveness deletes for step 3, in-memory truncation for step 4)
+    # instead of executing the compiled SQL.  Selection is *per step*:
+    # steps whose shape the kernels don't cover fall back to SQL
+    # individually.  The emitted scripts always contain the portable SQL
+    # either way.
     batch_kernels: bool = True
+    # Which propagation steps may run natively when ``batch_kernels`` is
+    # on — a subset of {1, 2, 3, 4}.  The default allows the whole
+    # pipeline; ``(1,)`` reproduces the step-1-only batching of the first
+    # batching milestone (used as a benchmark baseline and by the
+    # differential oracle's "mixed" engine).
+    native_steps: tuple[int, ...] = (1, 2, 3, 4)
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

@@ -1,4 +1,4 @@
-"""Propagation-script assembly: the paper's post-processing steps 1–4.
+"""Propagation-pipeline assembly: the paper's post-processing steps 1–4.
 
     (1) Insertion in ΔV of the tuples resulting from querying ΔT.
     (2) Insertion or update in V of the newly-inserted tuples in ΔV,
@@ -9,57 +9,132 @@
 
 Step 1 comes from the DBSP rewrite (:mod:`repro.core.rewrite`), step 2
 from the selected materialization strategy
-(:mod:`repro.core.strategies`); this module adds steps 3 and 4 and
-assembles the labelled statement list.
+(:mod:`repro.core.strategies`); this module adds steps 3 and 4,
+assembles the labelled statement list, and pairs it with the typed
+:class:`NativeStep` pipeline (:mod:`repro.core.batched`) that executes
+individual steps on the vectorized Z-set kernels.  Selection is per
+step: each native step declares the statement labels it replaces, and
+:func:`run_pipeline` interleaves native execution with the remaining
+SQL, so one view can run steps 1–2 natively and 3–4 in SQL (or any
+other mix).  The SQL statement list is always complete — it is the
+stored artifact and the portable row-at-a-time fallback.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.sql.dialect import Dialect
 from repro.core import duckast as d
+from repro.core.batched import build_native_steps
 from repro.core.model import MVModel
 from repro.core.rewrite import build_delta_view_insert
 from repro.core.strategies import apply_strategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.connection import Connection
 
 Statement = tuple[str, str]
 
 STEP1_LABEL = "step1: compute delta view from delta tables"
 
 
+class NativeStep(Protocol):
+    """One natively-executed stage of the propagation pipeline.
+
+    Implementations live in :mod:`repro.core.batched` (steps 1–4 over the
+    vectorized Z-set kernels).  A step is matched to the compiled SQL by
+    label: every statement whose label starts with ``step_prefix`` is
+    replaced by one ``run()`` call at the position of the first match
+    (recorded in ``replaces`` at plan-assembly time).
+    """
+
+    name: str  # "step1" … "step4", for status reporting
+    step_prefix: str  # label prefix of the SQL statements it subsumes
+    replaces: frozenset  # exact labels replaced, set by the plan builder
+    # True when the step must scan the base tables (initial state builds);
+    # the HTAP pipeline excludes such steps because its bases live on the
+    # attached OLTP side.
+    requires_base_tables: bool
+
+    def initialize(self, connection: "Connection") -> None:
+        """One-time state construction at CREATE MATERIALIZED VIEW time."""
+
+    def run(self, connection: "Connection") -> int:
+        """Execute the step; returns a row count for diagnostics."""
+
+
 @dataclass
 class PropagationPlan:
-    """An executable propagation plan: the labelled SQL script plus, when
-    the view shape supports it, the vectorized native form of step 1.
+    """An executable propagation plan: the labelled SQL script plus the
+    native steps covering whatever subset of it the kernels support.
 
-    Runners (the IVM extension's ``refresh``) execute ``batched_step1`` in
-    place of the ``STEP1_LABEL`` statement when it is present; the SQL
-    statement list is always complete, so the stored scripts stay portable
-    and the SQL path remains available as the row-at-a-time baseline
+    Runners (:func:`run_pipeline`) execute each native step in place of
+    the SQL statements it replaces; the SQL statement list is always
+    complete, so the stored scripts stay portable and the SQL path
+    remains available as the row-at-a-time baseline
     (``CompilerFlags.batch_kernels = False``).
     """
 
     statements: list[Statement]
-    batched_step1: "object | None" = None  # BatchedDeltaStep, avoids cycle
+    native_steps: list[NativeStep] = field(default_factory=list)
 
 
 def build_propagation_plan(
     model: MVModel, dialect: Dialect, catalog=None
 ) -> PropagationPlan:
-    """The propagation plan: SQL script + optional batched step 1.
+    """The propagation plan: SQL script + per-step native pipeline.
 
-    The native step is attempted only when the compiler flags ask for
-    batch kernels and a catalog is available to resolve column ordinals;
-    unsupported view shapes silently keep the pure-SQL plan.
+    Native steps are attempted only when the compiler flags ask for batch
+    kernels and a catalog is available to resolve column ordinals; any
+    step whose shape the kernels don't cover silently keeps its SQL form
+    (per-step fallback), and unsupported views keep the pure-SQL plan.
     """
-    from repro.core.batched import try_build_batched_step1
-
     statements = build_propagation(model, dialect)
-    batched = None
+    native_steps: list[NativeStep] = []
     if catalog is not None and model.flags.batch_kernels:
-        batched = try_build_batched_step1(model, catalog)
-    return PropagationPlan(statements=statements, batched_step1=batched)
+        labels = [label for label, _ in statements]
+        for step in build_native_steps(model, catalog, dialect):
+            step.replaces = frozenset(
+                label for label in labels
+                if label.startswith(step.step_prefix)
+            )
+            if step.replaces:
+                native_steps.append(step)
+    return PropagationPlan(statements=statements, native_steps=native_steps)
+
+
+def run_pipeline(
+    connection: "Connection",
+    statements,
+    native_steps: list[NativeStep],
+    execute: Callable,
+    skip_label: Callable[[str], bool] | None = None,
+) -> None:
+    """Run a propagation plan with per-step native/SQL selection.
+
+    Walks the labelled statements in script order; a statement whose
+    label a native step claims is replaced by that step's ``run()`` (once,
+    at the first claimed label — later labels of the same step are
+    consumed silently), everything else goes through ``execute``.  Both
+    the extension and the HTAP pipeline refresh through here, so the two
+    runners cannot drift on step ordering.
+    """
+    by_label: dict[str, NativeStep] = {}
+    for step in native_steps:
+        for label in step.replaces:
+            by_label[label] = step
+    ran: set[int] = set()
+    for label, statement in statements:
+        if skip_label is not None and skip_label(label):
+            continue
+        step = by_label.get(label)
+        if step is None:
+            execute(statement)
+        elif id(step) not in ran:
+            ran.add(id(step))
+            step.run(connection)
 
 
 def build_propagation(model: MVModel, dialect: Dialect) -> list[Statement]:

@@ -32,6 +32,13 @@ from repro.core.model import ColumnRole, MVColumn, MVModel
 
 _TOUCHED_ALIAS = "_duckdb_ivm_touched"
 
+# Step-2 statement labels.  The propagation pipeline matches native steps
+# to SQL statements by label prefix, so these are the contract between
+# this module's emission and the native kernels in repro.core.batched
+# (note "step2:" is deliberately not a prefix of "step2b:").
+STEP2_UPSERT_LABEL = "step2: upsert delta into view"
+STEP2B_RESCAN_LABEL = "step2b: rescan MIN/MAX groups touched by deletions"
+
 
 def delta_column_plan(model: MVModel) -> list[tuple[MVColumn, str]]:
     """How each delta-view column participates in ΔV folding.
@@ -61,11 +68,10 @@ def apply_strategy(model: MVModel, dialect: Dialect) -> list[tuple[str, str]]:
     """Emit the labelled step-2 statements for the model's strategy."""
     strategy = model.flags.strategy
     if strategy is MaterializationStrategy.LEFT_JOIN_UPSERT:
-        statements = [("step2: upsert delta into view", _upsert(model, dialect))]
+        statements = [(STEP2_UPSERT_LABEL, _upsert(model, dialect))]
         if model.minmax_columns():
             statements.append(
-                ("step2b: rescan MIN/MAX groups touched by deletions",
-                 _minmax_rescan(model, dialect))
+                (STEP2B_RESCAN_LABEL, _minmax_rescan(model, dialect))
             )
         return statements
     if strategy is MaterializationStrategy.UNION_REGROUP:

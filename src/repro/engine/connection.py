@@ -139,6 +139,28 @@ class Connection:
             count += 1
         return count
 
+    def upsert_rows(self, table_name: str, rows) -> int:
+        """Bulk INSERT OR REPLACE over the table's primary key (no
+        triggers) — the native step-2 fold writes merged view rows here."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            table.upsert(row)
+            count += 1
+        return count
+
+    def delete_keys(self, table_name: str, keys) -> int:
+        """Bulk delete by primary-key values (no triggers) — the native
+        step-3 liveness kernel removes dead groups here.  Keys absent from
+        the table are ignored; returns the number of rows removed."""
+        table = self.catalog.table(table_name)
+        return sum(table.delete_by_key(key) for key in keys)
+
+    def truncate_table(self, table_name: str) -> int:
+        """Empty a table in-memory (no scan, no triggers) — step 4 of the
+        native pipeline clears ΔV and ΔT through here."""
+        return self.catalog.table(table_name).truncate()
+
     # -- parsing with extension fall-back ----------------------------------
 
     def _parse(self, sql: str) -> list[ast.Statement]:

@@ -220,6 +220,44 @@ def grouped_weighted_count_star(
     return [int(total) for total in totals]
 
 
+def merge_additive(stored: Any, delta: Any) -> Any:
+    """Fold a collapsed additive delta into a stored SUM/COUNT partial.
+
+    Mirrors the SQL upsert's ``COALESCE(stored, 0) + COALESCE(delta, 0)``
+    (Listing 2): a missing or NULL stored value contributes the additive
+    identity, so brand-new groups take the delta verbatim.
+    """
+    if stored is None:
+        stored = 0
+    if delta is None:
+        delta = 0
+    return stored + delta
+
+
+def merge_minmax(stored: Any, delta: Any, want_max: bool) -> Any:
+    """Fold an insert-side MIN/MAX partial into the stored extremum.
+
+    Mirrors the SQL upsert's ``LEAST``/``GREATEST``, which skip NULLs:
+    retraction of an extremum is *not* invertible from the partial alone,
+    so deletions are handled by the step-2b rescan (SQL fallback), and this
+    merge only ever tightens the stored value with insert-side partials.
+    """
+    if stored is None:
+        return delta
+    if delta is None:
+        return stored
+    direction = 1 if want_max else -1
+    return delta if sql_compare(delta, stored) * direction > 0 else stored
+
+
+def derive_avg(total: Any, count: Any) -> Any:
+    """AVG from its hidden sum/count companions — the SQL emits
+    ``CAST(sum AS DOUBLE) / NULLIF(count, 0)``."""
+    if not count:
+        return None
+    return float(total) / count
+
+
 def grouped_minmax(
     ids: np.ndarray,
     values: np.ndarray,

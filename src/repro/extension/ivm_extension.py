@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.flags import CompilerFlags, PropagationMode
-from repro.core.propagate import STEP1_LABEL
+from repro.core.propagate import run_pipeline
 from repro.engine.connection import Connection
 from repro.engine.result import Result
 from repro.errors import IVMError, ParserError
@@ -117,27 +117,30 @@ class IVMExtension:
         return self.view_state(name).compiled
 
     def refresh(self, name: str) -> None:
-        """Run the propagation scripts for ``name`` (and for every view
+        """Run the propagation pipeline for ``name`` (and for every view
         sharing one of its delta tables, so shared ΔT are consumed once).
 
-        Views whose shape the batch kernels cover compute step 1 natively
-        (vectorized Z-set deltas + indexed join state); all propagation
-        modes — eager, lazy, and batch — funnel through here, so they all
-        take the batched path.  The remaining steps run the compiled SQL.
+        Each view runs its :class:`~repro.core.propagate.NativeStep`
+        pipeline interleaved with the compiled SQL, per step: steps the
+        vectorized kernels cover (Z-set delta compute, signed-collapse
+        upsert, exact liveness delete, in-memory truncation) run natively,
+        the rest execute their SQL statements.  All propagation modes —
+        eager, lazy, and batch — funnel through here.
         """
         state = self.view_state(name)
         closure = self._refresh_closure(state)
         con = self._require_connection()
         for member in closure:
-            batched = member.compiled.batched_step1
-            if batched is not None:
-                batched.run(con)
-            for label, statement in member.prepared:
-                if label.startswith("step4: clear delta table"):
-                    continue  # cleared once for the whole closure below
-                if batched is not None and label == STEP1_LABEL:
-                    continue  # computed natively above
-                con.execute_statement(statement)
+            run_pipeline(
+                con,
+                member.prepared,
+                member.compiled.native_steps,
+                execute=con.execute_statement,
+                # Shared ΔT tables are cleared once for the whole closure.
+                skip_label=lambda label: label.startswith(
+                    "step4: clear delta table"
+                ),
+            )
             member.pending_changes = 0
             member.refresh_count += 1
         delta_tables = {
@@ -145,8 +148,15 @@ class IVMExtension:
             for member in closure
             for delta in member.compiled.delta_tables.values()
         }
+        native_truncate = all(
+            any(step.name == "step4" for step in member.compiled.native_steps)
+            for member in closure
+        )
         for delta in sorted(delta_tables):
-            con.execute(f"DELETE FROM {delta}")
+            if native_truncate:
+                con.truncate_table(delta)
+            else:
+                con.execute(f"DELETE FROM {delta}")
 
     def refresh_all(self) -> None:
         for name in self.views():
@@ -167,7 +177,10 @@ class IVMExtension:
                     "class": compiled.view_class.value,
                     "strategy": compiled.model.flags.strategy.value,
                     "mode": compiled.model.flags.mode.value,
-                    "batched": state.compiled.batched_step1 is not None,
+                    "batched": bool(state.compiled.native_steps),
+                    "native_steps": sorted(
+                        step.name for step in state.compiled.native_steps
+                    ),
                     "pending_changes": state.pending_changes,
                     "refresh_count": state.refresh_count,
                     "rows": len(con.table(compiled.name)),
@@ -244,10 +257,12 @@ class IVMExtension:
         for sql in compiled.ddl:
             con.execute(sql)
         con.execute(compiled.populate)
-        if compiled.batched_step1 is not None:
-            # Build the ART-indexed join state from the just-populated base
-            # tables (rewinding any ΔT rows other views left pending).
-            compiled.batched_step1.initialize(con)
+        for step in compiled.native_steps:
+            # Build per-step persistent state from the just-populated base
+            # tables: the ART-indexed join state for step 1 (rewinding any
+            # ΔT rows other views left pending), the exact group-liveness
+            # counters for step 3.
+            step.initialize(con)
         self._store_script(compiled)
         prepared = [
             (label, parse_script(sql)[0]) for label, sql in compiled.propagation

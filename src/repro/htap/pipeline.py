@@ -24,6 +24,7 @@ from typing import Any, Sequence
 
 from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.flags import CompilerFlags
+from repro.core.propagate import NativeStep, run_pipeline
 from repro.engine.connection import Connection
 from repro.engine.result import Result
 from repro.errors import IVMError
@@ -40,6 +41,9 @@ class _PipelineView:
     # Propagation statements as ASTs with base tables re-pointed at the
     # attached OLTP catalog; executed directly on the OLAP connection.
     propagation: list[tuple[str, ast.Statement]] = field(default_factory=list)
+    # Native pipeline steps that run OLAP-locally (everything except the
+    # steps needing base-table scans, which live on the OLTP side).
+    native_steps: list[NativeStep] = field(default_factory=list)
 
 
 class CrossSystemPipeline:
@@ -86,6 +90,21 @@ class CrossSystemPipeline:
             statement = parse_one(sql)
             self._repoint_statement(statement, compiled)
             view.propagation.append((label, statement))
+        # Native steps run against OLAP-local tables only (ΔT mirrors, ΔV,
+        # the mv table); steps that must scan the base tables — the join
+        # state build, the liveness-counter seeding — stay on the SQL path
+        # because the bases live behind the OLTP attachment.
+        for step in compiled.native_steps:
+            if step.requires_base_tables:
+                continue
+            step.initialize(self.olap)
+            view.native_steps.append(step)
+        for step in view.native_steps:
+            # A kept step 1 must not feed count deltas to a liveness step
+            # that was dropped (nothing would ever consume them).
+            linked = getattr(step, "liveness_step", None)
+            if linked is not None and linked not in view.native_steps:
+                step.liveness_step = None
         self._views[compiled.name.lower()] = view
         return compiled
 
@@ -102,8 +121,12 @@ class CrossSystemPipeline:
             mirror = self.olap.table(delta_table)
             for row in rows:
                 mirror.insert(row, coerce=False)
-        for _, statement in view.propagation:
-            self.olap.execute_statement(statement)
+        run_pipeline(
+            self.olap,
+            view.propagation,
+            view.native_steps,
+            execute=self.olap.execute_statement,
+        )
         return transferred
 
     def pending_changes(self, name: str) -> int:

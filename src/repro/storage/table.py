@@ -132,6 +132,18 @@ class Table:
         self._live_count -= 1
         return row
 
+    def delete_by_key(self, key_values: Sequence[Any]) -> int:
+        """Delete the row(s) matching a primary-key tuple; returns the
+        count (0 when the key is absent).  Requires a primary key."""
+        if "__pk__" not in self._indexes:
+            raise ExecutionError(
+                f"delete_by_key on {self.schema.name!r} requires a PRIMARY KEY"
+            )
+        row_ids = list(self.lookup_row_ids("__pk__", key_values))
+        for row_id in row_ids:
+            self.delete_row(row_id)
+        return len(row_ids)
+
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete all rows matching ``predicate``; returns the count."""
         victims = [rid for rid, row in self.scan_with_ids() if predicate(row)]

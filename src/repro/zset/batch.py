@@ -243,6 +243,27 @@ class ZSetBatch:
             ids[i] = group
         return ids, firsts
 
+    def group_structure(
+        self, key_ordinals: Sequence[int]
+    ) -> tuple[np.ndarray, list[Row], np.ndarray]:
+        """Per-group structure for a signed collapse over ``key_ordinals``.
+
+        Returns ``(ids, keys, net)``: the dense group id per entry, the key
+        tuple per group, and the per-group weight sum.  ``net[g]`` is the
+        group's liveness delta — for a ΔV batch read with ±1 weights it is
+        the exact signed count of arrivals minus departures, which is what
+        the native liveness-delete step cancels against (no floating-point
+        residue, unlike the paper's ``sum = 0`` test).
+        """
+        ids, firsts = self.group_ids(key_ordinals)
+        keys = [
+            tuple(self.columns[j][f] for j in key_ordinals) for f in firsts
+        ]
+        net = np.bincount(
+            ids, weights=self.weights, minlength=len(firsts)
+        ).astype(np.int64)
+        return ids, keys, net
+
     def consolidate(self) -> "ZSetBatch":
         """Merge duplicate rows (summing weights) and drop zero weights.
 

@@ -75,6 +75,60 @@ def incremental_join_delta(
 
 
 # ---------------------------------------------------------------------------
+# Persistent group liveness state
+# ---------------------------------------------------------------------------
+
+
+class GroupLivenessState:
+    """Exact per-group row counters — the I operator over COUNT(*) deltas.
+
+    Views without a stored liveness column (a visible SUM, no COUNT(*))
+    leave the SQL path only the paper's imprecise ``DELETE ... WHERE
+    sum = 0`` test, which both deletes live groups whose values genuinely
+    sum to zero and keeps dead groups whose float sums carry residue.
+    This state integrates the *weighted count* of every group instead —
+    an exact integer, so cancellation is exact — and reports the groups
+    whose count reaches zero.  It is persistent across refreshes, like
+    :class:`IndexedJoinState`, and is seeded from a COUNT(*) recompute at
+    view-creation time.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def count(self, key: tuple) -> int:
+        return self._counts.get(key, 0)
+
+    def load(self, entries: Iterable[tuple[tuple, int]]) -> None:
+        """Seed the counters with ``(key, count)`` pairs."""
+        self._counts = {key: int(count) for key, count in entries}
+
+    def apply(
+        self, keys: Sequence[tuple], nets: Sequence[int]
+    ) -> list[tuple]:
+        """Integrate one refresh round's per-group count deltas.
+
+        Returns the keys whose integrated count dropped to zero (or below)
+        this round — the groups step 3 must delete.  Dead groups are
+        removed from the state so a later re-insert starts fresh.
+        """
+        dead: list[tuple] = []
+        for key, net in zip(keys, nets):
+            count = self._counts.get(key, 0) + int(net)
+            if count <= 0:
+                self._counts.pop(key, None)
+                dead.append(key)
+            else:
+                self._counts[key] = count
+        return dead
+
+
+# ---------------------------------------------------------------------------
 # Persistent indexed join state
 # ---------------------------------------------------------------------------
 

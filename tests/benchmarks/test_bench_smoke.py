@@ -65,3 +65,30 @@ def test_incremental_bench_builder_smoke():
         "SELECT group_index, SUM(group_value) FROM groups GROUP BY group_index"
     ).sorted()
     assert got == want
+
+
+def test_pipeline_trajectory_artifact(tmp_path):
+    """emit_pipeline_trajectory writes a well-formed BENCH_pipeline.json:
+    all three configs present with their native/SQL step split and
+    timings, plus the two headline speedup ratios (values are not
+    asserted at this tiny scale — CI measures at full scale)."""
+    import json
+
+    target = tmp_path / "BENCH_pipeline.json"
+    data = bench_join.emit_pipeline_trajectory(
+        path=target, orders=200, delta_rows=10, rounds=2
+    )
+    on_disk = json.loads(target.read_text())
+    assert on_disk == data
+    assert set(data["configs"]) == {"sql", "step1_native", "full_native"}
+    for name, cfg in data["configs"].items():
+        assert len(cfg["refresh_seconds"]) == 2
+        assert cfg["best_seconds"] == min(cfg["refresh_seconds"])
+        assert sorted(cfg["native_steps"] + cfg["sql_steps"]) == [
+            "step1", "step2", "step3", "step4",
+        ]
+    assert data["configs"]["sql"]["native_steps"] == []
+    assert data["configs"]["step1_native"]["native_steps"] == ["step1"]
+    assert data["configs"]["full_native"]["sql_steps"] == []
+    assert data["speedup_full_native_vs_sql"] > 0
+    assert data["speedup_full_native_vs_step1_only"] > 0

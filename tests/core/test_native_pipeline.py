@@ -1,0 +1,214 @@
+"""Unit tests for the NativeStep propagation pipeline (steps 1–4).
+
+The differential oracle (tests/properties/test_batch_oracle.py) holds the
+end states equal; these tests pin the *structure*: which steps go native
+for which view shapes, how the pipeline interleaves native and SQL
+execution, and the small kernels and engine APIs the steps are built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CompilerFlags,
+    Connection,
+    MaterializationStrategy,
+    PropagationMode,
+    load_ivm,
+)
+from repro.core.compiler import OpenIVMCompiler
+from repro.execution.aggregates import derive_avg, merge_additive, merge_minmax
+from repro.zset.incremental import GroupLivenessState
+
+
+def _compile(view_sql: str, schema_sql: str, **flag_overrides):
+    flags = CompilerFlags(**flag_overrides)
+    compiler = OpenIVMCompiler.from_schema(schema_sql, flags)
+    return compiler.compile(view_sql)
+
+
+GROUPS_SCHEMA = "CREATE TABLE t (g VARCHAR, v INTEGER)"
+
+
+class TestPerStepSelection:
+    def test_full_surface_runs_all_four_steps(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+        # Every native step claims at least one SQL label, and the SQL
+        # script remains complete (the stored artifact).
+        labels = [label for label, _ in compiled.propagation]
+        for step in compiled.native_steps:
+            assert step.replaces
+            assert step.replaces <= set(labels)
+
+    def test_where_clause_keeps_step1_on_sql_only(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t WHERE v > 0 "
+            "GROUP BY g",
+            GROUPS_SCHEMA,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step2", "step3", "step4",
+        ]
+
+    def test_union_regroup_keeps_step2_on_sql_only(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            strategy=MaterializationStrategy.UNION_REGROUP,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step3", "step4",
+        ]
+
+    def test_sum_only_view_uses_counter_liveness_via_step1(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+        )
+        steps = {s.name: s for s in compiled.native_steps}
+        assert set(steps) == {"step1", "step2", "step3", "step4"}
+        assert steps["step3"].counters is not None
+        assert steps["step3"].requires_base_tables
+        assert steps["step1"].liveness_step is steps["step3"]
+
+    def test_sum_only_expression_keys_keep_step3_on_sql(self):
+        # No native step 1 (computed key) → no source-level counts →
+        # the paper's SQL step 3 stays.
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, SUM(v) AS s FROM t GROUP BY UPPER(g)",
+            GROUPS_SCHEMA,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step2", "step4",
+        ]
+
+    def test_scalar_sum_view_keeps_step3_on_sql(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS SELECT SUM(v) AS s FROM t",
+            GROUPS_SCHEMA,
+        )
+        assert "step3" not in {s.name for s in compiled.native_steps}
+
+    def test_native_steps_flag_narrows_selection(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            native_steps=(1,),
+        )
+        assert [s.name for s in compiled.native_steps] == ["step1"]
+
+    def test_batch_kernels_off_keeps_pure_sql(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            batch_kernels=False,
+        )
+        assert compiled.native_steps == []
+
+
+class TestGroupLivenessState:
+    def test_exact_cancellation_reports_dead_groups(self):
+        state = GroupLivenessState()
+        state.load([(("a",), 2), (("b",), 1)])
+        assert state.apply([("a",), ("b",)], [-1, -1]) == [("b",)]
+        assert state.count(("a",)) == 1
+        assert state.count(("b",)) == 0  # removed; re-insert starts fresh
+        assert state.apply([("b",)], [3]) == []
+        assert state.count(("b",)) == 3
+
+    def test_unknown_key_with_negative_net_is_dead(self):
+        state = GroupLivenessState()
+        assert state.apply([("ghost",)], [0]) == [("ghost",)]
+        assert len(state) == 0
+
+
+class TestMergeKernels:
+    def test_merge_additive_coalesces_like_listing2(self):
+        assert merge_additive(None, 5) == 5
+        assert merge_additive(3, None) == 3
+        assert merge_additive(None, None) == 0
+        assert merge_additive(2, -2) == 0
+
+    def test_merge_minmax_skips_nulls_like_least_greatest(self):
+        assert merge_minmax(None, 4, want_max=False) == 4
+        assert merge_minmax(4, None, want_max=True) == 4
+        assert merge_minmax(4, 7, want_max=True) == 7
+        assert merge_minmax(4, 7, want_max=False) == 4
+
+    def test_derive_avg_matches_nullif_division(self):
+        assert derive_avg(10, 4) == 2.5
+        assert derive_avg(0, 0) is None
+        assert derive_avg(7, None) is None
+
+
+class TestEngineBatchAPIs:
+    def _table(self):
+        con = Connection()
+        con.execute(
+            "CREATE TABLE kv (k VARCHAR, n INTEGER, PRIMARY KEY (k))"
+        )
+        return con
+
+    def test_upsert_rows_replaces_by_primary_key(self):
+        con = self._table()
+        assert con.upsert_rows("kv", [("a", 1), ("b", 2)]) == 2
+        assert con.upsert_rows("kv", [("a", 10)]) == 1
+        assert con.execute("SELECT k, n FROM kv").sorted() == [
+            ("a", 10), ("b", 2),
+        ]
+
+    def test_delete_keys_ignores_absent_keys(self):
+        con = self._table()
+        con.upsert_rows("kv", [("a", 1), ("b", 2)])
+        assert con.delete_keys("kv", [("a",), ("ghost",)]) == 1
+        assert con.execute("SELECT k FROM kv").sorted() == [("b",)]
+
+    def test_truncate_table_returns_count(self):
+        con = self._table()
+        con.upsert_rows("kv", [("a", 1), ("b", 2)])
+        assert con.truncate_table("kv") == 2
+        assert con.execute("SELECT COUNT(*) FROM kv").scalar() == 0
+
+
+class TestPipelineExecution:
+    def test_refresh_skips_replaced_sql_statements(self):
+        """With the full-native pipeline, a refresh must not execute any
+        propagation SQL (only the DML/SELECT traffic itself)."""
+        con = Connection()
+        ext = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+        con.execute(GROUPS_SCHEMA)
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+
+        executed: list = []
+        original = con.execute_statement
+
+        def spy(statement, parameters=()):
+            executed.append(statement)
+            return original(statement, parameters)
+
+        con.execute_statement = spy
+        ext.refresh("q")
+        assert executed == [], (
+            "full-native refresh must not round-trip through SQL"
+        )
+        assert con.execute("SELECT g, s, n FROM q").sorted() == [
+            ("a", 1, 1), ("b", 2, 1),
+        ]

