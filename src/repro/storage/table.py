@@ -29,6 +29,11 @@ class Table:
         self._free_slots: list[int] = []
         self._live_count = 0
         self._indexes: dict[str, tuple[list[int], ARTIndex]] = {}
+        # Columnar (struct-of-arrays) mirror of the live rows in scan
+        # order, built lazily by scan_columns() and kept valid across
+        # tail appends; any other mutation invalidates it (dirty bit via
+        # None).  Tables never read columnarly never pay for it.
+        self._columns_cache: list[list] | None = None
         if schema.primary_key:
             self.add_index(
                 "__pk__", schema.primary_key_indexes, unique=True
@@ -52,14 +57,20 @@ class Table:
 
     def scan_columns(self) -> list[list]:
         """Live rows transposed into per-column value lists (struct-of-
-        arrays order matches the schema).  One pass; the batched Z-set
-        kernels columnarize from this without touching row tuples again."""
-        columns: list[list] = [[] for _ in self.schema.columns]
-        for row in self._rows:
-            if row is not None:
-                for j, value in enumerate(row):
-                    columns[j].append(value)
-        return columns
+        arrays order matches the schema).  The result is a cached mirror
+        maintained incrementally across tail appends (the delta-table
+        ingest pattern: append-heavy, truncated wholesale), so repeated
+        refreshes don't re-transpose the whole table; deletes and
+        updates invalidate it.  Callers must not mutate the returned
+        lists and should consume them before further table mutations."""
+        if self._columns_cache is None:
+            columns: list[list] = [[] for _ in self.schema.columns]
+            for row in self._rows:
+                if row is not None:
+                    for j, value in enumerate(row):
+                        columns[j].append(value)
+            self._columns_cache = columns
+        return self._columns_cache
 
     def row(self, row_id: int) -> Row:
         row = self._rows[row_id]
@@ -93,6 +104,7 @@ class Table:
                 raise ConstraintError(
                     f"NOT NULL constraint failed: {self.schema.name}.{column.name}"
                 )
+        reused_slot = bool(self._free_slots)
         row_id = self._allocate_slot(row)
         try:
             self._index_insert(row_id, row)
@@ -100,6 +112,7 @@ class Table:
             self._release_slot(row_id)
             raise
         self._live_count += 1
+        self._cache_append(row, reused_slot)
         return row_id
 
     def upsert(self, values: Sequence[Any]) -> int:
@@ -130,6 +143,7 @@ class Table:
         self._index_delete(row_id, row)
         self._release_slot(row_id)
         self._live_count -= 1
+        self._columns_cache = None
         return row
 
     def delete_by_key(self, key_values: Sequence[Any]) -> int:
@@ -171,6 +185,7 @@ class Table:
             self._index_insert(row_id, old)
             raise
         self._rows[row_id] = new_row
+        self._columns_cache = None
         return old, new_row
 
     def truncate(self) -> int:
@@ -179,6 +194,7 @@ class Table:
         self._rows.clear()
         self._free_slots.clear()
         self._live_count = 0
+        self._columns_cache = None
         for name, (key_columns, index) in list(self._indexes.items()):
             self._indexes[name] = (key_columns, ARTIndex(unique=index.unique))
         return count
@@ -249,6 +265,21 @@ class Table:
         return rows[0] if rows else None
 
     # -- internals ------------------------------------------------------------
+
+    def _cache_append(self, row: Row, reused_slot: bool) -> None:
+        """Keep the columnar mirror valid across a single insert.
+
+        Tail appends extend the cached columns in place (scan order is
+        slot order, so a new tail slot lands at the end); a reused middle
+        slot would reorder the mirror, so it is dropped instead.
+        """
+        if self._columns_cache is None:
+            return
+        if reused_slot:
+            self._columns_cache = None
+            return
+        for column, value in zip(self._columns_cache, row):
+            column.append(value)
 
     def _allocate_slot(self, row: Row) -> int:
         if self._free_slots:

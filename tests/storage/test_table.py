@@ -164,3 +164,44 @@ class TestSecondaryIndexes:
         with pytest.raises(ConstraintError):
             table.update_row(rid, ["a", 9])  # PK collision with 'a'
         assert table.pk_lookup(["b"]) == ("b", 2)  # old state restored
+
+
+class TestScanColumnsCache:
+    def test_scan_columns_matches_scan_order(self):
+        table = make_table()
+        table.insert(["a", 1])
+        table.insert(["b", 2])
+        assert table.scan_columns() == [["a", "b"], [1, 2]]
+
+    def test_cache_extends_on_tail_append(self):
+        table = make_table()
+        table.insert(["a", 1])
+        first = table.scan_columns()
+        table.insert(["b", 2])
+        second = table.scan_columns()
+        assert second is first  # same cached object, extended in place
+        assert second == [["a", "b"], [1, 2]]
+
+    def test_cache_invalidated_by_delete_and_slot_reuse(self):
+        table = make_table()
+        rid = table.insert(["a", 1])
+        table.insert(["b", 2])
+        table.scan_columns()
+        table.delete_row(rid)
+        assert table.scan_columns() == [["b"], [2]]
+        table.insert(["c", 3])  # reuses the freed slot
+        assert table.scan_columns() == [
+            [row[0] for row in table.scan()],
+            [row[1] for row in table.scan()],
+        ]
+
+    def test_cache_invalidated_by_update_and_truncate(self):
+        table = make_table()
+        rid = table.insert(["a", 1])
+        table.scan_columns()
+        table.update_row(rid, ["a", 9])
+        assert table.scan_columns() == [["a"], [9]]
+        table.truncate()
+        assert table.scan_columns() == [[], []]
+        table.insert(["z", 0])
+        assert table.scan_columns() == [["z"], [0]]
