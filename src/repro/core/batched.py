@@ -17,8 +17,16 @@ of row-at-a-time SQL:
   ΔV is collapsed to one signed row per group and merged per key directly
   into the view's stored columns (``merge_additive`` / ``merge_minmax`` /
   ``derive_avg`` from :mod:`repro.execution.aggregates`).  MIN/MAX
-  retraction is not invertible from the stored partials, so deletions are
-  handled by the step-2b rescan, which stays on SQL (per-step fallback);
+  retraction is not invertible from the stored partials; it is repaired
+  by step 2b;
+* **step 2b** (:class:`NativeRescanStep`): MIN/MAX retraction repair.
+  The SQL form recomputes every deletion-touched group from the base
+  tables (O(|base|) per refresh containing a delete); the native form
+  keeps a persistent :class:`~repro.zset.incremental.GroupExtremaState`
+  per MIN/MAX column — an ART-backed ordered multiset of (group, value)
+  multiplicities, fed source-level deltas by the native step 1 — and
+  repairs each touched group's stored extremum with one O(log n) lookup
+  (``CompilerFlags.native_minmax_rescan`` restores the SQL rescan);
 * **step 3** (:class:`NativeLivenessStep`): the liveness delete.  With a
   stored COUNT(*)/hidden-count column the test is the exact ``count <= 0``
   restricted to the keys the ΔV batch touched (the SQL form scans the
@@ -36,9 +44,12 @@ of row-at-a-time SQL:
 Selection is *per step* (:func:`build_native_steps`): each step declares
 the SQL statement labels it replaces, and any step whose shape falls
 outside its kernel surface keeps the SQL form individually — a view with
-a WHERE clause runs step 1 on SQL but steps 2–4 natively, a UNION-regroup
-view runs step 2 on SQL but steps 3–4 natively, and so on.  The emitted
-scripts always contain the full portable SQL regardless.
+a computed key runs step 1 on SQL but steps 2–4 natively, a UNION-regroup
+view runs step 2 on SQL but steps 3–4 natively, and so on.  WHERE views
+run step 1 natively too: the bound predicate is compiled through the
+engine's expression compiler and applied to the delta batch with
+``batch_filter`` (selection is linear over Z-sets).  The emitted scripts
+always contain the full portable SQL regardless.
 
 Equivalence contract: the materialized view contents after a refresh are
 identical to the SQL path, with two deliberate caveats:
@@ -59,13 +70,13 @@ identical to the SQL path, with two deliberate caveats:
   identical on both paths; float SUM *values* may still round differently
   (the two paths sum in different orders).
 
-View shapes outside the step-1 kernel surface (WHERE clauses, computed
-key or aggregate expressions, non-equi joins) return ``None`` from
-:func:`try_build_batched_step1`.  Because the exact counters are fed by
-the native step 1 (only the source rows carry count information for
-sum-only views), such views — and scalar-aggregate views, whose single
-group must follow the paper's semantics — keep the SQL step 3 as their
-per-step fallback.
+View shapes outside the step-1 kernel surface (computed key or aggregate
+expressions, non-equi joins, subqueries in WHERE) return ``None`` from
+:func:`try_build_batched_step1`.  Because the exact counters and the
+extrema state are fed by the native step 1 (only the source rows carry
+per-row information), such views keep the SQL step 3 / step 2b as their
+per-step fallback — as do scalar-aggregate sum-only views, whose single
+group must follow the paper's semantics for step 3.
 """
 
 from __future__ import annotations
@@ -91,8 +102,12 @@ from repro.execution.aggregates import (
     merge_minmax,
 )
 from repro.zset.batch import ZSetBatch
-from repro.zset.incremental import GroupLivenessState, IndexedJoinState
-from repro.zset.operators import batch_aggregate
+from repro.zset.incremental import (
+    GroupExtremaState,
+    GroupLivenessState,
+    IndexedJoinState,
+)
+from repro.zset.operators import batch_aggregate, batch_filter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.connection import Connection
@@ -143,6 +158,19 @@ class BatchedDeltaStep:
     # not carry row multiplicities), so it feeds the liveness step's exact
     # counters as part of computing ΔV.
     liveness_step: "NativeLivenessStep | None" = None
+    # Wired for MIN/MAX views with the native step-2b rescan: the extrema
+    # state likewise needs the source-level (group, value) deltas, which
+    # only this step sees.
+    extrema_step: "NativeRescanStep | None" = None
+    # Delta column name -> combined-row ordinal of its aggregate argument
+    # (None for COUNT(*)); lets the rescan builder find each MIN/MAX
+    # column's source column without re-deriving the source layout.
+    aggregate_ordinals: dict = field(default_factory=dict)
+    # Compiled WHERE predicate ((row, ctx) -> bool | None) over the
+    # combined source row, or None for unfiltered views.  Selection is
+    # linear, so it applies directly to the delta batch (post-join for
+    # join views — the indexed state integrates the unfiltered relations).
+    where_eval: Any = None
 
     @property
     def is_join(self) -> bool:
@@ -195,10 +223,21 @@ class BatchedDeltaStep:
             source = self.state.apply(batches[0], batches[1])
         else:
             source = batches[0]
+        if self.where_eval is not None and len(source):
+            from repro.execution.executor import ExecutionContext
+
+            evaluator = self.where_eval
+            ctx = ExecutionContext(connection.catalog)
+            source = batch_filter(
+                source, predicate=lambda row: evaluator(row, ctx) is True
+            )
         if len(source) == 0:
             return 0
 
         source = self._with_constant_keys(source)
+        # Consolidate once up front: the sign split, the liveness feed,
+        # and the extrema feed all want the normal form.
+        source = source.consolidate()
         key_ordinals = [
             ordinal if ordinal is not None else self._const_ordinal(source, i)
             for i, ordinal in enumerate(self.key_ordinals)
@@ -206,6 +245,8 @@ class BatchedDeltaStep:
         if self.liveness_step is not None:
             _, keys, net = source.group_structure(key_ordinals)
             self.liveness_step.absorb(keys, net)
+        if self.extrema_step is not None:
+            self.extrema_step.absorb(source, key_ordinals)
 
         rows: list[tuple] = []
         positive, negative = source.split_signs()
@@ -271,8 +312,6 @@ def try_build_batched_step1(model: MVModel, catalog) -> BatchedDeltaStep | None:
 
 def _build(model: MVModel, catalog) -> BatchedDeltaStep:
     analysis = model.analysis
-    if analysis.where is not None:
-        raise _Unsupported("WHERE clauses use the SQL path")
     if len(analysis.tables) > 2:
         raise _Unsupported("more than two base tables")
 
@@ -290,6 +329,10 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
             )
         )
         offset += len(schema.columns)
+
+    where_eval = None
+    if analysis.where is not None:
+        where_eval = _compile_where_predicate(analysis.where, sources, catalog)
 
     join_left_key: list[int] = []
     join_right_key: list[int] = []
@@ -309,6 +352,7 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
     functions: list[tuple[str, int | None]] = []
     key_positions: dict[str, int] = {}
     agg_positions: dict[str, int] = {}
+    aggregate_ordinals: dict[str, int | None] = {}
     for column, kind in delta_column_plan(model):
         if kind == "key":
             constant = _constant_value(column.expr)
@@ -320,8 +364,10 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
                 key_constants.append(None)
             key_positions[column.name] = len(key_ordinals) - 1
         else:
-            functions.append(_aggregate_kernel(column, sources))
+            kernel = _aggregate_kernel(column, sources)
+            functions.append(kernel)
             agg_positions[column.name] = len(functions) - 1
+            aggregate_ordinals[column.name] = kernel[1]
 
     num_keys = len(key_ordinals)
     output_permutation = []
@@ -342,7 +388,54 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
         output_permutation=output_permutation,
         join_left_key=join_left_key,
         join_right_key=join_right_key,
+        aggregate_ordinals=aggregate_ordinals,
+        where_eval=where_eval,
     )
+
+
+def _compile_where_predicate(where, sources: list[_Source], catalog):
+    """Compile a WHERE clause into a ``(row, ctx) -> bool|None`` evaluator
+    over the combined source row, via the engine's own binder and
+    expression compiler — selection is linear over Z-sets, so the delta
+    batch is filtered exactly as the base relation would be.
+
+    Subqueries are rejected: their results shift with the base data, so
+    filtering the delta with them is not linear (the SQL step 1 has the
+    same limitation; keeping it the fallback preserves behaviour).
+    """
+    from repro.execution.expression import compile_expression
+    from repro.planner.binder import Binder
+    from repro.planner.logical import OutputColumn
+
+    if _contains_subquery(where):
+        raise _Unsupported("subquery in WHERE uses the SQL path")
+    output: list = []
+    for source in sources:
+        for column in catalog.table(source.name).schema.columns:
+            output.append(OutputColumn(column.name, column.type, source.alias))
+    try:
+        bound = Binder(catalog).bind_scalar(copy.deepcopy(where), output)
+        return compile_expression(bound)
+    except Exception:
+        raise _Unsupported("WHERE predicate outside the kernel surface")
+
+
+def _contains_subquery(node) -> bool:
+    """True when an expression tree embeds a SELECT (Exists / scalar)."""
+    if isinstance(node, (ast.Exists, ast.ScalarSubquery, ast.Select)):
+        return True
+    for name in getattr(node, "__dataclass_fields__", ()):
+        value = getattr(node, name)
+        values = value if isinstance(value, (list, tuple)) else [value]
+        for item in values:
+            if isinstance(item, ast.Node) and _contains_subquery(item):
+                return True
+            if isinstance(item, tuple) and any(
+                isinstance(sub, ast.Node) and _contains_subquery(sub)
+                for sub in item
+            ):
+                return True
+    return False
 
 
 _NOT_CONSTANT = object()
@@ -460,8 +553,9 @@ class NativeUpsertStep:
     the same per-key merge directly: one vectorized signed collapse of the
     ΔV batch, then a point lookup + merge + upsert per touched group, so
     the cost tracks |ΔV|, never |V|.  MIN/MAX partials only tighten the
-    stored extremum (insert side); retractions are repaired by the SQL
-    step-2b rescan that follows.
+    stored extremum (insert side); retractions are repaired by the step-2b
+    rescan that follows (native :class:`NativeRescanStep` when available,
+    else the compiled SQL).
     """
 
     name = "step2"
@@ -532,6 +626,133 @@ class NativeUpsertStep:
             rows.append(tuple(new[fold.name] for fold in self.folds))
         connection.upsert_rows(self.mv_table, rows)
         return len(rows)
+
+
+@dataclass
+class _ExtremaColumn:
+    """One MIN/MAX view column maintained by the native step-2b rescan."""
+
+    name: str
+    stored_ordinal: int  # position in the stored mv row
+    value_ordinal: int  # combined-source-row ordinal of the argument
+    want_max: bool
+
+
+@dataclass
+class _ExtremaSource:
+    """One multiset of source values, shared by every MIN/MAX column over
+    the same argument (``MIN(v), MAX(v)`` seed and feed it once)."""
+
+    value_ordinal: int
+    init_sql: str  # seeds the state at CREATE time
+    state: GroupExtremaState = field(default_factory=GroupExtremaState)
+    # (group+value key tuples, per-tuple nets) pushed by step 1 this round.
+    pending: list = field(default_factory=list)
+
+
+@dataclass
+class NativeRescanStep:
+    """Native step 2b: answer MIN/MAX retractions from the extrema state.
+
+    The SQL form recomputes every deletion-touched group from the base
+    tables — O(|base|) per refresh that contains a delete.  This step
+    instead keeps one persistent :class:`~repro.zset.incremental.
+    GroupExtremaState` per MIN/MAX column (an ordered per-(group, value)
+    multiset), fed the source-level deltas by the native step 1, and
+    repairs each touched group's stored extremum with one O(log n)
+    lookup.  Groups that died entirely are left for the liveness step
+    (their stored count is already ≤ 0 after step 2), matching the SQL
+    rescan, which produces no rows for them either.
+    """
+
+    name = "step2b"
+    step_prefix = "step2b:"
+
+    mv_table: str
+    columns: list[_ExtremaColumn]
+    # value ordinal -> shared multiset; one entry per distinct argument.
+    sources: dict  # dict[int, _ExtremaSource]
+    liveness_ordinal: int  # stored liveness column (always present here)
+    # Key layout of the seeding SQL: constant keys (the hidden scalar-
+    # aggregate key) are not grouped over, so they are re-inserted into
+    # the loaded key tuples by position.
+    key_is_const: list[bool] = field(default_factory=list)
+    key_constants: list[Any] = field(default_factory=list)
+    replaces: frozenset = frozenset()
+    # Seeding recomputes per-(group, value) counts from the base tables.
+    requires_base_tables = True
+    # Deletion-touched group keys pushed by the native step 1 this round.
+    pending_touched: list = field(default_factory=list)
+
+    def initialize(self, connection: "Connection") -> None:
+        for source in self.sources.values():
+            result = connection.execute(source.init_sql)
+            source.state.load(
+                (self._full_key(row), row[-2], row[-1])
+                for row in result.rows
+            )
+
+    def _full_key(self, row: tuple) -> tuple:
+        """Rebuild a group key from a seeding row (non-constant key values
+        lead the row, constants are spliced back in by position)."""
+        it = iter(row)
+        return tuple(
+            const if is_const else next(it)
+            for is_const, const in zip(self.key_is_const, self.key_constants)
+        )
+
+    def absorb(self, source, key_ordinals: list) -> None:
+        """Receive one round's consolidated source-level delta batch (from
+        the native step 1): per-column (group, value) count deltas plus
+        the groups touched by a retraction."""
+        negative = source.weights < 0
+        if negative.any():
+            _, keys, _ = source.mask(negative).group_structure(key_ordinals)
+            self.pending_touched.extend(keys)
+        for extrema in self.sources.values():
+            _, gv_keys, nets = source.group_structure(
+                list(key_ordinals) + [extrema.value_ordinal]
+            )
+            extrema.pending.append((gv_keys, nets))
+
+    def run(self, connection: "Connection") -> int:
+        for extrema in self.sources.values():
+            for gv_keys, nets in extrema.pending:
+                extrema.state.apply(
+                    [key[:-1] for key in gv_keys],
+                    [key[-1] for key in gv_keys],
+                    nets,
+                )
+            extrema.pending.clear()
+        if not self.pending_touched:
+            return 0
+        touched: list[tuple] = []
+        seen: set = set()
+        for key in self.pending_touched:
+            if key not in seen:
+                seen.add(key)
+                touched.append(key)
+        self.pending_touched.clear()
+
+        table = connection.table(self.mv_table)
+        updates: list[tuple] = []
+        for key in touched:
+            stored = table.pk_lookup(key)
+            if stored is None or stored[self.liveness_ordinal] <= 0:
+                continue  # absent or dead; the liveness step handles it
+            new_row = list(stored)
+            changed = False
+            for column in self.columns:
+                state = self.sources[column.value_ordinal].state
+                value = state.extremum(key, column.want_max)
+                if new_row[column.stored_ordinal] != value:
+                    new_row[column.stored_ordinal] = value
+                    changed = True
+            if changed:
+                updates.append(tuple(new_row))
+        if updates:
+            connection.upsert_rows(self.mv_table, updates)
+        return len(updates)
 
 
 @dataclass
@@ -665,6 +886,17 @@ def build_native_steps(
     ):
         step2 = _build_upsert_step(model)
         steps.append(step2)
+        if (
+            model.minmax_columns()
+            and model.flags.native_minmax_rescan
+            and step1 is not None
+        ):
+            # Step 2b: the extrema state is fed source-level deltas by
+            # the native step 1, so without one the SQL rescan stays.
+            step2b = _build_rescan_step(model, dialect, step1)
+            if step2b is not None:
+                steps.append(step2b)
+                step1.extrema_step = step2b
     if 3 in wanted:
         step3 = _build_liveness_step(model, dialect, step1)
         if step3 is not None:
@@ -723,6 +955,80 @@ def _build_upsert_step(model: MVModel) -> NativeUpsertStep:
         delta_view_table=model.delta_view_table,
         key_positions=key_positions,
         folds=folds,
+    )
+
+
+def _build_rescan_step(
+    model: MVModel, dialect: Dialect, step1: BatchedDeltaStep
+) -> NativeRescanStep | None:
+    """The native step-2b rescan, or None when the view lacks the stored
+    liveness column the dead-group handoff relies on (build_model always
+    adds one for MIN/MAX views, so this is belt-and-braces)."""
+    liveness = model.liveness_column()
+    if liveness is None:
+        return None
+    liveness_ordinal = next(
+        i for i, c in enumerate(model.columns) if c.name == liveness.name
+    )
+    keys = model.key_columns()
+    key_is_const: list[bool] = []
+    key_constants: list[Any] = []
+    for key in keys:
+        constant = _constant_value(key.expr)
+        if constant is _NOT_CONSTANT:
+            key_is_const.append(False)
+            key_constants.append(None)
+        else:
+            key_is_const.append(True)
+            key_constants.append(constant)
+    analysis = model.analysis
+    grouped_keys = [k for k, is_const in zip(keys, key_is_const) if not is_const]
+    columns: list[_ExtremaColumn] = []
+    sources: dict[int, _ExtremaSource] = {}
+    for column in model.minmax_columns():
+        value_ordinal = step1.aggregate_ordinals.get(column.name)
+        if value_ordinal is None:
+            return None  # MIN/MAX of nothing cannot occur; defensive
+        stored_ordinal = next(
+            i for i, c in enumerate(model.columns) if c.name == column.name
+        )
+        columns.append(
+            _ExtremaColumn(
+                name=column.name,
+                stored_ordinal=stored_ordinal,
+                value_ordinal=value_ordinal,
+                want_max=(column.role is ColumnRole.MAX),
+            )
+        )
+        if value_ordinal in sources:
+            continue  # MIN and MAX of the same argument share one multiset
+        # Seed: per-(group, value) multiplicities from the base tables —
+        # SELECT keys..., arg, COUNT(*) FROM <sources> [WHERE p]
+        # GROUP BY keys..., arg (constant keys are spliced in at load).
+        items = [
+            d.item(copy.deepcopy(k.expr), k.name) for k in grouped_keys
+        ] + [
+            d.item(copy.deepcopy(column.expr), "_duckdb_ivm_value"),
+            d.item(d.agg("COUNT", None), "_duckdb_ivm_extrema"),
+        ]
+        select = d.select(
+            items=items,
+            from_clause=copy.deepcopy(analysis.query.from_clause),
+            where=copy.deepcopy(analysis.where),
+            group_by=[copy.deepcopy(k.expr) for k in grouped_keys]
+            + [copy.deepcopy(column.expr)],
+        )
+        sources[value_ordinal] = _ExtremaSource(
+            value_ordinal=value_ordinal,
+            init_sql=d.emit(select, dialect),
+        )
+    return NativeRescanStep(
+        mv_table=model.mv_table,
+        columns=columns,
+        sources=sources,
+        liveness_ordinal=liveness_ordinal,
+        key_is_const=key_is_const,
+        key_constants=key_constants,
     )
 
 

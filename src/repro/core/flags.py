@@ -60,6 +60,13 @@ class CompilerFlags:
     # batching milestone (used as a benchmark baseline and by the
     # differential oracle's "mixed" engine).
     native_steps: tuple[int, ...] = (1, 2, 3, 4)
+    # Answer MIN/MAX retractions from the persistent per-group extrema
+    # state (O(log n) per touched group) instead of the step-2b SQL
+    # rescan of the base tables.  Requires a native step 1 (the state is
+    # fed source-level deltas there); off reproduces the rescan-on-SQL
+    # behaviour of the full-pipeline milestone, which the MIN/MAX bench
+    # config uses as its baseline.
+    native_minmax_rescan: bool = True
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

@@ -116,38 +116,30 @@ class Connection:
     def read_delta_batch(self, delta_table: str):
         """Read a delta table (base columns + trailing boolean multiplicity)
         into a columnar :class:`~repro.zset.batch.ZSetBatch`: multiplicity
-        TRUE becomes weight +1, FALSE becomes −1."""
+        TRUE becomes weight +1, FALSE becomes −1.  The column lists come
+        straight from the table's columnar mirror (no re-transposition on
+        append-only delta tables)."""
         import numpy as np
 
         from repro.zset.batch import ZSetBatch, _object_array
 
         table = self.catalog.table(delta_table)
         columns = table.scan_columns()
-        mult = columns[-1]
-        weights = np.fromiter(
-            (1 if m else -1 for m in mult), dtype=np.int64, count=len(mult)
-        )
+        mult = np.asarray(columns[-1], dtype=bool)
+        weights = np.where(mult, np.int64(1), np.int64(-1))
         return ZSetBatch([_object_array(c) for c in columns[:-1]], weights)
 
     def insert_rows(self, table_name: str, rows) -> int:
         """Bulk-append pre-shaped rows (no coercion, no triggers) — the
         write half of the batched propagation path."""
         table = self.catalog.table(table_name)
-        count = 0
-        for row in rows:
-            table.insert(row, coerce=False)
-            count += 1
-        return count
+        return table.insert_batch(list(rows), coerce=False)
 
     def upsert_rows(self, table_name: str, rows) -> int:
         """Bulk INSERT OR REPLACE over the table's primary key (no
         triggers) — the native step-2 fold writes merged view rows here."""
         table = self.catalog.table(table_name)
-        count = 0
-        for row in rows:
-            table.upsert(row)
-            count += 1
-        return count
+        return table.upsert_batch(list(rows))
 
     def delete_keys(self, table_name: str, keys) -> int:
         """Bulk delete by primary-key values (no triggers) — the native
@@ -354,15 +346,14 @@ class Connection:
                 source_rows.append(tuple(e((), ctx) for e in evaluators))
 
         rows = [self._reorder_insert_row(schema, statement.columns, r) for r in source_rows]
-        inserted: list[tuple] = []
-        for row in rows:
-            if statement.or_replace:
-                table.upsert(row)
-            else:
-                table.insert(row)
-            inserted.append(row)
-        self.triggers.fire(self, "INSERT", schema.name, inserted)
-        return Result(statement_type="INSERT", rowcount=len(inserted))
+        # Whole-statement columnar ingestion: one batch append with a
+        # single sorted index pass, instead of per-row insert calls.
+        if statement.or_replace:
+            table.upsert_batch(rows)
+        else:
+            table.insert_batch(rows)
+        self.triggers.fire(self, "INSERT", schema.name, rows)
+        return Result(statement_type="INSERT", rowcount=len(rows))
 
     @staticmethod
     def _reorder_insert_row(

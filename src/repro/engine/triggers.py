@@ -27,6 +27,26 @@ TriggerFn = Callable[["Connection", str, str, list], None]
 EVENTS = ("INSERT", "DELETE", "UPDATE")
 
 
+def delta_capture_rows(event: str, rows: list) -> list[tuple]:
+    """Trigger payload → delta-table rows with the multiplicity flag.
+
+    The paper's boolean-multiplicity encoding, shared by the IVM
+    extension's capture triggers and the HTAP OLTP capture: INSERT rows
+    carry TRUE, DELETE rows FALSE, and an UPDATE becomes a FALSE old row
+    followed by a TRUE new row.  Returned as one block so captures append
+    with a single ``Table.insert_batch`` call per statement.
+    """
+    if event == "INSERT":
+        return [row + (True,) for row in rows]
+    if event == "DELETE":
+        return [row + (False,) for row in rows]
+    batch: list[tuple] = []
+    for old, new in rows:
+        batch.append(old + (False,))
+        batch.append(new + (True,))
+    return batch
+
+
 class TriggerManager:
     """Per-connection registry of AFTER triggers."""
 

@@ -239,8 +239,9 @@ def merge_minmax(stored: Any, delta: Any, want_max: bool) -> Any:
 
     Mirrors the SQL upsert's ``LEAST``/``GREATEST``, which skip NULLs:
     retraction of an extremum is *not* invertible from the partial alone,
-    so deletions are handled by the step-2b rescan (SQL fallback), and this
-    merge only ever tightens the stored value with insert-side partials.
+    so deletions are handled by the step-2b rescan (native extrema state
+    or the SQL fallback), and this merge only ever tightens the stored
+    value with insert-side partials.
     """
     if stored is None:
         return delta

@@ -36,6 +36,7 @@ from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.flags import CompilerFlags, PropagationMode
 from repro.core.propagate import run_pipeline
 from repro.engine.connection import Connection
+from repro.engine.triggers import delta_capture_rows
 from repro.engine.result import Result
 from repro.errors import IVMError, ParserError
 from repro.sql import ast
@@ -319,16 +320,9 @@ class IVMExtension:
         delta = con.table(delta_table)
 
         def capture(connection: Connection, event: str, table: str, rows) -> None:
-            if event == "INSERT":
-                for row in rows:
-                    delta.insert(row + (True,), coerce=False)
-            elif event == "DELETE":
-                for row in rows:
-                    delta.insert(row + (False,), coerce=False)
-            else:  # UPDATE: delete old, insert new
-                for old, new in rows:
-                    delta.insert(old + (False,), coerce=False)
-                    delta.insert(new + (True,), coerce=False)
+            # One columnar append per statement (delta tables have no
+            # indexes, so this is a straight block extend).
+            delta.insert_batch(delta_capture_rows(event, rows), coerce=False)
 
         for event in ("INSERT", "DELETE", "UPDATE"):
             con.triggers.register(trigger_name, base_table, event, capture)

@@ -14,6 +14,7 @@ from typing import Any, Sequence
 
 from repro.datatypes.types import BOOLEAN
 from repro.engine.connection import Connection
+from repro.engine.triggers import delta_capture_rows
 from repro.engine.result import Result
 from repro.core.ddl import render_create_table
 
@@ -55,16 +56,7 @@ class OLTPSystem:
         delta = con.table(delta_name)
 
         def capture(connection: Connection, event: str, table_: str, rows) -> None:
-            if event == "INSERT":
-                for row in rows:
-                    delta.insert(row + (True,), coerce=False)
-            elif event == "DELETE":
-                for row in rows:
-                    delta.insert(row + (False,), coerce=False)
-            else:
-                for old, new in rows:
-                    delta.insert(old + (False,), coerce=False)
-                    delta.insert(new + (True,), coerce=False)
+            delta.insert_batch(delta_capture_rows(event, rows), coerce=False)
 
         trigger = f"__ivm_oltp_capture_{table_name.lower()}"
         for event in ("INSERT", "DELETE", "UPDATE"):

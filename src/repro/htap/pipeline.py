@@ -100,11 +100,14 @@ class CrossSystemPipeline:
             step.initialize(self.olap)
             view.native_steps.append(step)
         for step in view.native_steps:
-            # A kept step 1 must not feed count deltas to a liveness step
-            # that was dropped (nothing would ever consume them).
-            linked = getattr(step, "liveness_step", None)
-            if linked is not None and linked not in view.native_steps:
-                step.liveness_step = None
+            # A kept step 1 must not feed deltas to a step that was
+            # dropped (nothing would ever consume them): the exact
+            # liveness counters and the MIN/MAX extrema state both ride
+            # on step 1's source-level view of the batch.
+            for attr in ("liveness_step", "extrema_step"):
+                linked = getattr(step, attr, None)
+                if linked is not None and linked not in view.native_steps:
+                    setattr(step, attr, None)
         self._views[compiled.name.lower()] = view
         return compiled
 
@@ -118,9 +121,7 @@ class CrossSystemPipeline:
         for base_table, delta_table in view.compiled.delta_tables.items():
             rows = self.oltp.drain_delta(base_table)
             transferred += len(rows)
-            mirror = self.olap.table(delta_table)
-            for row in rows:
-                mirror.insert(row, coerce=False)
+            self.olap.table(delta_table).insert_batch(rows, coerce=False)
         run_pipeline(
             self.olap,
             view.propagation,

@@ -455,6 +455,33 @@ class ARTIndex:
         for _, child in node.child_items():
             yield from self._walk(child)
 
+    def first_item(self) -> tuple[bytes, list[Any]] | None:
+        """The smallest-key entry, via one leftmost descent (O(depth)).
+
+        The memcomparable encoding makes this the SQL MIN of the keyed
+        values — the incremental MIN/MAX state leans on it for O(log n)
+        extremum lookups after retractions.
+        """
+        return self._edge_item(leftmost=True)
+
+    def last_item(self) -> tuple[bytes, list[Any]] | None:
+        """The largest-key entry, via one rightmost descent (O(depth))."""
+        return self._edge_item(leftmost=False)
+
+    def _edge_item(self, leftmost: bool) -> tuple[bytes, list[Any]] | None:
+        node = self._root
+        if node is None:
+            return None
+        while not isinstance(node, _Leaf):
+            # child_items() yields in ascending byte order, so the first
+            # yield is the leftmost child; only the rightmost walk has to
+            # exhaust the wide nodes' generators.
+            if leftmost:
+                node = next(iter(node.child_items()))[1]
+            else:
+                node = list(node.child_items())[-1][1]
+        return node.key, list(node.values)
+
     def range_scan(
         self, low: bytes | None = None, high: bytes | None = None
     ) -> Iterator[tuple[bytes, list[Any]]]:

@@ -115,6 +115,97 @@ class Table:
         self._cache_append(row, reused_slot)
         return row_id
 
+    def insert_batch(
+        self, rows: Sequence[Sequence[Any]], coerce: bool = True
+    ) -> int:
+        """Append a block of rows at once; returns how many were inserted.
+
+        The columnar counterpart of :meth:`insert` and the write half of
+        the engine's batched ingestion path: coercion and NOT NULL checks
+        run column-at-a-time, slots are allocated in one extend, and each
+        index is maintained with a single sorted pass over the batch's
+        encoded keys instead of per-row inserts.  The batch is atomic —
+        a constraint violation rolls back every row of it (per-row
+        :meth:`insert` leaves the prefix in place instead).
+        """
+        columns = self.schema.columns
+        width = len(columns)
+        prepared: list[Row] = []
+        for values in rows:
+            if len(values) != width:
+                raise ExecutionError(
+                    f"table {self.schema.name!r} expects {width} values, "
+                    f"got {len(values)}"
+                )
+            prepared.append(tuple(values))
+        if not prepared:
+            return 0
+        if coerce:
+            cols = list(zip(*prepared))
+            cols = [
+                [coerce_for_storage(value, column.type) for value in col]
+                for col, column in zip(cols, columns)
+            ]
+            prepared = list(zip(*cols))
+        for j, column in enumerate(columns):
+            if column.not_null:
+                for row in prepared:
+                    if row[j] is None:
+                        raise ConstraintError(
+                            f"NOT NULL constraint failed: "
+                            f"{self.schema.name}.{column.name}"
+                        )
+
+        reused_slots = bool(self._free_slots)
+        row_ids = self._allocate_slots(prepared)
+        inserted: list[tuple[str, list[tuple[bytes, int]]]] = []
+        try:
+            for name, (key_columns, index) in self._indexes.items():
+                entries = [
+                    (encode_key([row[i] for i in key_columns]), row_id)
+                    for row, row_id in zip(prepared, row_ids)
+                ]
+                # One sorted pass per index: duplicate keys inside the
+                # batch become adjacent (cheap unique pre-check) and the
+                # ART is fed in key order.
+                entries.sort(key=lambda entry: entry[0])
+                if index.unique:
+                    for (a, _), (b, _) in zip(entries, entries[1:]):
+                        if a == b:
+                            raise ConstraintError(
+                                f"duplicate key violates unique constraint "
+                                f"on {self.schema.name!r} ({name})"
+                            )
+                done: list[tuple[bytes, int]] = []
+                try:
+                    for key, row_id in entries:
+                        index.insert(key, row_id)
+                        done.append((key, row_id))
+                except ConstraintError:
+                    for key, row_id in done:
+                        index.delete(key, row_id)
+                    raise ConstraintError(
+                        f"duplicate key violates unique constraint on "
+                        f"{self.schema.name!r} ({name})"
+                    ) from None
+                inserted.append((name, entries))
+        except ConstraintError:
+            for name, entries in inserted:
+                undo = self._indexes[name][1]
+                for key, row_id in entries:
+                    undo.delete(key, row_id)
+            for row_id in reversed(row_ids):
+                self._release_slot(row_id)
+            raise
+        self._live_count += len(prepared)
+        if self._columns_cache is not None:
+            if reused_slots:
+                self._columns_cache = None
+            else:
+                for j, cached in enumerate(self._columns_cache):
+                    cached.extend(row[j] for row in prepared)
+        return len(prepared)
+
     def upsert(self, values: Sequence[Any]) -> int:
         """INSERT OR REPLACE semantics over the primary key.
 
@@ -136,6 +227,52 @@ class Table:
         if existing:
             self.delete_row(existing[0])
         return self.insert(row, coerce=False)
+
+    def upsert_batch(self, rows: Sequence[Sequence[Any]]) -> int:
+        """INSERT OR REPLACE a block of rows over the primary key.
+
+        Matches a sequence of :meth:`upsert` calls — later rows win on
+        intra-batch key collisions — but replaces existing rows with one
+        encoded-key pass and appends the survivors through
+        :meth:`insert_batch`.  Atomic like :meth:`insert_batch`: if the
+        insert half fails (NOT NULL, secondary unique), the replaced rows
+        are restored before the error propagates.  Returns the number of
+        input rows.
+        """
+        if not self.schema.primary_key:
+            raise ExecutionError(
+                f"INSERT OR REPLACE on {self.schema.name!r} requires a PRIMARY KEY"
+            )
+        columns = self.schema.columns
+        key_columns, index = self._indexes["__pk__"]
+        count = 0
+        deduped: dict[bytes, Row] = {}
+        for values in rows:
+            if len(values) != len(columns):
+                # Checked before any row is replaced (zip would silently
+                # truncate and insert_batch would reject too late).
+                raise ExecutionError(
+                    f"table {self.schema.name!r} expects {len(columns)} "
+                    f"values, got {len(values)}"
+                )
+            row = tuple(
+                coerce_for_storage(value, column.type)
+                for value, column in zip(values, columns)
+            )
+            deduped[encode_key([row[i] for i in key_columns])] = row
+            count += 1
+        replaced: list[Row] = []
+        for key in deduped:
+            for row_id in index.search(key):
+                replaced.append(self.delete_row(row_id))
+        try:
+            self.insert_batch(list(deduped.values()), coerce=False)
+        except Exception:
+            # The replaced rows coexisted before, so restoring them
+            # cannot itself violate a constraint.
+            self.insert_batch(replaced, coerce=False)
+            raise
+        return count
 
     def delete_row(self, row_id: int) -> Row:
         """Delete by row id; returns the removed row."""
@@ -288,6 +425,21 @@ class Table:
             return row_id
         self._rows.append(row)
         return len(self._rows) - 1
+
+    def _allocate_slots(self, rows: Sequence[Row]) -> list[int]:
+        """Place a block of rows: free slots first, then one tail extend."""
+        row_ids: list[int] = []
+        filled = 0
+        while self._free_slots and filled < len(rows):
+            row_id = self._free_slots.pop()
+            self._rows[row_id] = rows[filled]
+            row_ids.append(row_id)
+            filled += 1
+        if filled < len(rows):
+            start = len(self._rows)
+            self._rows.extend(rows[filled:])
+            row_ids.extend(range(start, len(self._rows)))
+        return row_ids
 
     def _release_slot(self, row_id: int) -> None:
         self._rows[row_id] = None

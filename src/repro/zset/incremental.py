@@ -15,7 +15,11 @@ run both and compare.
 three-term join delta: instead of rescanning the full stored Z-set on
 every propagation, each side keeps its integrated state in a per-key index
 backed by the ART of :mod:`repro.storage.art`, so a delta batch only
-touches the keys it actually contains.
+touches the keys it actually contains.  :class:`GroupLivenessState` and
+:class:`GroupExtremaState` are the same idea for the two non-invertible
+maintenance questions — is a group still alive, and what is its MIN/MAX
+after a retraction — each integrating exactly the auxiliary per-group
+structure that answers its question in O(log n) instead of a rescan.
 """
 
 from __future__ import annotations
@@ -126,6 +130,91 @@ class GroupLivenessState:
             else:
                 self._counts[key] = count
         return dead
+
+
+# ---------------------------------------------------------------------------
+# Persistent per-group extrema state (MIN/MAX retraction)
+# ---------------------------------------------------------------------------
+
+
+class GroupExtremaState:
+    """Ordered multiset of aggregate input values per group — the I
+    operator over one MIN/MAX column's source values.
+
+    MIN/MAX retraction is not invertible from the stored extremum alone:
+    deleting the current extremum needs the runner-up, which the
+    materialized row no longer carries.  The SQL fallback (step 2b)
+    answers that with a full per-group rescan of the base tables —
+    O(|base|) per touched group.  This state instead integrates the
+    weighted count of every (group, value) pair: an outer ART maps the
+    memcomparable group key to a per-group inner ART over the encoded
+    value, whose leaves hold mutable ``[value, count]`` cells.  The
+    ordered ART makes the post-retraction extremum one outer descent plus
+    one leftmost/rightmost edge walk — O(log n) per touched group.
+
+    Like :class:`GroupLivenessState` it is persistent across refreshes,
+    fed source-level deltas by the native step 1, and seeded from a
+    ``GROUP BY key, value`` COUNT(*) recompute at view-creation time.
+    NULL values never enter the state (SQL MIN/MAX skip NULLs), so an
+    all-NULL group reads back as None — the SQL answer.
+    """
+
+    __slots__ = ("_art",)
+
+    def __init__(self) -> None:
+        self._art = ARTIndex()
+
+    def __len__(self) -> int:
+        """Number of groups currently holding at least one value."""
+        return len(self._art)
+
+    def load(self, entries: Iterable[tuple[tuple, object, int]]) -> None:
+        """Seed with ``(group_key, value, count)`` triples."""
+        self._art = ARTIndex()
+        for key, value, count in entries:
+            self.apply([key], [value], [count])
+
+    def apply(self, keys: Sequence[tuple], values: Sequence, nets) -> None:
+        """Integrate one refresh round's per-(group, value) count deltas.
+
+        Counts that reach zero drop the value cell; groups left empty
+        drop entirely, so a later re-insert starts fresh.
+        """
+        for key, value, net in zip(keys, values, nets):
+            net = int(net)
+            if net == 0 or value is None:
+                continue
+            group_key = encode_key(key)
+            found = self._art.search(group_key)
+            bucket = found[0] if found else None
+            if bucket is None:
+                if net < 0:
+                    continue  # retraction of a value never integrated
+                bucket = ARTIndex()
+                self._art.insert(group_key, bucket)
+            value_key = encode_key((value,))
+            cells = bucket.search(value_key)
+            if cells:
+                cell = cells[0]
+                cell[1] += net
+                if cell[1] <= 0:
+                    bucket.delete(value_key)
+            elif net > 0:
+                bucket.insert(value_key, [value, net])
+            if len(bucket) == 0:
+                self._art.delete(group_key)
+
+    def extremum(self, key: tuple, want_max: bool):
+        """Current MIN (or MAX) of ``key``'s multiset, or None when the
+        group holds no non-NULL values."""
+        found = self._art.search(encode_key(key))
+        if not found:
+            return None
+        bucket: ARTIndex = found[0]
+        item = bucket.last_item() if want_max else bucket.first_item()
+        if item is None:
+            return None
+        return item[1][0][0]  # (key, [cell]) -> cell -> original value
 
 
 # ---------------------------------------------------------------------------

@@ -70,13 +70,15 @@ def test_incremental_bench_builder_smoke():
 def test_pipeline_trajectory_artifact(tmp_path):
     """emit_pipeline_trajectory writes a well-formed BENCH_pipeline.json:
     all three configs present with their native/SQL step split and
-    timings, plus the two headline speedup ratios (values are not
-    asserted at this tiny scale — CI measures at full scale)."""
+    timings, the headline speedup ratios, the MIN/MAX step-2b ablation,
+    and the row-vs-batch ingestion comparison (values are not asserted at
+    this tiny scale — CI measures at full scale)."""
     import json
 
     target = tmp_path / "BENCH_pipeline.json"
     data = bench_join.emit_pipeline_trajectory(
-        path=target, orders=200, delta_rows=10, rounds=2
+        path=target, orders=200, delta_rows=10, rounds=2,
+        minmax_rounds=2, ingestion_rows=(50,),
     )
     on_disk = json.loads(target.read_text())
     assert on_disk == data
@@ -92,3 +94,40 @@ def test_pipeline_trajectory_artifact(tmp_path):
     assert data["configs"]["full_native"]["sql_steps"] == []
     assert data["speedup_full_native_vs_sql"] > 0
     assert data["speedup_full_native_vs_step1_only"] > 0
+    minmax = data["minmax"]
+    assert set(minmax["configs"]) == {"sql_rescan", "native_rescan"}
+    assert "step2b" in minmax["configs"]["native_rescan"]["native_steps"]
+    assert "step2b" not in minmax["configs"]["sql_rescan"]["native_steps"]
+    assert minmax["speedup_native_rescan_vs_sql_rescan"] > 0
+    shapes = data["ingestion"]["shapes"]
+    assert set(shapes) == {"delta_table", "pk_table"}
+    for counts in shapes.values():
+        for record in counts.values():
+            assert record["batch_speedup"] > 0
+
+
+def test_minmax_bench_stays_correct_at_tiny_scale():
+    """Both step-2b configurations agree with the recompute (asserted
+    inside the collector) and report the expected step split."""
+    data = bench_join.collect_minmax_trajectory(
+        orders=150, delta_rows=5, rounds=2
+    )
+    assert set(data["configs"]) == {"sql_rescan", "native_rescan"}
+    for cfg in data["configs"].values():
+        assert len(cfg["refresh_seconds"]) == 2
+
+
+def test_regression_gate_baseline_is_well_formed():
+    """BENCH_baseline.json (committed) parses and carries the ratio the
+    CI gate compares against; the gate metric itself is measurable at a
+    tiny scale."""
+    import json
+
+    baseline = json.loads(
+        bench_join.BENCH_BASELINE_PATH.read_text(encoding="utf-8")
+    )
+    assert baseline["join_15k"]["refresh_vs_recompute_ratio"] > 0
+    current = bench_join.measure_gate_metric(
+        orders=200, delta_rows=10, rounds=2
+    )
+    assert current["refresh_vs_recompute_ratio"] > 0

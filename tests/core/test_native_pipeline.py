@@ -19,7 +19,7 @@ from repro import (
 )
 from repro.core.compiler import OpenIVMCompiler
 from repro.execution.aggregates import derive_avg, merge_additive, merge_minmax
-from repro.zset.incremental import GroupLivenessState
+from repro.zset.incremental import GroupExtremaState, GroupLivenessState
 
 
 def _compile(view_sql: str, schema_sql: str, **flag_overrides):
@@ -48,11 +48,25 @@ class TestPerStepSelection:
             assert step.replaces
             assert step.replaces <= set(labels)
 
-    def test_where_clause_keeps_step1_on_sql_only(self):
+    def test_where_clause_runs_step1_natively(self):
+        """WHERE views compile the bound predicate through batch_filter,
+        so the full pipeline goes native (selection is linear)."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS "
             "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t WHERE v > 0 "
             "GROUP BY g",
+            GROUPS_SCHEMA,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+        steps = {s.name: s for s in compiled.native_steps}
+        assert steps["step1"].where_eval is not None
+
+    def test_computed_aggregate_argument_keeps_step1_on_sql(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v + 1) AS s, COUNT(*) AS n FROM t GROUP BY g",
             GROUPS_SCHEMA,
         )
         assert sorted(s.name for s in compiled.native_steps) == [
@@ -69,6 +83,43 @@ class TestPerStepSelection:
         assert sorted(s.name for s in compiled.native_steps) == [
             "step1", "step3", "step4",
         ]
+
+    def test_minmax_view_runs_native_rescan_step(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, MIN(v) AS lo, MAX(v) AS hi FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+        )
+        steps = {s.name: s for s in compiled.native_steps}
+        assert set(steps) == {"step1", "step2", "step2b", "step3", "step4"}
+        assert steps["step1"].extrema_step is steps["step2b"]
+        assert steps["step2b"].requires_base_tables  # state seeds from bases
+        assert [c.want_max for c in steps["step2b"].columns] == [False, True]
+        # MIN(v) and MAX(v) share one multiset (same source argument).
+        assert len(steps["step2b"].sources) == 1
+
+    def test_native_minmax_rescan_flag_keeps_step2b_on_sql(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, MIN(v) AS lo FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            native_minmax_rescan=False,
+        )
+        names = sorted(s.name for s in compiled.native_steps)
+        assert names == ["step1", "step2", "step3", "step4"]
+        assert next(
+            s for s in compiled.native_steps if s.name == "step1"
+        ).extrema_step is None
+
+    def test_minmax_without_native_step1_keeps_step2b_on_sql(self):
+        # Computed key -> no native step 1 -> nothing feeds the extrema
+        # state -> the SQL rescan stays.
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, MIN(v) AS lo FROM t GROUP BY UPPER(g)",
+            GROUPS_SCHEMA,
+        )
+        assert "step2b" not in {s.name for s in compiled.native_steps}
 
     def test_sum_only_view_uses_counter_liveness_via_step1(self):
         compiled = _compile(
@@ -134,6 +185,45 @@ class TestGroupLivenessState:
         state = GroupLivenessState()
         assert state.apply([("ghost",)], [0]) == [("ghost",)]
         assert len(state) == 0
+
+
+class TestGroupExtremaState:
+    def test_retraction_reveals_runner_up(self):
+        state = GroupExtremaState()
+        state.load([(("a",), 5, 1), (("a",), 9, 2), (("b",), 3, 1)])
+        assert state.extremum(("a",), want_max=True) == 9
+        state.apply([("a",)], [9], [-1])  # one of two nines retracted
+        assert state.extremum(("a",), want_max=True) == 9
+        state.apply([("a",)], [9], [-1])
+        assert state.extremum(("a",), want_max=True) == 5
+        assert state.extremum(("a",), want_max=False) == 5
+        assert state.extremum(("b",), want_max=False) == 3
+
+    def test_dead_group_drops_and_reinserts_fresh(self):
+        state = GroupExtremaState()
+        state.apply([("g",), ("g",)], [1, 2], [1, 1])
+        assert len(state) == 1
+        state.apply([("g",), ("g",)], [1, 2], [-1, -1])
+        assert len(state) == 0
+        assert state.extremum(("g",), want_max=True) is None
+        state.apply([("g",)], [7], [1])
+        assert state.extremum(("g",), want_max=True) == 7
+
+    def test_nulls_never_enter_the_multiset(self):
+        state = GroupExtremaState()
+        state.apply([("g",), ("g",)], [None, 4], [1, 1])
+        assert state.extremum(("g",), want_max=False) == 4
+        state.apply([("g",)], [4], [-1])
+        assert state.extremum(("g",), want_max=False) is None
+
+    def test_string_and_mixed_sign_values_order_memcomparably(self):
+        state = GroupExtremaState()
+        state.apply([(1,)] * 3, ["pear", "apple", "zed"], [1, 1, 1])
+        assert state.extremum((1,), want_max=False) == "apple"
+        assert state.extremum((1,), want_max=True) == "zed"
+        state.apply([(2,)] * 3, [-5, 0, 3], [1, 1, 1])
+        assert state.extremum((2,), want_max=False) == -5
+        assert state.extremum((2,), want_max=True) == 3
 
 
 class TestMergeKernels:
@@ -212,3 +302,42 @@ class TestPipelineExecution:
         assert con.execute("SELECT g, s, n FROM q").sorted() == [
             ("a", 1, 1), ("b", 2, 1),
         ]
+
+    def test_minmax_refresh_runs_zero_sql_including_retraction(self):
+        """MIN/MAX views historically kept the step-2b rescan on SQL; with
+        the native rescan fed by the extrema state, a refresh containing a
+        retraction of the current extremum must execute no SQL at all and
+        still match the recompute."""
+        con = Connection()
+        ext = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+        con.execute(GROUPS_SCHEMA)
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, MIN(v) AS lo, MAX(v) AS hi, COUNT(*) AS n "
+            "FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('a', 9), ('b', 4)")
+        ext.refresh("q")
+        # Retract both extrema of 'a' and kill 'b' in one round.
+        con.execute("DELETE FROM t WHERE g = 'a' AND v = 9")
+        con.execute("DELETE FROM t WHERE g = 'b'")
+        con.execute("INSERT INTO t VALUES ('a', 3)")
+
+        executed: list = []
+        original = con.execute_statement
+
+        def spy(statement, parameters=()):
+            executed.append(statement)
+            return original(statement, parameters)
+
+        con.execute_statement = spy
+        ext.refresh("q")
+        con.execute_statement = original
+        assert executed == [], (
+            "MIN/MAX refresh must not round-trip through SQL"
+        )
+        got = con.execute("SELECT g, lo, hi, n FROM q").sorted()
+        want = con.execute(
+            "SELECT g, MIN(v), MAX(v), COUNT(*) FROM t GROUP BY g"
+        ).sorted()
+        assert got == want == [("a", 1, 3, 2)]

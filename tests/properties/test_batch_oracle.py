@@ -295,3 +295,136 @@ def test_combined_scripts_exceed_two_hundred_steps():
     join_steps = 90  # lower bound: each loop iteration issues ≥ 1 DML
     # The groups stream replays once per propagation mode.
     assert groups_steps * len(ALL_MODES) + join_steps >= 200
+
+
+MINMAX_VIEW = (
+    "CREATE MATERIALIZED VIEW mm AS "
+    "SELECT group_index, MIN(group_value) AS lo, MAX(group_value) AS hi, "
+    "COUNT(*) AS n FROM groups GROUP BY group_index"
+)
+MINMAX_RECOMPUTE = (
+    "SELECT group_index, MIN(group_value), MAX(group_value), COUNT(*) "
+    "FROM groups GROUP BY group_index"
+)
+
+# The MIN/MAX oracle adds a fourth engine: full native but with the
+# step-2b rescan kept on SQL (native_minmax_rescan=False), so the
+# persistent extrema state is differentially tested against the paper's
+# base-table rescan as well as against pure SQL and recompute.
+MINMAX_ENGINE_CONFIGS = ENGINE_CONFIGS + [
+    ("native_sql_rescan", dict(batch_kernels=True, native_minmax_rescan=False)),
+]
+
+
+def test_minmax_retraction_heavy_oracle():
+    """MIN/MAX view under a retraction-heavy schedule that repeatedly
+    deletes the current extrema (the non-invertible case): the native
+    rescan answered from the extrema state must agree with the SQL
+    rescan, the pure-SQL script, and the recompute after every batch."""
+    rng = random.Random(77)
+
+    def schema(con: Connection) -> None:
+        con.execute(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+        )
+
+    cons = []
+    for label, overrides in MINMAX_ENGINE_CONFIGS:
+        con = Connection()
+        ext = load_ivm(
+            con, CompilerFlags(mode=PropagationMode.LAZY, **overrides)
+        )
+        schema(con)
+        con.execute(MINMAX_VIEW)
+        if label == "native":
+            assert "step2b" in ext.status()[0]["native_steps"]
+        if label == "native_sql_rescan":
+            assert "step2b" not in ext.status()[0]["native_steps"]
+        cons.append(con)
+
+    live: list[tuple[str, int]] = []
+    steps = 0
+    for round_index in range(45):
+        # Deletion-heavy: ~60% deletes once rows exist, biased toward the
+        # current extremum of a random group so retraction repair is the
+        # dominant code path.
+        if live and rng.random() < 0.6:
+            group = rng.choice(sorted({g for g, _ in live}))
+            members = [row for row in live if row[0] == group]
+            extreme = max(members, key=lambda row: row[1]) if (
+                rng.random() < 0.5
+            ) else min(members, key=lambda row: row[1])
+            victim = extreme if rng.random() < 0.7 else rng.choice(members)
+            live.remove(victim)
+            for con in cons:
+                con.execute(
+                    "DELETE FROM groups "
+                    "WHERE group_index = ? AND group_value = ?",
+                    list(victim),
+                )
+        else:
+            row = (f"g{rng.randrange(6)}", rng.randint(-50, 50))
+            live.append(row)
+            for con in cons:
+                con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
+        steps += 1
+        if steps % 2 == 0 or round_index == 44:
+            results = [
+                (
+                    con.execute(
+                        "SELECT group_index, lo, hi, n FROM mm"
+                    ).sorted(),
+                    con.execute(MINMAX_RECOMPUTE).sorted(),
+                )
+                for con in cons
+            ]
+            for (label, _), (got, want) in zip(
+                MINMAX_ENGINE_CONFIGS, results
+            ):
+                assert got == want, f"{label} diverged from recompute"
+    assert steps >= 45
+
+
+WHERE_VIEW = (
+    "CREATE MATERIALIZED VIEW w AS "
+    "SELECT group_index, SUM(group_value) AS s, COUNT(*) AS n "
+    "FROM groups WHERE group_value > 10 GROUP BY group_index"
+)
+WHERE_RECOMPUTE = (
+    "SELECT group_index, SUM(group_value), COUNT(*) "
+    "FROM groups WHERE group_value > 10 GROUP BY group_index"
+)
+
+
+def test_where_filtered_three_way_oracle():
+    """WHERE views now run step 1 natively (bound predicate through
+    batch_filter); the filter must agree with the SQL WHERE on a mixed
+    stream that straddles the predicate boundary."""
+    rng = random.Random(91)
+
+    def schema(con: Connection) -> None:
+        con.execute(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+        )
+
+    cons = _engines(schema, WHERE_VIEW)
+    live: list[tuple[str, int]] = []
+    for step in range(60):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            for con in cons:
+                con.execute(
+                    "DELETE FROM groups "
+                    "WHERE group_index = ? AND group_value = ?",
+                    list(victim),
+                )
+        else:
+            # Half the inserts land on or below the predicate boundary.
+            row = (f"g{rng.randrange(4)}", rng.randint(-5, 25))
+            live.append(row)
+            for con in cons:
+                con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
+        if step % 3 == 0 or step == 59:
+            _check_agreement(
+                cons, "w", "group_index, s, n", WHERE_RECOMPUTE
+            )

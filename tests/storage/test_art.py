@@ -201,3 +201,48 @@ def test_art_matches_dict_property(operations):
     assert sorted(k for k, _ in art.items()) == sorted(reference)
     for k, count in reference.items():
         assert len(art.search(k)) == count
+
+
+class TestEdgeItems:
+    def test_empty_tree_has_no_edges(self):
+        art = ARTIndex()
+        assert art.first_item() is None
+        assert art.last_item() is None
+
+    def test_first_and_last_match_sorted_items(self):
+        art = ARTIndex()
+        values = [5, -2, 17, 0, 9, 3]
+        for v in values:
+            art.insert(key(v), v)
+        items = list(art.items())
+        assert art.first_item() == items[0]
+        assert art.last_item() == items[-1]
+        assert art.first_item()[1] == [-2]
+        assert art.last_item()[1] == [17]
+
+    def test_edges_track_deletions(self):
+        art = ARTIndex()
+        for v in ["b", "a", "c"]:
+            art.insert(key(v), v)
+        art.delete(key("a"))
+        assert art.first_item()[1] == ["b"]
+        art.delete(key("c"))
+        assert art.last_item()[1] == ["b"]
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(-10**6, 10**6), st.text(max_size=8)),
+        min_size=1,
+        max_size=80,
+        unique=True,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_edge_items_match_min_max_property(values):
+    art = ARTIndex()
+    for v in values:
+        art.insert(key(v), v)
+    ordered = sorted(encode_key([v]) for v in values)
+    assert art.first_item()[0] == ordered[0]
+    assert art.last_item()[0] == ordered[-1]

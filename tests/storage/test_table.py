@@ -205,3 +205,108 @@ class TestScanColumnsCache:
         assert table.scan_columns() == [[], []]
         table.insert(["z", 0])
         assert table.scan_columns() == [["z"], [0]]
+
+
+# ---------------------------------------------------------------------------
+# Batch-vs-row ingestion equivalence (hypothesis)
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_row = st.tuples(st.text(max_size=6), st.integers(-1000, 1000))
+
+
+@given(st.lists(_row, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_insert_batch_equals_sequential_inserts(rows):
+    """One insert_batch call leaves exactly the state a row-at-a-time
+    insert loop does: same scan order, same columnar mirror, same
+    secondary-index answers."""
+    sequential = make_table()
+    batched = make_table()
+    sequential.add_index("by_v", [1])
+    batched.add_index("by_v", [1])
+    for row in rows:
+        sequential.insert(row, coerce=False)
+    assert batched.insert_batch(rows, coerce=False) == len(rows)
+    assert list(batched.scan()) == list(sequential.scan())
+    assert batched.scan_columns() == sequential.scan_columns()
+    for _, value in rows:
+        assert sorted(batched.lookup("by_v", [value])) == sorted(
+            sequential.lookup("by_v", [value])
+        )
+
+
+@given(st.lists(_row, min_size=1, max_size=40, unique_by=lambda r: r[0]))
+@settings(max_examples=60, deadline=None)
+def test_insert_batch_unique_keys_match_sequential(rows):
+    sequential = make_table(primary_key=["k"])
+    batched = make_table(primary_key=["k"])
+    for row in rows:
+        sequential.insert(row, coerce=False)
+    batched.insert_batch(rows, coerce=False)
+    assert sorted(batched.scan()) == sorted(sequential.scan())
+    for key, _ in rows:
+        assert batched.pk_lookup([key]) == sequential.pk_lookup([key])
+
+
+@given(st.lists(_row, min_size=2, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_upsert_batch_equals_sequential_upserts(rows):
+    """upsert_batch matches a loop of upserts, including intra-batch key
+    collisions (later rows win) and replacement of pre-existing rows."""
+    sequential = make_table(primary_key=["k"])
+    batched = make_table(primary_key=["k"])
+    seed, rest = rows[: len(rows) // 2], rows[len(rows) // 2:]
+    for table in (sequential, batched):
+        table.upsert_batch(seed)
+    for row in rest:
+        sequential.upsert(row)
+    assert batched.upsert_batch(rest) == len(rest)
+    assert sorted(batched.scan()) == sorted(sequential.scan())
+    assert len(batched) == len(sequential)
+
+
+def test_insert_batch_rolls_back_atomically_on_duplicate():
+    table = make_table(primary_key=["k"])
+    table.insert(["kept", 0])
+    with pytest.raises(ConstraintError):
+        table.insert_batch([("a", 1), ("b", 2), ("a", 3)])
+    with pytest.raises(ConstraintError):
+        table.insert_batch([("x", 1), ("kept", 2)])
+    # Nothing from either failed batch survived, in rows or indexes.
+    assert sorted(table.scan()) == [("kept", 0)]
+    assert table.pk_lookup(["a"]) is None
+    assert table.pk_lookup(["x"]) is None
+
+
+def test_insert_batch_secondary_unique_rollback():
+    table = make_table(primary_key=["k"])
+    table.add_index("by_v", [1], unique=True)
+    table.insert(["a", 1])
+    with pytest.raises(ConstraintError):
+        table.insert_batch([("b", 2), ("c", 1)])  # c collides on by_v
+    assert sorted(table.scan()) == [("a", 1)]
+    assert table.pk_lookup(["b"]) is None
+    assert table.lookup("by_v", [2]) == []
+
+
+def test_upsert_batch_restores_replaced_rows_on_failure():
+    table = make_table(primary_key=["k"])
+    table.add_index("by_v", [1], unique=True)
+    table.insert(["a", 1])
+    table.insert(["b", 2])
+    with pytest.raises(ConstraintError):
+        # 'a' is replaced first, then ('c', 2) collides with 'b' on by_v.
+        table.upsert_batch([("a", 5), ("c", 2)])
+    assert sorted(table.scan()) == [("a", 1), ("b", 2)]  # nothing lost
+    assert table.pk_lookup(["a"]) == ("a", 1)
+    assert table.lookup("by_v", [1]) == [("a", 1)]
+
+
+def test_upsert_batch_rejects_bad_arity_before_replacing():
+    table = make_table(primary_key=["k"])
+    table.insert(["a", 1])
+    with pytest.raises(ExecutionError):
+        table.upsert_batch([("a", 5), ("short",)])
+    assert table.pk_lookup(["a"]) == ("a", 1)  # nothing was replaced
