@@ -13,12 +13,19 @@ of row-at-a-time SQL:
   with |Δ|, not with |base|; the per-sign partial aggregates are folded by
   the weighted kernels of :mod:`repro.execution.aggregates` and land in
   the ΔV staging table;
-* **step 2** (:class:`NativeUpsertStep`): the signed collapse + upsert —
-  ΔV is collapsed to one signed row per group and merged per key directly
-  into the view's stored columns (``merge_additive`` / ``merge_minmax`` /
-  ``derive_avg`` from :mod:`repro.execution.aggregates`).  MIN/MAX
-  retraction is not invertible from the stored partials; it is repaired
-  by step 2b;
+* **step 2** — one native form per materialization strategy:
+  :class:`NativeUpsertStep` (LEFT_JOIN_UPSERT) collapses ΔV to one
+  signed row per group and merges it per key directly into the view's
+  stored columns (``merge_additive`` / ``merge_minmax`` / ``derive_avg``
+  from :mod:`repro.execution.aggregates`; MIN/MAX retraction is not
+  invertible from the stored partials and is repaired by step 2b);
+  :class:`NativeRegroupStep` (UNION_REGROUP) re-groups the stored
+  touched rows UNION ALL the signed ΔV through the
+  :func:`~repro.zset.operators.batch_union_regroup` kernel, replacing
+  the strategy's whole-table SQL rebuild with work proportional to
+  |ΔV|; :class:`NativeOuterMergeStep` (FULL_OUTER_JOIN) outer-merges
+  the collapsed ΔV with the stored row per key through the view's
+  primary-key ART — the batch form of the strategy's FULL OUTER JOIN;
 * **step 2b** (:class:`NativeRescanStep`): MIN/MAX retraction repair.
   The SQL form recomputes every deletion-touched group from the base
   tables (O(|base|) per refresh containing a delete); the native form
@@ -43,12 +50,19 @@ of row-at-a-time SQL:
 
 Selection is *per step* (:func:`build_native_steps`): each step declares
 the SQL statement labels it replaces, and any step whose shape falls
-outside its kernel surface keeps the SQL form individually — a view with
-a computed key runs step 1 on SQL but steps 2–4 natively, a UNION-regroup
-view runs step 2 on SQL but steps 3–4 natively, and so on.  WHERE views
-run step 1 natively too: the bound predicate is compiled through the
-engine's expression compiler and applied to the delta batch with
-``batch_filter`` (selection is linear over Z-sets).  The emitted scripts
+outside its kernel surface keeps the SQL form individually.  WHERE
+views run step 1 natively: the bound predicate is compiled through the
+engine's *vectorized* expression compiler
+(:func:`~repro.execution.expression.compile_batch_expression`) and
+applied to the delta batch with ``batch_filter`` (selection is linear
+over Z-sets).  Computed key expressions and computed aggregate
+arguments (``GROUP BY UPPER(g)``, ``SUM(v + 1)``) go through the same
+evaluator: each computed expression becomes one appended column of the
+source batch (``CompilerFlags.native_expr_eval``), so
+expression-keyed views keep native steps 1 and 3.  The remaining
+SQL-only step-1 shape is a subquery in WHERE — its result moves with
+the base data, so delta-filtering it is not linear; such views run
+step 1 on SQL and every other step natively.  The emitted scripts
 always contain the full portable SQL regardless.
 
 Equivalence contract: the materialized view contents after a refresh are
@@ -70,13 +84,17 @@ identical to the SQL path, with two deliberate caveats:
   identical on both paths; float SUM *values* may still round differently
   (the two paths sum in different orders).
 
-View shapes outside the step-1 kernel surface (computed key or aggregate
-expressions, non-equi joins, subqueries in WHERE) return ``None`` from
+View shapes outside the step-1 kernel surface (non-equi joins,
+subqueries in WHERE, more than two base tables — or computed
+expressions with ``native_expr_eval`` off) return ``None`` from
 :func:`try_build_batched_step1`.  Because the exact counters and the
 extrema state are fed by the native step 1 (only the source rows carry
 per-row information), such views keep the SQL step 3 / step 2b as their
-per-step fallback — as do scalar-aggregate sum-only views, whose single
-group must follow the paper's semantics for step 3.
+per-step fallback.  Scalar-aggregate sum-only views instead run step 3
+natively in *paper mode*: their single row is addressed by the constant
+key and tested with the compiled ``sum = 0`` predicate (the same
+three-valued comparison the SQL DELETE would run), keeping the paper's
+semantics while staying off SQL.
 """
 
 from __future__ import annotations
@@ -85,8 +103,6 @@ import copy
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
-
-import numpy as np
 
 from repro.sql import ast
 from repro.sql.dialect import Dialect
@@ -101,13 +117,24 @@ from repro.execution.aggregates import (
     merge_additive,
     merge_minmax,
 )
+from repro.execution.expression import (
+    batch_eval,
+    compile_batch_expression,
+    true_mask,
+)
+from repro.planner.expressions import BoundBinary, BoundColumn, BoundConstant
 from repro.zset.batch import ZSetBatch
 from repro.zset.incremental import (
     GroupExtremaState,
     GroupLivenessState,
     IndexedJoinState,
 )
-from repro.zset.operators import batch_aggregate, batch_filter
+from repro.zset.operators import (
+    batch_aggregate,
+    batch_filter,
+    batch_signed_collapse,
+    batch_union_regroup,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.connection import Connection
@@ -136,15 +163,20 @@ class BatchedDeltaStep:
 
     model: MVModel
     delta_tables: list[str]
-    # Key columns of the delta view, in model.key_columns() order: either a
-    # source ordinal (into the combined row) or a constant value.
-    key_ordinals: list[int | None]
-    key_constants: list[Any]
+    # Key columns of the delta view, in model.key_columns() order, as
+    # ordinals into the *augmented* source row (base columns first, then
+    # one appended column per entry of ``computed``).
+    key_ordinals: list[int]
+    # Batch evaluators for the appended columns, in append order: one per
+    # constant key, computed key expression, or computed aggregate
+    # argument (compiled through the vectorized expression evaluator;
+    # each references base-column ordinals only).
+    computed: list = field(default_factory=list)
     # Aggregate kernels for the non-key delta columns, in delta order:
-    # (kernel name, combined-row ordinal or None for COUNT(*)).
-    functions: list[tuple[str, int | None]]
+    # (kernel name, augmented-row ordinal or None for COUNT(*)).
+    functions: list = field(default_factory=list)
     # Maps delta-view column positions to batch_aggregate output positions.
-    output_permutation: list[int]
+    output_permutation: list = field(default_factory=list)
     # Join state (None for single-table views).
     join_left_key: list[int] = field(default_factory=list)
     join_right_key: list[int] = field(default_factory=list)
@@ -162,14 +194,16 @@ class BatchedDeltaStep:
     # state likewise needs the source-level (group, value) deltas, which
     # only this step sees.
     extrema_step: "NativeRescanStep | None" = None
-    # Delta column name -> combined-row ordinal of its aggregate argument
+    # Delta column name -> augmented-row ordinal of its aggregate argument
     # (None for COUNT(*)); lets the rescan builder find each MIN/MAX
     # column's source column without re-deriving the source layout.
     aggregate_ordinals: dict = field(default_factory=dict)
-    # Compiled WHERE predicate ((row, ctx) -> bool | None) over the
-    # combined source row, or None for unfiltered views.  Selection is
-    # linear, so it applies directly to the delta batch (post-join for
-    # join views — the indexed state integrates the unfiltered relations).
+    # Compiled WHERE predicate — a vectorized batch evaluator
+    # (:func:`~repro.execution.expression.compile_batch_expression`) over
+    # the combined source row, or None for unfiltered views.  Selection
+    # is linear, so it applies directly to the delta batch (post-join for
+    # join views — the indexed state integrates the unfiltered
+    # relations), through ``batch_filter``.
     where_eval: Any = None
 
     @property
@@ -223,25 +257,21 @@ class BatchedDeltaStep:
             source = self.state.apply(batches[0], batches[1])
         else:
             source = batches[0]
+        ctx = None
         if self.where_eval is not None and len(source):
-            from repro.execution.executor import ExecutionContext
-
-            evaluator = self.where_eval
-            ctx = ExecutionContext(connection.catalog)
+            ctx = self._context(connection)
             source = batch_filter(
-                source, predicate=lambda row: evaluator(row, ctx) is True
+                source,
+                mask=true_mask(batch_eval(self.where_eval, source, ctx)),
             )
         if len(source) == 0:
             return 0
 
-        source = self._with_constant_keys(source)
+        source = self._with_computed_columns(source, connection, ctx)
         # Consolidate once up front: the sign split, the liveness feed,
         # and the extrema feed all want the normal form.
         source = source.consolidate()
-        key_ordinals = [
-            ordinal if ordinal is not None else self._const_ordinal(source, i)
-            for i, ordinal in enumerate(self.key_ordinals)
-        ]
+        key_ordinals = self.key_ordinals
         if self.liveness_step is not None:
             _, keys, net = source.group_structure(key_ordinals)
             self.liveness_step.absorb(keys, net)
@@ -269,31 +299,29 @@ class BatchedDeltaStep:
 
     # -- helpers -------------------------------------------------------------
 
-    def _with_constant_keys(self, source: ZSetBatch) -> ZSetBatch:
-        """Append one materialized column per constant key (the hidden
-        scalar-aggregate key is ``CAST(0 AS INTEGER)``)."""
-        constants = [
-            value
-            for ordinal, value in zip(self.key_ordinals, self.key_constants)
-            if ordinal is None
-        ]
-        if not constants:
+    @staticmethod
+    def _context(connection: "Connection"):
+        from repro.execution.executor import ExecutionContext
+
+        return ExecutionContext(connection.catalog)
+
+    def _with_computed_columns(
+        self, source: ZSetBatch, connection: "Connection", ctx
+    ) -> ZSetBatch:
+        """Append one materialized column per computed expression —
+        constant keys (the hidden scalar-aggregate key is ``CAST(0 AS
+        INTEGER)``), computed key expressions, computed aggregate
+        arguments — evaluated column-at-a-time over the base columns."""
+        if not self.computed:
             return source
+        if ctx is None:
+            ctx = self._context(connection)
         columns = list(source.columns)
-        for value in constants:
-            columns.append(np.full(len(source), value, dtype=object))
+        for evaluator in self.computed:
+            columns.append(batch_eval(evaluator, source, ctx))
         return ZSetBatch(
             columns, source.weights, consolidated=source.is_consolidated
         )
-
-    def _const_ordinal(self, source: ZSetBatch, key_index: int) -> int:
-        """Ordinal of the materialized constant column for key ``key_index``
-        (constant columns sit after the real ones, in key order)."""
-        consts_before = sum(
-            1 for ordinal in self.key_ordinals[:key_index] if ordinal is None
-        )
-        total_consts = sum(1 for ordinal in self.key_ordinals if ordinal is None)
-        return source.arity - total_consts + consts_before
 
 
 # ---------------------------------------------------------------------------
@@ -308,6 +336,22 @@ def try_build_batched_step1(model: MVModel, catalog) -> BatchedDeltaStep | None:
         return _build(model, catalog)
     except _Unsupported:
         return None
+
+
+@dataclass
+class _ComputedColumns:
+    """Accumulates the appended (computed) columns of the source batch.
+
+    The augmented row is the combined base row followed by one column
+    per registered evaluator; ``add`` returns the new column's ordinal.
+    """
+
+    base_arity: int
+    evaluators: list = field(default_factory=list)
+
+    def add(self, evaluator) -> int:
+        self.evaluators.append(evaluator)
+        return self.base_arity + len(self.evaluators) - 1
 
 
 def _build(model: MVModel, catalog) -> BatchedDeltaStep:
@@ -347,24 +391,22 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
         if not join_left_key:
             raise _Unsupported("no equi-join key pairs")
 
-    key_ordinals: list[int | None] = []
-    key_constants: list[Any] = []
+    computed = _ComputedColumns(base_arity=offset)
+    key_ordinals: list[int] = []
     functions: list[tuple[str, int | None]] = []
     key_positions: dict[str, int] = {}
     agg_positions: dict[str, int] = {}
     aggregate_ordinals: dict[str, int | None] = {}
     for column, kind in delta_column_plan(model):
         if kind == "key":
-            constant = _constant_value(column.expr)
-            if constant is not _NOT_CONSTANT:
-                key_ordinals.append(None)
-                key_constants.append(constant)
-            else:
-                key_ordinals.append(_resolve_column(column.expr, sources))
-                key_constants.append(None)
+            key_ordinals.append(
+                _resolve_or_compile(
+                    column.expr, sources, catalog, model, computed
+                )
+            )
             key_positions[column.name] = len(key_ordinals) - 1
         else:
-            kernel = _aggregate_kernel(column, sources)
+            kernel = _aggregate_kernel(column, sources, catalog, model, computed)
             functions.append(kernel)
             agg_positions[column.name] = len(functions) - 1
             aggregate_ordinals[column.name] = kernel[1]
@@ -383,7 +425,7 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
             model.flags.delta_table(table.name) for table in analysis.tables
         ],
         key_ordinals=key_ordinals,
-        key_constants=key_constants,
+        computed=computed.evaluators,
         functions=functions,
         output_permutation=output_permutation,
         join_left_key=join_left_key,
@@ -393,9 +435,68 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
     )
 
 
+def _resolve_or_compile(
+    expr: ast.Expression, sources, catalog, model: MVModel, computed
+) -> int:
+    """Augmented-row ordinal of an expression: a plain column reference
+    resolves to its base ordinal; a constant (the hidden scalar-aggregate
+    key) becomes a broadcast column; anything else is compiled through
+    the vectorized expression evaluator into an appended column — gated
+    by ``CompilerFlags.native_expr_eval``, whose off position restores
+    the SQL step-1 fallback for computed expressions."""
+    if isinstance(expr, ast.ColumnRef):
+        return _resolve_column(expr, sources)
+    constant = _constant_value(expr)
+    if constant is not _NOT_CONSTANT:
+        return computed.add(compile_batch_expression(BoundConstant(constant)))
+    if not model.flags.native_expr_eval:
+        raise _Unsupported(
+            f"computed expression {type(expr).__name__} "
+            "(native_expr_eval is off)"
+        )
+    return computed.add(_compile_source_expression(expr, sources, catalog))
+
+
+def _compile_source_expression(expr, sources, catalog):
+    """Bind a source-level expression over the combined base row and
+    compile it into a vectorized batch evaluator, via the engine's own
+    binder — the computed column is thereby evaluated exactly as the
+    SQL step 1 would evaluate the expression per row.
+
+    Subqueries are rejected like in WHERE: their results move with the
+    base data, so a subquery-valued key or argument is not linear.
+    """
+    from repro.planner.binder import Binder
+
+    if _contains_subquery(expr):
+        raise _Unsupported("subquery-valued expression uses the SQL path")
+    try:
+        bound = Binder(catalog).bind_scalar(
+            copy.deepcopy(expr), _source_output_columns(sources, catalog)
+        )
+        return compile_batch_expression(bound)
+    except _Unsupported:
+        raise
+    except Exception:
+        raise _Unsupported("expression outside the evaluator surface")
+
+
+def _source_output_columns(sources: list[_Source], catalog):
+    """Binder schema of the combined source row (both tables' columns in
+    offset order), shared by the WHERE predicate and the computed-column
+    compilation."""
+    from repro.planner.logical import OutputColumn
+
+    output: list = []
+    for source in sources:
+        for column in catalog.table(source.name).schema.columns:
+            output.append(OutputColumn(column.name, column.type, source.alias))
+    return output
+
+
 def _compile_where_predicate(where, sources: list[_Source], catalog):
-    """Compile a WHERE clause into a ``(row, ctx) -> bool|None`` evaluator
-    over the combined source row, via the engine's own binder and
+    """Compile a WHERE clause into a vectorized batch evaluator over the
+    combined source row, via the engine's own binder and the batch
     expression compiler — selection is linear over Z-sets, so the delta
     batch is filtered exactly as the base relation would be.
 
@@ -403,19 +504,15 @@ def _compile_where_predicate(where, sources: list[_Source], catalog):
     filtering the delta with them is not linear (the SQL step 1 has the
     same limitation; keeping it the fallback preserves behaviour).
     """
-    from repro.execution.expression import compile_expression
     from repro.planner.binder import Binder
-    from repro.planner.logical import OutputColumn
 
     if _contains_subquery(where):
         raise _Unsupported("subquery in WHERE uses the SQL path")
-    output: list = []
-    for source in sources:
-        for column in catalog.table(source.name).schema.columns:
-            output.append(OutputColumn(column.name, column.type, source.alias))
     try:
-        bound = Binder(catalog).bind_scalar(copy.deepcopy(where), output)
-        return compile_expression(bound)
+        bound = Binder(catalog).bind_scalar(
+            copy.deepcopy(where), _source_output_columns(sources, catalog)
+        )
+        return compile_batch_expression(bound)
     except Exception:
         raise _Unsupported("WHERE predicate outside the kernel surface")
 
@@ -452,13 +549,17 @@ _KERNELS = {
 }
 
 
-def _aggregate_kernel(column, sources) -> tuple[str, int | None]:
+def _aggregate_kernel(
+    column, sources, catalog, model: MVModel, computed
+) -> tuple[str, int | None]:
     kernel = _KERNELS.get(column.role)
     if kernel is None:
         raise _Unsupported(f"no batch kernel for role {column.role}")
     if column.expr is None:
         return kernel, None
-    return kernel, _resolve_column(column.expr, sources)
+    return kernel, _resolve_or_compile(
+        column.expr, sources, catalog, model, computed
+    )
 
 
 def _constant_value(expr: ast.Expression):
@@ -618,11 +719,146 @@ class NativeUpsertStep:
                         collapsed[fold.delta_pos][g],
                         want_max=(fold.kind == "max"),
                     )
+            _derive_avg_folds(self.folds, new)
+            rows.append(tuple(new[fold.name] for fold in self.folds))
+        connection.upsert_rows(self.mv_table, rows)
+        return len(rows)
+
+
+def _derive_avg_folds(folds: list, new: dict) -> None:
+    """Fill the derived AVG columns of ``new`` from their hidden
+    sum/count companions (which every step-2 variant merges first)."""
+    for fold in folds:
+        if fold.kind == "avg":
+            new[fold.name] = derive_avg(
+                new[fold.companion_sum], new[fold.companion_count]
+            )
+
+
+@dataclass
+class NativeRegroupStep:
+    """Native step 2 for the UNION_REGROUP strategy.
+
+    The SQL form rebuilds the whole view: ``CREATE TABLE scratch AS
+    SELECT ... FROM (stored UNION ALL signed-ΔV) GROUP BY keys``, then
+    swaps the contents — O(|V|) per refresh by design.  This step runs
+    the same union + regroup as a kernel restricted to the keys ΔV
+    actually touched: the stored rows of those keys (one primary-key ART
+    probe each) are concatenated with the signed ΔV batch and re-grouped
+    by :func:`~repro.zset.operators.batch_union_regroup`, so the cost
+    tracks |ΔV|, never |V|.  Untouched rows are exactly the rows the SQL
+    rebuild copies verbatim.  Dead groups regroup to net-zero additive
+    values and stay until the liveness step deletes them, matching the
+    SQL strategy's step ordering.
+    """
+
+    name = "step2"
+    step_prefix = "step2:"
+
+    mv_table: str
+    delta_view_table: str
+    key_positions: list[int]  # key column positions in the ΔV row
+    folds: list[_ColumnFold]  # one per mv column (key/additive/avg only)
+    # mv-row ordinal of each ΔV column, in ΔV order — projects a stored
+    # row into the ΔV layout for the union.
+    delta_stored_ordinals: list = field(default_factory=list)
+    replaces: frozenset = frozenset()
+    requires_base_tables = False
+    liveness_step: "NativeLivenessStep | None" = None
+
+    def initialize(self, connection: "Connection") -> None:
+        return None
+
+    def run(self, connection: "Connection") -> int:
+        batch = connection.read_delta_batch(self.delta_view_table)
+        if len(batch) == 0:
+            return 0
+        _, touched, _ = batch.group_structure(self.key_positions)
+        if self.liveness_step is not None:
+            self.liveness_step.absorb_keys(touched)
+        table = connection.table(self.mv_table)
+        stored_rows = []
+        for key in touched:
+            stored = table.pk_lookup(key)
+            if stored is not None:
+                stored_rows.append(
+                    tuple(stored[j] for j in self.delta_stored_ordinals)
+                )
+        stored_batch = ZSetBatch.from_rows(
+            stored_rows, arity=len(self.delta_stored_ordinals)
+        )
+        additive = [f.delta_pos for f in self.folds if f.kind == "additive"]
+        keys, collapsed = batch_union_regroup(
+            stored_batch, batch, self.key_positions, additive
+        )
+        rows: list[tuple] = []
+        for g, key in enumerate(keys):
+            new: dict[str, Any] = {}
             for fold in self.folds:
-                if fold.kind == "avg":
-                    new[fold.name] = derive_avg(
-                        new[fold.companion_sum], new[fold.companion_count]
+                if fold.kind == "key":
+                    new[fold.name] = key[fold.key_index]
+                elif fold.kind == "additive":
+                    new[fold.name] = collapsed[fold.delta_pos][g]
+            _derive_avg_folds(self.folds, new)
+            rows.append(tuple(new[fold.name] for fold in self.folds))
+        connection.upsert_rows(self.mv_table, rows)
+        return len(rows)
+
+
+@dataclass
+class NativeOuterMergeStep:
+    """Native step 2 for the FULL_OUTER_JOIN strategy.
+
+    The SQL form FULL-OUTER-JOINs the whole stored table against the
+    collapsed ΔV and rebuilds the view from the result — every stored
+    row is rewritten, changed or not.  This step keeps the strategy's
+    merge rule (``COALESCE(stored, 0) + COALESCE(delta, 0)`` per
+    additive column, key coalesced across the two sides) but drives it
+    from the delta side only: ΔV is collapsed per key
+    (:func:`~repro.zset.operators.batch_signed_collapse`) and each
+    touched key is outer-merged with its stored row through the view's
+    primary-key ART — rows only on the stored side are exactly the rows
+    the SQL rebuild copies unchanged, so they are left in place.
+    """
+
+    name = "step2"
+    step_prefix = "step2:"
+
+    mv_table: str
+    delta_view_table: str
+    key_positions: list[int]  # key column positions in the ΔV row
+    folds: list[_ColumnFold]  # one per mv column (key/additive/avg only)
+    replaces: frozenset = frozenset()
+    requires_base_tables = False
+    liveness_step: "NativeLivenessStep | None" = None
+
+    def initialize(self, connection: "Connection") -> None:
+        return None
+
+    def run(self, connection: "Connection") -> int:
+        batch = connection.read_delta_batch(self.delta_view_table)
+        if len(batch) == 0:
+            return 0
+        additive = [f.delta_pos for f in self.folds if f.kind == "additive"]
+        keys, collapsed = batch_signed_collapse(
+            batch, self.key_positions, additive
+        )
+        if self.liveness_step is not None:
+            self.liveness_step.absorb_keys(keys)
+        table = connection.table(self.mv_table)
+        rows: list[tuple] = []
+        for g, key in enumerate(keys):
+            stored = table.pk_lookup(key)
+            new: dict[str, Any] = {}
+            for fold in self.folds:
+                if fold.kind == "key":
+                    new[fold.name] = key[fold.key_index]
+                elif fold.kind == "additive":
+                    new[fold.name] = merge_additive(
+                        None if stored is None else stored[fold.stored_ordinal],
+                        collapsed[fold.delta_pos][g],
                     )
+            _derive_avg_folds(self.folds, new)
             rows.append(tuple(new[fold.name] for fold in self.folds))
         connection.upsert_rows(self.mv_table, rows)
         return len(rows)
@@ -769,6 +1005,13 @@ class NativeLivenessStep:
     persistent :class:`~repro.zset.incremental.GroupLivenessState`,
     replacing the paper's imprecise ``DELETE ... WHERE sum = 0`` with
     exact integer cancellation.
+
+    Scalar-aggregate sum-only views are the third form: their single
+    row must keep the *paper's* semantics (the SQL step 3 is the only
+    spec there), so the step evaluates the compiled ``sum = 0 AND ...``
+    predicate over the stored row — addressed by the constant key, with
+    the same three-valued comparison the SQL DELETE would run — and
+    deletes on TRUE.  Same answer as the SQL form, zero SQL statements.
     """
 
     name = "step3"
@@ -780,6 +1023,11 @@ class NativeLivenessStep:
     liveness_ordinal: int | None = None  # stored-row ordinal, if stored
     counters: GroupLivenessState | None = None
     init_count_sql: str | None = None  # seeds the counters at CREATE time
+    # Paper mode (scalar sum-only views): the vectorized `sum = 0`
+    # predicate over the stored mv row, and the constant key addressing
+    # the view's single row.
+    paper_predicate: Any = None
+    scalar_key: tuple | None = None
     replaces: frozenset = frozenset()
     # Per-group count deltas pushed by the native step 1 this round.
     pending: list = field(default_factory=list)
@@ -811,6 +1059,8 @@ class NativeLivenessStep:
         self.pending_keys.extend(keys)
 
     def run(self, connection: "Connection") -> int:
+        if self.paper_predicate is not None:
+            return self._run_paper_mode(connection)
         if self.counters is not None:
             if not self.pending:
                 return 0
@@ -839,6 +1089,25 @@ class NativeLivenessStep:
         if not dead:
             return 0
         return connection.delete_keys(self.mv_table, dead)
+
+    def _run_paper_mode(self, connection: "Connection") -> int:
+        """Scalar sum-only views: test the single stored row against the
+        compiled paper predicate, like the SQL ``DELETE ... WHERE sum =
+        0`` scans the (at most one-row) view on every refresh."""
+        self.pending_keys.clear()
+        table = connection.table(self.mv_table)
+        stored = table.pk_lookup(self.scalar_key)
+        if stored is None:
+            return 0
+        from repro.execution.executor import ExecutionContext
+
+        row_batch = ZSetBatch.from_rows([stored])
+        verdict = batch_eval(
+            self.paper_predicate, row_batch, ExecutionContext(connection.catalog)
+        )
+        if verdict[0] is not True:
+            return 0
+        return connection.delete_keys(self.mv_table, [self.scalar_key])
 
 
 @dataclass
@@ -875,24 +1144,38 @@ def build_native_steps(
     freely).  ``CompilerFlags.native_steps`` narrows the selection.
     """
     wanted = set(model.flags.native_steps)
+    flags = model.flags
     steps: list[object] = []
     step1 = try_build_batched_step1(model, catalog) if 1 in wanted else None
     if step1 is not None:
         steps.append(step1)
     step2 = None
-    if (
-        2 in wanted
-        and model.flags.strategy is MaterializationStrategy.LEFT_JOIN_UPSERT
-    ):
-        step2 = _build_upsert_step(model)
-        steps.append(step2)
+    if 2 in wanted:
+        # One native step-2 form per materialization strategy; the
+        # UNION-regroup and outer-merge forms are individually gated so
+        # the SQL rebuilds stay selectable as baselines.
+        if flags.strategy is MaterializationStrategy.LEFT_JOIN_UPSERT:
+            step2 = _build_upsert_step(model)
+        elif (
+            flags.strategy is MaterializationStrategy.UNION_REGROUP
+            and flags.native_union_step2
+        ):
+            step2 = _build_regroup_step(model)
+        elif (
+            flags.strategy is MaterializationStrategy.FULL_OUTER_JOIN
+            and flags.native_foj_step2
+        ):
+            step2 = _build_outer_merge_step(model)
+        if step2 is not None:
+            steps.append(step2)
         if (
             model.minmax_columns()
-            and model.flags.native_minmax_rescan
+            and flags.native_minmax_rescan
             and step1 is not None
         ):
             # Step 2b: the extrema state is fed source-level deltas by
             # the native step 1, so without one the SQL rescan stays.
+            # (MIN/MAX forces LEFT_JOIN_UPSERT, so step2 is the upsert.)
             step2b = _build_rescan_step(model, dialect, step1)
             if step2b is not None:
                 steps.append(step2b)
@@ -901,7 +1184,7 @@ def build_native_steps(
         step3 = _build_liveness_step(model, dialect, step1)
         if step3 is not None:
             steps.append(step3)
-            if step2 is not None and step3.counters is None:
+            if step2 is not None and step3.liveness_ordinal is not None:
                 # Step 2 has already grouped ΔV by key; hand the touched
                 # keys to the stored-liveness test instead of re-reading.
                 step2.liveness_step = step3
@@ -910,7 +1193,9 @@ def build_native_steps(
     return steps
 
 
-def _build_upsert_step(model: MVModel) -> NativeUpsertStep:
+def _column_folds(model: MVModel) -> tuple[list, list]:
+    """(key positions in the ΔV row, per-mv-column fold specs) — the
+    shared layout every native step-2 variant folds ΔV with."""
     delta_pos = {
         column.name: i for i, column in enumerate(model.delta_columns())
     }
@@ -950,7 +1235,38 @@ def _build_upsert_step(model: MVModel) -> NativeUpsertStep:
                     companion_count=column.companion_count,
                 )
             )
+    return key_positions, folds
+
+
+def _build_upsert_step(model: MVModel) -> NativeUpsertStep:
+    key_positions, folds = _column_folds(model)
     return NativeUpsertStep(
+        mv_table=model.mv_table,
+        delta_view_table=model.delta_view_table,
+        key_positions=key_positions,
+        folds=folds,
+    )
+
+
+def _build_regroup_step(model: MVModel) -> NativeRegroupStep:
+    key_positions, folds = _column_folds(model)
+    delta_stored_ordinals = [
+        ordinal
+        for ordinal, column in enumerate(model.columns)
+        if column.role is not ColumnRole.AVG
+    ]
+    return NativeRegroupStep(
+        mv_table=model.mv_table,
+        delta_view_table=model.delta_view_table,
+        key_positions=key_positions,
+        folds=folds,
+        delta_stored_ordinals=delta_stored_ordinals,
+    )
+
+
+def _build_outer_merge_step(model: MVModel) -> NativeOuterMergeStep:
+    key_positions, folds = _column_folds(model)
+    return NativeOuterMergeStep(
         mv_table=model.mv_table,
         delta_view_table=model.delta_view_table,
         key_positions=key_positions,
@@ -1050,17 +1366,45 @@ def _build_liveness_step(
             key_positions=key_positions,
             liveness_ordinal=ordinal,
         )
-    if not model.paper_sum_columns():
+    sums = model.paper_sum_columns()
+    if not sums:
         return None  # no SQL step 3 exists either
+    keys = model.key_columns()
+    constants = [_constant_value(k.expr) for k in keys]
+    if keys and all(c is not _NOT_CONSTANT for c in constants):
+        # Scalar-aggregate sum-only view: its single row keeps the
+        # paper's semantics, evaluated natively — the compiled
+        # `sum = 0 AND ...` predicate over the stored row (same
+        # three-valued comparison as the SQL DELETE).
+        predicate = None
+        for column in sums:
+            ordinal = next(
+                i for i, c in enumerate(model.columns) if c.name == column.name
+            )
+            clause = BoundBinary(
+                op="=",
+                left=BoundColumn(index=ordinal, type=column.type),
+                right=BoundConstant(0),
+            )
+            predicate = (
+                clause
+                if predicate is None
+                else BoundBinary(op="AND", left=predicate, right=clause)
+            )
+        return NativeLivenessStep(
+            mv_table=model.mv_table,
+            delta_view_table=model.delta_view_table,
+            key_positions=key_positions,
+            paper_predicate=compile_batch_expression(predicate),
+            scalar_key=tuple(constants),
+        )
+    if any(c is not _NOT_CONSTANT for c in constants):
+        # Mixed constant/computed keys: keep the SQL fallback.
+        return None
     if step1 is None:
         # The exact counters are fed source-level count deltas by the
         # native step 1; without it (step 1 on SQL, or excluded by the
         # flags) the view keeps the paper's SQL fallback.
-        return None
-    keys = model.key_columns()
-    if any(_constant_value(k.expr) is not _NOT_CONSTANT for k in keys):
-        # Scalar-aggregate views keep their single row under the paper's
-        # semantics; leave step 3 on the SQL fallback.
         return None
     analysis = model.analysis
     items = [

@@ -36,7 +36,51 @@ class PropagationMode(enum.Enum):
 
 @dataclass
 class CompilerFlags:
-    """All knobs accepted by :class:`~repro.core.compiler.OpenIVMCompiler`."""
+    """All knobs accepted by :class:`~repro.core.compiler.OpenIVMCompiler`.
+
+    Every field, at a glance (defaults in parentheses; the "knobs"
+    section of ``docs/batching.md`` discusses when to turn each one):
+
+    ============================ ======================================
+    field                        what it controls
+    ============================ ======================================
+    ``dialect``                  target SQL dialect of the emitted
+                                 scripts (``"duckdb"``)
+    ``strategy``                 step-2 materialization strategy
+                                 (``LEFT_JOIN_UPSERT``)
+    ``mode``                     when propagation runs — eager / lazy /
+                                 batch (``LAZY``)
+    ``batch_size``               deferred-changes threshold for
+                                 ``PropagationMode.BATCH`` (64)
+    ``batch_kernels``            master switch for the native
+                                 ``NativeStep`` pipeline (True)
+    ``native_steps``             which steps *may* run natively —
+                                 subset of {1, 2, 3, 4} ((1, 2, 3, 4))
+    ``native_minmax_rescan``     step 2b from the persistent extrema
+                                 state instead of the SQL base-table
+                                 rescan (True)
+    ``native_union_step2``       step 2 of the UNION-regroup strategy
+                                 as the signed union + regroup kernel
+                                 instead of the SQL table rebuild (True)
+    ``native_foj_step2``         step 2 of the full-outer-join strategy
+                                 as the keyed outer-merge kernel instead
+                                 of the SQL table rebuild (True)
+    ``native_expr_eval``         computed key / aggregate-argument
+                                 expressions compiled through the
+                                 vectorized expression evaluator so
+                                 steps 1/3 stay native (True)
+    ``multiplicity_column``      name of the boolean multiplicity
+                                 column (the paper's spelling)
+    ``hidden_count``             maintain a hidden COUNT(*) liveness
+                                 column even when not forced (False)
+    ``delta_prefix``             delta-table name prefix (``delta_``)
+    ``hidden_prefix``            hidden-column name prefix
+                                 (``_duckdb_ivm_``)
+    ``emit_key_index``           emit an explicit unique key index in
+                                 addition to the PRIMARY KEY (None:
+                                 follow the dialect default)
+    ============================ ======================================
+    """
 
     # Target SQL dialect for emitted scripts ("duckdb" or "postgres").
     dialect: str = "duckdb"
@@ -67,6 +111,25 @@ class CompilerFlags:
     # behaviour of the full-pipeline milestone, which the MIN/MAX bench
     # config uses as its baseline.
     native_minmax_rescan: bool = True
+    # Run step 2 of the UNION_REGROUP strategy as the native signed
+    # union + regroup kernel (stored touched rows UNION ALL signed ΔV,
+    # regrouped per key) instead of the SQL scratch-table rebuild.  The
+    # SQL rebuild rewrites the whole view per refresh; the kernel only
+    # touches the ΔV keys.  Off restores the SQL step 2 for this
+    # strategy (steps 1/3/4 keep their own selection either way).
+    native_union_step2: bool = True
+    # Run step 2 of the FULL_OUTER_JOIN strategy as the native keyed
+    # outer-merge kernel (collapsed ΔV outer-merged with the stored row
+    # through the view's primary-key ART) instead of the SQL FULL OUTER
+    # JOIN rebuild.  Off restores the SQL step 2 for this strategy.
+    native_foj_step2: bool = True
+    # Compile computed key expressions and computed aggregate arguments
+    # (e.g. GROUP BY UPPER(g), SUM(v + 1)) through the vectorized
+    # expression evaluator (execution/expression.py:batch_eval) so such
+    # views keep native steps 1 and 3.  Off restores the pre-evaluator
+    # behaviour: expression-keyed views fall back to the SQL step 1 (and
+    # consequently the SQL step 3 where liveness needs source counts).
+    native_expr_eval: bool = True
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

@@ -1,4 +1,4 @@
-"""Compile bound expressions into Python closures.
+"""Compile bound expressions into Python closures — and column kernels.
 
 Each bound expression becomes a function ``(row, ctx) -> value`` where
 ``row`` is the child operator's output tuple and ``ctx`` the
@@ -7,9 +7,27 @@ cache).  Compilation happens once per plan; evaluation is then a plain
 closure call per row, which keeps the interpreter overhead tolerable at
 benchmark scale.
 
+The second half of this module is the *vectorized* form of the same
+compiler: :func:`compile_batch_expression` turns a bound expression into
+a ``(columns, n, ctx) -> ndarray`` evaluator that walks the tree once
+per *batch* instead of once per row — every node is one C-dispatched
+pass over object-dtype column arrays (``np.frompyfunc`` of the node's
+scalar kernel), so evaluating an expression over a
+:class:`~repro.zset.batch.ZSetBatch` costs O(nodes) array passes rather
+than O(rows × nodes) closure calls.  :func:`batch_eval` is the batch
+entry point; its boolean results feed
+:func:`repro.zset.operators.batch_filter` through :func:`true_mask`.
+
 All evaluators implement SQL three-valued logic: NULL (``None``)
 propagates through operators, AND/OR use Kleene logic, and comparisons
-with NULL yield NULL.
+with NULL yield NULL.  The batch evaluators are held equal to the row
+evaluators — value for value, including which sub-expressions are
+(not) evaluated: AND/OR only evaluate their right side on rows the left
+side did not decide, and CASE branches only run on the rows that reach
+them, so data-dependent errors (division by zero in a guarded branch)
+surface identically on both paths.  The one deliberate batch/row
+difference: zero-argument function calls are evaluated once per batch
+and broadcast (all engine functions are pure).
 """
 
 from __future__ import annotations
@@ -17,7 +35,9 @@ from __future__ import annotations
 import math
 import re
 from functools import lru_cache
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
+
+import numpy as np
 
 from repro.datatypes.values import cast_value, sql_compare
 from repro.errors import ExecutionError
@@ -422,3 +442,384 @@ def _compile_function(expr: BoundFunction) -> Evaluator:
         return fn([arg(row, ctx) for arg in arg_evals])
 
     return call
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (batch) compilation
+# ---------------------------------------------------------------------------
+
+# A batch evaluator maps (column arrays, entry count, execution context)
+# to one object-dtype ndarray of per-entry values.  ``n`` is passed
+# explicitly so constants can broadcast over zero-column batches.
+BatchEvaluator = Callable[[Sequence[np.ndarray], int, Any], np.ndarray]
+
+_is_true_ufunc = np.frompyfunc(lambda v: v is True, 1, 1)
+
+
+def true_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of entries whose value is exactly ``True``.
+
+    SQL WHERE keeps rows whose predicate is TRUE (not NULL); this is the
+    adapter between a batch-evaluated predicate and the ``mask`` argument
+    of :func:`repro.zset.operators.batch_filter`.
+    """
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    return _is_true_ufunc(values).astype(bool)
+
+
+def batch_eval(evaluator: BatchEvaluator, batch, ctx) -> np.ndarray:
+    """Evaluate a compiled batch expression over a Z-set batch.
+
+    ``batch`` is duck-typed (anything exposing ``columns`` and
+    ``__len__`` — in practice a :class:`~repro.zset.batch.ZSetBatch`);
+    weights are irrelevant here, expressions see values only.
+    """
+    return evaluator(batch.columns, len(batch), ctx)
+
+
+def _broadcast(value: Any, n: int) -> np.ndarray:
+    out = np.empty(n, dtype=object)
+    out.fill(value)
+    return out
+
+
+def _lift(scalar_fn: Callable, arg_evals: list[BatchEvaluator]) -> BatchEvaluator:
+    """One vectorized pass of a scalar kernel over the argument columns."""
+    ufunc = np.frompyfunc(scalar_fn, len(arg_evals), 1)
+
+    def evaluate(columns, n, ctx):
+        args = [arg(columns, n, ctx) for arg in arg_evals]
+        if n == 0:
+            return np.empty(0, dtype=object)
+        return ufunc(*args)
+
+    return evaluate
+
+
+def compile_batch_expression(expr: BoundExpression) -> BatchEvaluator:
+    """Compile a bound expression into a column-at-a-time evaluator.
+
+    Semantics are identical to :func:`compile_expression` applied per
+    row (property-tested in ``tests/execution/test_expression_batch.py``),
+    including *which* sub-expressions are evaluated: AND/OR guard their
+    right side and CASE guards its branches by sub-batch masking, so
+    conditionally-unreachable errors stay unreachable.
+    """
+    if isinstance(expr, BoundConstant):
+        value = expr.value
+        return lambda columns, n, ctx: _broadcast(value, n)
+    if isinstance(expr, BoundColumn):
+        index = expr.index
+        return lambda columns, n, ctx: np.asarray(columns[index], dtype=object)
+    if isinstance(expr, BoundParameter):
+        slot = expr.index
+        return lambda columns, n, ctx: _broadcast(ctx.parameter(slot), n)
+    if isinstance(expr, BoundUnary):
+        inner = compile_batch_expression(expr.operand)
+        if expr.op == "+":
+            return inner
+        if expr.op == "-":
+            return _lift(lambda v: None if v is None else -v, [inner])
+        if expr.op == "NOT":
+            return _lift(lambda v: None if v is None else (not v), [inner])
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BoundBinary):
+        return _compile_batch_binary(expr)
+    if isinstance(expr, BoundIsNull):
+        inner = compile_batch_expression(expr.operand)
+        if expr.negated:
+            return _lift(lambda v: v is not None, [inner])
+        return _lift(lambda v: v is None, [inner])
+    if isinstance(expr, BoundInList):
+        evals = [compile_batch_expression(e) for e in [expr.operand] + expr.items]
+        negated = expr.negated
+
+        def contains(value, *candidates):
+            if value is None:
+                return None
+            saw_null = False
+            for candidate in candidates:
+                ordering = sql_compare(value, candidate)
+                if ordering is None:
+                    saw_null = True
+                elif ordering == 0:
+                    return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return _lift(contains, evals)
+    if isinstance(expr, BoundBetween):
+        evals = [
+            compile_batch_expression(e)
+            for e in (expr.operand, expr.low, expr.high)
+        ]
+        negated = expr.negated
+
+        def between(value, low, high):
+            low_cmp = sql_compare(value, low)
+            high_cmp = sql_compare(value, high)
+            if low_cmp is None or high_cmp is None:
+                return None
+            result = low_cmp >= 0 and high_cmp <= 0
+            return (not result) if negated else result
+
+        return _lift(between, evals)
+    if isinstance(expr, BoundLike):
+        evals = [
+            compile_batch_expression(e) for e in (expr.operand, expr.pattern)
+        ]
+        negated = expr.negated
+
+        def like(value, pattern):
+            if value is None or pattern is None:
+                return None
+            result = bool(_like_regex(pattern).match(_to_text(value)))
+            return (not result) if negated else result
+
+        return _lift(like, evals)
+    if isinstance(expr, BoundCase):
+        return _compile_batch_case(expr)
+    if isinstance(expr, BoundCast):
+        inner = compile_batch_expression(expr.operand)
+        target = expr.type
+        return _lift(lambda v: cast_value(v, target), [inner])
+    if isinstance(expr, BoundFunction):
+        try:
+            fn = _FUNCTIONS[expr.name.upper()]
+        except KeyError:
+            raise ExecutionError(f"unknown function {expr.name!r}") from None
+        if not expr.args:
+            # Zero-argument calls: engine functions are pure, so one call
+            # per batch broadcast beats one per row.
+            return lambda columns, n, ctx: _broadcast(fn([]), n)
+        arg_evals = [compile_batch_expression(a) for a in expr.args]
+        return _lift(lambda *args: fn(list(args)), arg_evals)
+    if isinstance(expr, BoundSubquery):
+        plan = expr.plan
+        return lambda columns, n, ctx: _broadcast(ctx.scalar_subquery(plan), n)
+    if isinstance(expr, BoundExists):
+        plan, negated = expr.plan, expr.negated
+        if negated:
+            return lambda columns, n, ctx: _broadcast(
+                not ctx.subquery_rows(plan), n
+            )
+        return lambda columns, n, ctx: _broadcast(
+            bool(ctx.subquery_rows(plan)), n
+        )
+    if isinstance(expr, BoundInSubquery):
+        operand = compile_batch_expression(expr.operand)
+        plan, negated = expr.plan, expr.negated
+
+        def contains_sub(columns, n, ctx):
+            rows = ctx.subquery_rows(plan)
+
+            def contains(value):
+                if value is None:
+                    return None
+                saw_null = False
+                for (candidate,) in rows:
+                    ordering = sql_compare(value, candidate)
+                    if ordering is None:
+                        saw_null = True
+                    elif ordering == 0:
+                        return not negated
+                if saw_null:
+                    return None
+                return negated
+
+            values = operand(columns, n, ctx)
+            if n == 0:
+                return np.empty(0, dtype=object)
+            return np.frompyfunc(contains, 1, 1)(values)
+
+        return contains_sub
+    raise ExecutionError(
+        f"cannot batch-compile expression {type(expr).__name__}"
+    )
+
+
+_BINARY_KERNELS: dict[str, Callable] = {}
+
+
+def _binary_kernel(op: str):
+    def register(fn):
+        _BINARY_KERNELS[op] = fn
+        return fn
+    return register
+
+
+@_binary_kernel("||")
+def _k_concat(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    return _to_text(lhs) + _to_text(rhs)
+
+
+@_binary_kernel("+")
+def _k_add(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    return lhs + rhs
+
+
+@_binary_kernel("-")
+def _k_sub(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    return lhs - rhs
+
+
+@_binary_kernel("*")
+def _k_mul(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    return lhs * rhs
+
+
+@_binary_kernel("/")
+def _k_div(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if rhs == 0:
+        raise ExecutionError("division by zero")
+    return lhs / rhs
+
+
+@_binary_kernel("%")
+def _k_mod(lhs, rhs):
+    if lhs is None or rhs is None:
+        return None
+    if rhs == 0:
+        raise ExecutionError("modulo by zero")
+    if isinstance(lhs, float) or isinstance(rhs, float):
+        return math.fmod(lhs, rhs)
+    return lhs % rhs
+
+
+def _comparison_kernel(op: str):
+    def compare(lhs, rhs):
+        ordering = sql_compare(lhs, rhs)
+        if ordering is None:
+            return None
+        if op == "=":
+            return ordering == 0
+        if op == "<>":
+            return ordering != 0
+        if op == "<":
+            return ordering < 0
+        if op == "<=":
+            return ordering <= 0
+        if op == ">":
+            return ordering > 0
+        return ordering >= 0
+    return compare
+
+
+_kleene_and_ufunc = np.frompyfunc(
+    lambda l, r: False
+    if (l is False or r is False)
+    else (None if (l is None or r is None) else True),
+    2, 1,
+)
+_kleene_or_ufunc = np.frompyfunc(
+    lambda l, r: True
+    if (l is True or r is True)
+    else (None if (l is None or r is None) else False),
+    2, 1,
+)
+
+
+def _compile_batch_binary(expr: BoundBinary) -> BatchEvaluator:
+    op = expr.op
+    left = compile_batch_expression(expr.left)
+    right = compile_batch_expression(expr.right)
+    if op in ("AND", "OR"):
+        # Mirror the row evaluator's short-circuit: the right side runs
+        # only on entries the left side did not already decide, via a
+        # gather / evaluate / scatter on the undecided sub-batch.
+        decided = False if op == "AND" else True
+        combine = _kleene_and_ufunc if op == "AND" else _kleene_or_ufunc
+
+        def kleene(columns, n, ctx):
+            lhs = left(columns, n, ctx)
+            undecided = np.fromiter(
+                (v is not decided for v in lhs), dtype=bool, count=n
+            )
+            if n and undecided.all():
+                # Common case (a selective left side decides nothing):
+                # no sub-batch gather, combine in place over the full
+                # columns.
+                return combine(lhs, right(columns, n, ctx))
+            result = _broadcast(decided, n)
+            if undecided.any():
+                idx = np.nonzero(undecided)[0]
+                sub = [column[idx] for column in columns]
+                rhs = right(sub, len(idx), ctx)
+                result[idx] = combine(lhs[idx], rhs)
+            return result
+
+        return kleene
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _lift(_comparison_kernel(op), [left, right])
+    try:
+        kernel = _BINARY_KERNELS[op]
+    except KeyError:
+        raise ExecutionError(f"unknown binary operator {op!r}") from None
+    return _lift(kernel, [left, right])
+
+
+def _compile_batch_case(expr: BoundCase) -> BatchEvaluator:
+    branches = [
+        (compile_batch_expression(when), compile_batch_expression(then))
+        for when, then in expr.branches
+    ]
+    else_eval = (
+        compile_batch_expression(expr.else_result)
+        if expr.else_result is not None
+        else None
+    )
+    operand = (
+        compile_batch_expression(expr.operand)
+        if expr.operand is not None
+        else None
+    )
+
+    def case(columns, n, ctx):
+        result = _broadcast(None, n)
+        remaining = np.arange(n)
+        operand_values = (
+            operand(columns, n, ctx) if operand is not None else None
+        )
+        for when_eval, then_eval in branches:
+            if len(remaining) == 0:
+                break
+            sub = [column[remaining] for column in columns]
+            conditions = when_eval(sub, len(remaining), ctx)
+            if operand_values is None:
+                hit = np.fromiter(
+                    (v is True for v in conditions),
+                    dtype=bool, count=len(remaining),
+                )
+            else:
+                hit = np.fromiter(
+                    (
+                        sql_compare(value, candidate) == 0
+                        for value, candidate in zip(
+                            operand_values[remaining], conditions
+                        )
+                    ),
+                    dtype=bool, count=len(remaining),
+                )
+            if hit.any():
+                taken = remaining[hit]
+                taken_sub = [column[taken] for column in columns]
+                result[taken] = then_eval(taken_sub, len(taken), ctx)
+            remaining = remaining[~hit]
+        if else_eval is not None and len(remaining):
+            sub = [column[remaining] for column in columns]
+            result[remaining] = else_eval(sub, len(remaining), ctx)
+        return result
+
+    return case

@@ -17,6 +17,8 @@ from repro.zset.operators import (
     batch_filter,
     batch_join,
     batch_project,
+    batch_signed_collapse,
+    batch_union_regroup,
     zset_aggregate,
     zset_distinct,
     zset_filter,
@@ -38,6 +40,8 @@ __all__ = [
     "batch_filter",
     "batch_join",
     "batch_project",
+    "batch_signed_collapse",
+    "batch_union_regroup",
     "delta_view",
     "incremental_join_delta",
     "zset_aggregate",

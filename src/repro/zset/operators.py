@@ -241,6 +241,56 @@ def batch_join(
     return ZSetBatch(columns, weights).consolidate()
 
 
+def batch_signed_collapse(
+    batch: ZSetBatch,
+    key_ordinals: Sequence[int],
+    additive_ordinals: Sequence[int],
+) -> tuple[list, dict]:
+    """Collapse a signed ΔV batch to one net row per group.
+
+    Returns ``(keys, collapsed)``: the key tuple per touched group, and
+    ``collapsed[j][g]`` — the signed sum Σ value·weight of additive
+    column ``j`` for group ``g`` (NULL values contribute the additive
+    identity, like the delta partials everywhere else on the batch
+    path).  This is the batch form of the SQL strategies' shared
+    ``ivm_cte`` signed collapse (:func:`repro.core.strategies.
+    _signed_cte_select`), consumed by the native step-2 variants: the
+    upsert merge, the full-outer-join outer merge, and (through
+    :func:`batch_union_regroup`) the UNION regroup.
+    """
+    ids, keys, _ = batch.group_structure(list(key_ordinals))
+    num_groups = len(keys)
+    collapsed = {
+        j: grouped_weighted_sum(
+            ids, batch.columns[j], batch.weights, num_groups
+        )
+        for j in additive_ordinals
+    }
+    return keys, collapsed
+
+
+def batch_union_regroup(
+    stored: ZSetBatch,
+    delta: ZSetBatch,
+    key_ordinals: Sequence[int],
+    additive_ordinals: Sequence[int],
+) -> tuple[list, dict]:
+    """The UNION-regroup strategy's step 2 as one kernel.
+
+    ``stored`` carries the view's current rows for the touched keys
+    (weight +1 each, in ΔV column layout) and ``delta`` the signed ΔV
+    batch; their concatenation is the batch form of the strategy's
+    ``stored UNION ALL signed-ΔV`` subquery, and the grouped weighted
+    sums are its re-GROUP BY.  Unlike :func:`batch_aggregate`, groups
+    are *kept* even when their net weight is ≤ 0 — the SQL regroup also
+    emits them (with zeroed additive sums) and leaves their deletion to
+    propagation step 3, which this kernel's callers preserve.
+    """
+    return batch_signed_collapse(
+        stored + delta, key_ordinals, additive_ordinals
+    )
+
+
 def batch_aggregate(
     batch: ZSetBatch,
     key_ordinals: Sequence[int],

@@ -78,7 +78,7 @@ def test_pipeline_trajectory_artifact(tmp_path):
     target = tmp_path / "BENCH_pipeline.json"
     data = bench_join.emit_pipeline_trajectory(
         path=target, orders=200, delta_rows=10, rounds=2,
-        minmax_rounds=2, ingestion_rows=(50,),
+        minmax_rounds=2, ingestion_rows=(50,), ablation_rounds=2,
     )
     on_disk = json.loads(target.read_text())
     assert on_disk == data
@@ -104,6 +104,31 @@ def test_pipeline_trajectory_artifact(tmp_path):
     for counts in shapes.values():
         for record in counts.values():
             assert record["batch_speedup"] > 0
+    union = data["union_regroup"]
+    assert set(union["configs"]) == {"sql_rebuild", "native_regroup"}
+    assert "step2" in union["configs"]["native_regroup"]["native_steps"]
+    assert "step2" not in union["configs"]["sql_rebuild"]["native_steps"]
+    assert union["speedup_native_regroup_vs_sql_rebuild"] > 0
+    expr = data["expr_keyed"]
+    assert set(expr["configs"]) == {"sql_step1", "native_expr"}
+    assert "step1" in expr["configs"]["native_expr"]["native_steps"]
+    assert "step1" not in expr["configs"]["sql_step1"]["native_steps"]
+    assert expr["speedup_native_expr_vs_sql_step1"] > 0
+
+
+def test_union_and_expr_ablations_stay_correct_at_tiny_scale():
+    """Both new ablation collectors agree with the recompute (asserted
+    inside the shared harness) and report the expected step splits."""
+    union = bench_join.collect_union_trajectory(
+        orders=150, delta_rows=5, rounds=2
+    )
+    for cfg in union["configs"].values():
+        assert len(cfg["refresh_seconds"]) == 2
+    expr = bench_join.collect_expr_trajectory(
+        orders=150, delta_rows=5, rounds=2
+    )
+    for cfg in expr["configs"].values():
+        assert len(cfg["refresh_seconds"]) == 2
 
 
 def test_minmax_bench_stays_correct_at_tiny_scale():

@@ -63,22 +63,92 @@ class TestPerStepSelection:
         steps = {s.name: s for s in compiled.native_steps}
         assert steps["step1"].where_eval is not None
 
-    def test_computed_aggregate_argument_keeps_step1_on_sql(self):
+    def test_computed_aggregate_argument_runs_native_via_batch_eval(self):
+        """Computed aggregate arguments compile through the vectorized
+        expression evaluator into an appended source column, so the full
+        pipeline stays native."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS "
             "SELECT g, SUM(v + 1) AS s, COUNT(*) AS n FROM t GROUP BY g",
             GROUPS_SCHEMA,
         )
         assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+        step1 = next(s for s in compiled.native_steps if s.name == "step1")
+        assert len(step1.computed) == 1
+
+    def test_computed_key_runs_native_via_batch_eval(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, SUM(v) AS s, COUNT(*) AS n "
+            "FROM t GROUP BY UPPER(g)",
+            GROUPS_SCHEMA,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+
+    def test_native_expr_eval_off_keeps_computed_step1_on_sql(self):
+        """The pre-evaluator behaviour stays selectable: with
+        native_expr_eval off, computed expressions fall back to the SQL
+        step 1 (and steps 2-4 keep their own selection)."""
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v + 1) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            native_expr_eval=False,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
             "step2", "step3", "step4",
         ]
 
-    def test_union_regroup_keeps_step2_on_sql_only(self):
+    def test_union_regroup_strategy_runs_all_four_steps(self):
+        """The UNION-regroup strategy's step 2 now has a native form (the
+        signed union + regroup kernel), so the whole pipeline is native."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS "
             "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
             GROUPS_SCHEMA,
             strategy=MaterializationStrategy.UNION_REGROUP,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+        from repro.core.batched import NativeRegroupStep
+
+        step2 = next(s for s in compiled.native_steps if s.name == "step2")
+        assert isinstance(step2, NativeRegroupStep)
+
+    def test_full_outer_join_strategy_runs_all_four_steps(self):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            strategy=MaterializationStrategy.FULL_OUTER_JOIN,
+        )
+        assert sorted(s.name for s in compiled.native_steps) == [
+            "step1", "step2", "step3", "step4",
+        ]
+        from repro.core.batched import NativeOuterMergeStep
+
+        step2 = next(s for s in compiled.native_steps if s.name == "step2")
+        assert isinstance(step2, NativeOuterMergeStep)
+
+    @pytest.mark.parametrize(
+        "strategy, flag",
+        [
+            (MaterializationStrategy.UNION_REGROUP, "native_union_step2"),
+            (MaterializationStrategy.FULL_OUTER_JOIN, "native_foj_step2"),
+        ],
+    )
+    def test_strategy_step2_flags_restore_sql_fallback(self, strategy, flag):
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g",
+            GROUPS_SCHEMA,
+            strategy=strategy,
+            **{flag: False},
         )
         assert sorted(s.name for s in compiled.native_steps) == [
             "step1", "step3", "step4",
@@ -111,13 +181,25 @@ class TestPerStepSelection:
             s for s in compiled.native_steps if s.name == "step1"
         ).extrema_step is None
 
-    def test_minmax_without_native_step1_keeps_step2b_on_sql(self):
-        # Computed key -> no native step 1 -> nothing feeds the extrema
-        # state -> the SQL rescan stays.
+    def test_minmax_computed_key_runs_native_rescan(self):
+        """With the vectorized expression evaluator, a computed key no
+        longer forces the SQL step 1 — so the extrema state has its
+        feeder and step 2b goes native too."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS "
             "SELECT UPPER(g) AS gg, MIN(v) AS lo FROM t GROUP BY UPPER(g)",
             GROUPS_SCHEMA,
+        )
+        assert "step2b" in {s.name for s in compiled.native_steps}
+
+    def test_minmax_without_native_step1_keeps_step2b_on_sql(self):
+        # native_expr_eval off -> computed key -> no native step 1 ->
+        # nothing feeds the extrema state -> the SQL rescan stays.
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, MIN(v) AS lo FROM t GROUP BY UPPER(g)",
+            GROUPS_SCHEMA,
+            native_expr_eval=False,
         )
         assert "step2b" not in {s.name for s in compiled.native_steps}
 
@@ -133,24 +215,45 @@ class TestPerStepSelection:
         assert steps["step3"].requires_base_tables
         assert steps["step1"].liveness_step is steps["step3"]
 
-    def test_sum_only_expression_keys_keep_step3_on_sql(self):
-        # No native step 1 (computed key) → no source-level counts →
-        # the paper's SQL step 3 stays.
+    def test_sum_only_expression_keys_run_native_counter_liveness(self):
+        """Expression-keyed sum-only views now have a native step 1 (the
+        computed key is an appended batch column), which feeds the exact
+        liveness counters — so steps 1-4 all run natively."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS "
             "SELECT UPPER(g) AS gg, SUM(v) AS s FROM t GROUP BY UPPER(g)",
             GROUPS_SCHEMA,
         )
+        steps = {s.name: s for s in compiled.native_steps}
+        assert set(steps) == {"step1", "step2", "step3", "step4"}
+        assert steps["step3"].counters is not None
+        assert steps["step1"].liveness_step is steps["step3"]
+
+    def test_sum_only_expression_keys_without_evaluator_keep_step3_on_sql(self):
+        # native_expr_eval off → no native step 1 → no source-level
+        # counts → the paper's SQL step 3 stays.
+        compiled = _compile(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, SUM(v) AS s FROM t GROUP BY UPPER(g)",
+            GROUPS_SCHEMA,
+            native_expr_eval=False,
+        )
         assert sorted(s.name for s in compiled.native_steps) == [
             "step2", "step4",
         ]
 
-    def test_scalar_sum_view_keeps_step3_on_sql(self):
+    def test_scalar_sum_view_runs_paper_mode_step3(self):
+        """Scalar sum-only views run step 3 natively in paper mode: the
+        compiled `sum = 0` predicate over the single stored row."""
         compiled = _compile(
             "CREATE MATERIALIZED VIEW q AS SELECT SUM(v) AS s FROM t",
             GROUPS_SCHEMA,
         )
-        assert "step3" not in {s.name for s in compiled.native_steps}
+        steps = {s.name: s for s in compiled.native_steps}
+        assert set(steps) == {"step1", "step2", "step3", "step4"}
+        assert steps["step3"].paper_predicate is not None
+        assert steps["step3"].counters is None
+        assert steps["step3"].scalar_key == (0,)
 
     def test_native_steps_flag_narrows_selection(self):
         compiled = _compile(
@@ -274,6 +377,25 @@ class TestEngineBatchAPIs:
         assert con.execute("SELECT COUNT(*) FROM kv").scalar() == 0
 
 
+def _refresh_with_statement_spy(con, ext, view_name):
+    """Refresh ``view_name`` while recording every SQL statement executed
+    (the statement-count hook the zero-SQL proofs and
+    examples/native_pipeline.py rely on)."""
+    executed: list = []
+    original = con.execute_statement
+
+    def spy(statement, parameters=()):
+        executed.append(statement)
+        return original(statement, parameters)
+
+    con.execute_statement = spy
+    try:
+        ext.refresh(view_name)
+    finally:
+        con.execute_statement = original
+    return executed
+
+
 class TestPipelineExecution:
     def test_refresh_skips_replaced_sql_statements(self):
         """With the full-native pipeline, a refresh must not execute any
@@ -341,3 +463,103 @@ class TestPipelineExecution:
             "SELECT g, MIN(v), MAX(v), COUNT(*) FROM t GROUP BY g"
         ).sorted()
         assert got == want == [("a", 1, 3, 2)]
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            MaterializationStrategy.UNION_REGROUP,
+            MaterializationStrategy.FULL_OUTER_JOIN,
+        ],
+        ids=lambda s: s.value,
+    )
+    def test_union_and_foj_strategies_refresh_with_zero_sql(self, strategy):
+        """The tentpole acceptance bar: both table-rebuild strategies now
+        refresh without a single SQL statement, through their native
+        step-2 kernels, and still match the recompute — including a round
+        that kills a group (exercising the regroup/outer-merge handoff to
+        the native liveness delete)."""
+        con = Connection()
+        ext = load_ivm(
+            con, CompilerFlags(mode=PropagationMode.LAZY, strategy=strategy)
+        )
+        con.execute(GROUPS_SCHEMA)
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n, AVG(v) AS a "
+            "FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('a', 3), ('b', 2)")
+        assert _refresh_with_statement_spy(con, ext, "q") == []
+        con.execute("DELETE FROM t WHERE g = 'b'")
+        con.execute("INSERT INTO t VALUES ('a', -4), ('c', 7)")
+        assert _refresh_with_statement_spy(con, ext, "q") == [], (
+            f"{strategy.value} refresh must not round-trip through SQL"
+        )
+        got = con.execute("SELECT g, s, n, a FROM q").sorted()
+        want = con.execute(
+            "SELECT g, SUM(v), COUNT(*), AVG(v) FROM t GROUP BY g"
+        ).sorted()
+        assert got == want == [("a", 0, 3, 0.0), ("c", 7, 1, 7.0)]
+
+    def test_expression_keyed_view_refreshes_with_zero_sql(self):
+        """Computed keys and computed aggregate arguments evaluate through
+        batch_eval; the whole refresh stays off SQL and agrees with the
+        recompute (including a group kill via the exact counters)."""
+        con = Connection()
+        ext = load_ivm(con, CompilerFlags(mode=PropagationMode.LAZY))
+        con.execute(GROUPS_SCHEMA)
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT UPPER(g) AS gg, SUM(v + 1) AS s "
+            "FROM t GROUP BY UPPER(g)"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('A', 2), ('b', 5)")
+        assert _refresh_with_statement_spy(con, ext, "q") == []
+        con.execute("DELETE FROM t WHERE g = 'b'")
+        con.execute("INSERT INTO t VALUES ('a', -6)")
+        assert _refresh_with_statement_spy(con, ext, "q") == [], (
+            "expression-keyed refresh must not round-trip through SQL"
+        )
+        got = con.execute("SELECT gg, s FROM q").sorted()
+        want = con.execute(
+            "SELECT UPPER(g), SUM(v + 1) FROM t GROUP BY UPPER(g)"
+        ).sorted()
+        assert got == want == [("A", 0)]
+
+    def test_scalar_sum_paper_mode_matches_sql_step3(self):
+        """Paper-mode step 3: the scalar view's single row is deleted
+        exactly when the SQL `DELETE ... WHERE s = 0` would delete it —
+        zero-sum deletes the row, non-zero keeps it, and the refresh
+        stays off SQL either way."""
+        engines = []
+        for batch_kernels in (False, True):
+            con = Connection()
+            ext = load_ivm(
+                con,
+                CompilerFlags(
+                    mode=PropagationMode.LAZY, batch_kernels=batch_kernels
+                ),
+            )
+            con.execute(GROUPS_SCHEMA)
+            con.execute(
+                "CREATE MATERIALIZED VIEW q AS SELECT SUM(v) AS s FROM t"
+            )
+            engines.append((con, ext))
+
+        def step(sql):
+            for con, _ in engines:
+                con.execute(sql)
+
+        def check():
+            (con_sql, _), (con_native, ext_native) = engines
+            assert _refresh_with_statement_spy(
+                con_native, ext_native, "q"
+            ) == [], "scalar paper-mode refresh must not round-trip through SQL"
+            got_sql = con_sql.execute("SELECT s FROM q").sorted()
+            got_native = con_native.execute("SELECT s FROM q").sorted()
+            assert got_native == got_sql
+
+        step("INSERT INTO t VALUES ('a', 5), ('b', -5)")
+        check()  # sum = 0: both paths delete the row (paper semantics)
+        step("INSERT INTO t VALUES ('c', 3)")
+        check()  # sum = 3: both paths keep the row

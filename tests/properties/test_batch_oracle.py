@@ -24,7 +24,13 @@ import random
 
 import pytest
 
-from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro import (
+    CompilerFlags,
+    Connection,
+    MaterializationStrategy,
+    PropagationMode,
+    load_ivm,
+)
 from repro.workloads import generate_change_stream, generate_groups_rows
 from repro.workloads.generators import generate_sales_workload
 
@@ -383,6 +389,206 @@ def test_minmax_retraction_heavy_oracle():
             ):
                 assert got == want, f"{label} diverged from recompute"
     assert steps >= 45
+
+
+# ---------------------------------------------------------------------------
+# Strategy oracle: UNION-regroup / full-outer-join step 2 as native kernels
+# ---------------------------------------------------------------------------
+
+# Per strategy, three engines: the pure-SQL script, the native pipeline
+# with the strategy's step-2 kernel disabled (SQL table rebuild between
+# native steps 1/3/4), and the fully-native pipeline — so each new step-2
+# kernel is differentially tested against its own SQL form as well as
+# against the end-to-end SQL script and the recompute.
+STRATEGY_ENGINE_CONFIGS = {
+    MaterializationStrategy.UNION_REGROUP: [
+        ("sql", dict(batch_kernels=False)),
+        ("native_sql_step2", dict(native_union_step2=False)),
+        ("native", dict()),
+    ],
+    MaterializationStrategy.FULL_OUTER_JOIN: [
+        ("sql", dict(batch_kernels=False)),
+        ("native_sql_step2", dict(native_foj_step2=False)),
+        ("native", dict()),
+    ],
+}
+
+STRATEGY_VIEW = (
+    "CREATE MATERIALIZED VIEW q AS "
+    "SELECT group_index, SUM(group_value) AS total_value, COUNT(*) AS n, "
+    "AVG(group_value) AS a FROM groups GROUP BY group_index"
+)
+STRATEGY_RECOMPUTE = (
+    "SELECT group_index, SUM(group_value), COUNT(*), AVG(group_value) "
+    "FROM groups GROUP BY group_index"
+)
+
+# The strategy streams must total 200+ randomized DML steps (the
+# tentpole's acceptance bar); asserted explicitly below.
+STRATEGY_STREAM = dict(batch_size=2, batches=50, num_groups=12, seed=29)
+
+
+def _strategy_stream_steps() -> int:
+    initial = generate_groups_rows(200, num_groups=12, seed=17)
+    return sum(
+        batch.size
+        for batch in generate_change_stream(initial, **STRATEGY_STREAM)
+    )
+
+
+@pytest.mark.parametrize(
+    "strategy", sorted(STRATEGY_ENGINE_CONFIGS, key=lambda s: s.value),
+    ids=lambda s: s.value,
+)
+def test_strategy_step2_three_way_oracle(strategy):
+    """UNION-regroup and full-outer-join views over a mixed insert/delete
+    stream (including group kills and rebirths): native step-2 kernel vs
+    its SQL rebuild vs the pure-SQL script vs recompute, after every
+    batch."""
+    initial = generate_groups_rows(200, num_groups=12, seed=17)
+
+    def schema(con: Connection) -> None:
+        con.execute(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+        )
+        table = con.table("groups")
+        for row in initial:
+            table.insert(row, coerce=False)
+
+    cons = []
+    for label, overrides in STRATEGY_ENGINE_CONFIGS[strategy]:
+        con = Connection()
+        ext = load_ivm(
+            con,
+            CompilerFlags(
+                mode=PropagationMode.LAZY, strategy=strategy, **overrides
+            ),
+        )
+        schema(con)
+        con.execute(STRATEGY_VIEW)
+        native = ext.status()[0]["native_steps"]
+        if label == "sql":
+            assert native == []
+        elif label == "native_sql_step2":
+            assert "step2" not in native and "step1" in native
+        else:
+            assert native == ["step1", "step2", "step3", "step4"]
+        cons.append(con)
+
+    steps = 0
+    for batch in generate_change_stream(initial, **STRATEGY_STREAM):
+        for row in batch.inserts:
+            for con in cons:
+                con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
+            steps += 1
+        for row in batch.deletes:
+            for con in cons:
+                con.execute(
+                    "DELETE FROM groups "
+                    "WHERE group_index = ? AND group_value = ?",
+                    list(row),
+                )
+            steps += 1
+        results = [
+            (
+                con.execute(
+                    "SELECT group_index, total_value, n, a FROM q"
+                ).sorted(),
+                con.execute(STRATEGY_RECOMPUTE).sorted(),
+            )
+            for con in cons
+        ]
+        for (label, _), (got, want) in zip(
+            STRATEGY_ENGINE_CONFIGS[strategy], results
+        ):
+            assert got == want, (
+                f"{strategy.value}/{label} diverged from recompute"
+            )
+    assert steps >= 100
+
+
+def test_strategy_streams_exceed_two_hundred_steps():
+    """The tentpole's acceptance bar: the newly-native strategies are
+    oracle-verified across 200+ randomized DML steps (one stream per
+    strategy, both over the same generator schedule)."""
+    per_strategy = _strategy_stream_steps()
+    assert per_strategy * len(STRATEGY_ENGINE_CONFIGS) >= 200
+
+
+EXPR_VIEW = (
+    "CREATE MATERIALIZED VIEW e AS "
+    "SELECT UPPER(group_index) AS gg, SUM(group_value + 1) AS s, "
+    "COUNT(*) AS n FROM groups GROUP BY UPPER(group_index)"
+)
+EXPR_RECOMPUTE = (
+    "SELECT UPPER(group_index), SUM(group_value + 1), COUNT(*) "
+    "FROM groups GROUP BY UPPER(group_index)"
+)
+
+# sql / step-1-on-SQL (evaluator off) / fully native with batch_eval.
+EXPR_ENGINE_CONFIGS = [
+    ("sql", dict(batch_kernels=False)),
+    ("no_expr_eval", dict(native_expr_eval=False)),
+    ("native", dict()),
+]
+
+
+def test_expression_keyed_three_way_oracle():
+    """Computed key + computed aggregate argument through batch_eval: the
+    native pipeline must agree with the evaluator-off per-step fallback,
+    the pure-SQL script, and the recompute on a mixed-case stream (keys
+    collide under UPPER, so the computed key genuinely regroups rows)."""
+    rng = random.Random(63)
+
+    def schema(con: Connection) -> None:
+        con.execute(
+            "CREATE TABLE groups (group_index VARCHAR, group_value INTEGER)"
+        )
+
+    cons = []
+    for label, overrides in EXPR_ENGINE_CONFIGS:
+        con = Connection()
+        ext = load_ivm(
+            con, CompilerFlags(mode=PropagationMode.LAZY, **overrides)
+        )
+        schema(con)
+        con.execute(EXPR_VIEW)
+        native = ext.status()[0]["native_steps"]
+        if label == "sql":
+            assert native == []
+        elif label == "no_expr_eval":
+            assert "step1" not in native
+        else:
+            assert "step1" in native
+        cons.append(con)
+
+    live: list[tuple[str, int]] = []
+    for step in range(60):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            for con in cons:
+                con.execute(
+                    "DELETE FROM groups "
+                    "WHERE group_index = ? AND group_value = ?",
+                    list(victim),
+                )
+        else:
+            # Mixed-case keys: 'a' and 'A' fold into one computed group.
+            key = rng.choice("aAbBcC")
+            row = (key, rng.randint(-9, 9))
+            live.append(row)
+            for con in cons:
+                con.execute("INSERT INTO groups VALUES (?, ?)", list(row))
+        if step % 3 == 0 or step == 59:
+            results = [
+                (
+                    con.execute("SELECT gg, s, n FROM e").sorted(),
+                    con.execute(EXPR_RECOMPUTE).sorted(),
+                )
+                for con in cons
+            ]
+            for (label, _), (got, want) in zip(EXPR_ENGINE_CONFIGS, results):
+                assert got == want, f"{label} diverged from recompute"
 
 
 WHERE_VIEW = (

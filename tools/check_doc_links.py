@@ -1,0 +1,67 @@
+"""Fail on dead relative links in the repository's Markdown files.
+
+Scans every ``*.md`` under the repo root for Markdown links
+(``[text](target)``), keeps the *relative* ones (external ``http(s)``/
+``mailto`` links and pure ``#anchor`` links are out of scope), resolves
+each target against the linking file's directory, and reports targets
+that do not exist on disk.
+
+Used twice: as a tier-1 test (``tests/test_docs_links.py``) and as a
+standalone CI step (``python tools/check_doc_links.py``), so a renamed
+doc or example breaks the build instead of silently rotting the
+cross-references.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", ".hypothesis", "node_modules"}
+
+
+def iter_markdown_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def relative_links(text: str):
+    """Yield the relative link targets in one Markdown document."""
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        # Drop any trailing anchor; the file part is what must exist.
+        target = target.split("#", 1)[0]
+        if target:
+            yield target
+
+
+def find_dead_links(root: pathlib.Path) -> list[tuple[pathlib.Path, str]]:
+    dead: list[tuple[pathlib.Path, str]] = []
+    for path in iter_markdown_files(root):
+        for target in relative_links(path.read_text(encoding="utf-8")):
+            if not (path.parent / target).exists():
+                dead.append((path.relative_to(root), target))
+    return dead
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    dead = find_dead_links(root)
+    checked = len(list(iter_markdown_files(root)))
+    if dead:
+        print(f"dead relative links ({len(dead)}):")
+        for path, target in dead:
+            print(f"  {path}: {target}")
+        return 1
+    print(f"docs link check: {checked} Markdown files, no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
