@@ -136,6 +136,19 @@ EXPR_CONFIGS = [
     ("native_expr", dict()),
 ]
 
+# Sharding ablation: the per-customer join view refreshed through the
+# per-step native pipeline (shards1 — the honest baseline) vs the
+# sharded one-pass refresh at 2 and 4 shards.  On a GIL'd single-core
+# runner the win is algorithmic, not parallel: one key encoding and one
+# ART descent per *distinct* group key instead of per delta row, plus
+# the ΔV staging-table round-trip skipped entirely — so a skewed delta
+# (few hot customers) is exactly where the gap shows.
+SHARDING_CONFIGS = [
+    ("shards1", dict()),
+    ("shards2", dict(shard_count=2, parallel_refresh=True)),
+    ("shards4", dict(shard_count=4, parallel_refresh=True)),
+]
+
 BENCH_PIPELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / (
     "BENCH_pipeline.json"
 )
@@ -145,6 +158,7 @@ def _build(
     orders: int = ORDERS,
     batch_kernels: bool = True,
     view: str = VIEW,
+    bulk_ingest: bool = False,
     **flag_overrides,
 ):
     workload = generate_sales_workload(num_orders=orders, seed=21)
@@ -159,11 +173,16 @@ def _build(
     )
     con.execute(workload.SCHEMA)
     customers = con.table("customers")
-    for row in workload.customers:
-        customers.insert(row, coerce=False)
     orders_table = con.table("orders")
-    for row in workload.orders:
-        orders_table.insert(row, coerce=False)
+    if bulk_ingest:
+        # The 100k-row sharding config would take too long row-at-a-time.
+        customers.insert_batch(workload.customers, coerce=False)
+        orders_table.insert_batch(workload.orders, coerce=False)
+    else:
+        for row in workload.customers:
+            customers.insert(row, coerce=False)
+        for row in workload.orders:
+            orders_table.insert(row, coerce=False)
     con.execute(view)
     return con, extension, workload
 
@@ -459,6 +478,84 @@ def collect_expr_trajectory(
     return result
 
 
+def collect_sharding_trajectory(
+    orders: int = 100_000,
+    delta_rows: int = 2_000,
+    rounds: int = 5,
+    warmup_rounds: int = 2,
+    skew: float = 2.0,
+) -> dict:
+    """Sharded one-pass refresh vs the per-step pipeline, on skewed deltas.
+
+    The per-customer join view over ``orders`` base rows, refreshed after
+    Zipf-skewed insert batches (``skew`` over the 200 customers, so a
+    handful of hot customers absorb most of each delta).  ``shards1`` runs
+    the legacy per-step native pipeline; the sharded configs route each
+    delta once, probe the join state once per distinct key, and fold
+    aggregate, liveness, and extrema updates per shard without staging ΔV.
+
+    Per config the artifact records the per-round timings plus the
+    ``RefreshStats`` snapshot (wall clock, per-stage seconds, rows in,
+    shard skew) from the extension's counter object.
+    """
+    from repro.workloads import time_call, zipf_group_keys
+
+    result: dict = {
+        "benchmark": "bench_join_ivm.sharding_trajectory",
+        "workload": {
+            "orders": orders,
+            "delta_rows": delta_rows,
+            "rounds": rounds,
+            "zipf_skew": skew,
+            "view": "rev_cust (join, GROUP BY cust_id)",
+        },
+        "configs": {},
+    }
+    recompute_sql = (
+        "SELECT o.cust_id, SUM(o.amount) AS revenue, COUNT(*) AS n "
+        "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+        "GROUP BY o.cust_id"
+    )
+    total_rounds = rounds + warmup_rounds
+    keys = zipf_group_keys(delta_rows * total_rounds, 200, skew, 77)
+    for name, overrides in SHARDING_CONFIGS:
+        con, ext, workload = _build(
+            orders=orders, view=VIEW_BY_CUSTOMER, bulk_ingest=True,
+            **overrides,
+        )
+        status = ext.status()[0]
+        base = con.table("orders")
+        delta = con.table("delta_orders")
+        oid = workload.next_order_id()
+        key_index = 0
+        timings = []
+        for round_index in range(total_rounds):
+            rows = []
+            for _ in range(delta_rows):
+                cust = "cust_%05d" % int(keys[key_index][1:])
+                rows.append((oid, cust, "p", oid % 100))
+                oid += 1
+                key_index += 1
+            base.insert_batch(rows, coerce=False)
+            delta.insert_batch([row + (True,) for row in rows], coerce=False)
+            elapsed, _ = time_call(lambda: ext.refresh("rev_cust"))
+            if round_index >= warmup_rounds:
+                timings.append(elapsed)
+        got = con.execute("SELECT * FROM rev_cust").sorted()
+        want = con.execute(recompute_sql).sorted()
+        assert got == want, f"{name} diverged from recompute"
+        result["configs"][name] = {
+            "native_steps": status["native_steps"],
+            "refresh_seconds": timings,
+            "best_seconds": min(timings),
+            "refresh_stats": ext.refresh_stats("rev_cust"),
+        }
+    best = {name: cfg["best_seconds"] for name, cfg in result["configs"].items()}
+    result["speedup_2_shards_vs_1"] = best["shards1"] / best["shards2"]
+    result["speedup_4_shards_vs_1"] = best["shards1"] / best["shards4"]
+    return result
+
+
 def collect_ingestion_benchmark(
     row_counts=(500, 2000), repeats: int = 5
 ) -> dict:
@@ -529,14 +626,17 @@ def emit_pipeline_trajectory(
     minmax_rounds: int = 6,
     ingestion_rows=(500, 2000),
     ablation_rounds: int = 6,
+    sharding_orders: int = 100_000,
+    sharding_delta_rows: int = 2_000,
+    sharding_rounds: int = 5,
 ) -> dict:
     """Collect the trajectories and write ``BENCH_pipeline.json``.
 
-    The artifact carries five sections: the per-step pipeline
+    The artifact carries six sections: the per-step pipeline
     trajectory, the MIN/MAX step-2b ablation, the row-vs-batch ingestion
-    comparison, and — since the full-native-strategies milestone — the
-    UNION-regroup step-2 ablation and the expression-keyed step-1
-    ablation.
+    comparison, the UNION-regroup step-2 ablation, the expression-keyed
+    step-1 ablation, and — since the sharded-refresh milestone — the
+    sharding ablation at 1/2/4 shards on the skewed 100k-row config.
     """
     data = collect_pipeline_trajectory(
         orders=orders, delta_rows=delta_rows, rounds=rounds
@@ -550,6 +650,10 @@ def emit_pipeline_trajectory(
     )
     data["expr_keyed"] = collect_expr_trajectory(
         orders=orders, delta_rows=delta_rows, rounds=ablation_rounds
+    )
+    data["sharding"] = collect_sharding_trajectory(
+        orders=sharding_orders, delta_rows=sharding_delta_rows,
+        rounds=sharding_rounds,
     )
     target = pathlib.Path(path) if path is not None else BENCH_PIPELINE_PATH
     target.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
@@ -612,6 +716,17 @@ def test_pipeline_trajectory_shape(report_lines):
         f"native-expr={expr_best['native_expr']:8.2f}ms  "
         f"speedup={expr['speedup_native_expr_vs_sql_step1']:5.2f}x"
     )
+    shard = data["sharding"]
+    shard_best = {
+        name: cfg["best_seconds"] * 1e3
+        for name, cfg in shard["configs"].items()
+    }
+    report_lines.append(
+        f"E6i shard delta=2000  shards1={shard_best['shards1']:8.2f}ms  "
+        f"shards2={shard_best['shards2']:8.2f}ms  "
+        f"shards4={shard_best['shards4']:8.2f}ms  "
+        f"4-vs-1={shard['speedup_4_shards_vs_1']:5.2f}x"
+    )
     assert data["configs"]["full_native"]["sql_steps"] == []
     assert data["speedup_full_native_vs_sql"] > 1.0, (
         "full native pipeline should beat the pure-SQL script"
@@ -643,6 +758,17 @@ def test_pipeline_trajectory_shape(report_lines):
     # the delta); the sanity bound catches genuine regressions.
     assert expr["speedup_native_expr_vs_sql_step1"] > 0.8, (
         "vectorized expression evaluation regressed against the SQL step 1"
+    )
+    assert shard["configs"]["shards1"]["native_steps"] != ["sharded"], (
+        "shards1 must run the per-step pipeline (the honest baseline)"
+    )
+    for name in ("shards2", "shards4"):
+        assert shard["configs"][name]["native_steps"] == ["sharded"]
+        stats = shard["configs"][name]["refresh_stats"]
+        assert stats["refreshes"] > 0 and stats["last_rows_in"] > 0
+    assert shard["speedup_4_shards_vs_1"] >= 2.0, (
+        "sharded refresh at 4 shards should be >= 2x the per-step pipeline "
+        "on the skewed 100k-row config"
     )
 
 

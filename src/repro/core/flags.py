@@ -69,6 +69,17 @@ class CompilerFlags:
                                  expressions compiled through the
                                  vectorized expression evaluator so
                                  steps 1/3 stay native (True)
+    ``shard_count``              partitions of the incremental state by
+                                 group-key hash; > 1 replaces the
+                                 per-step pipeline with the sharded
+                                 refresh step where supported (1)
+    ``parallel_refresh``         run per-shard refresh work on a
+                                 thread pool with a merge barrier
+                                 instead of a serial shard loop (True)
+    ``snapshot_reads``           epoch-pin view tables during refresh
+                                 so concurrent readers scan a
+                                 consistent copy-on-write snapshot
+                                 (True)
     ``multiplicity_column``      name of the boolean multiplicity
                                  column (the paper's spelling)
     ``hidden_count``             maintain a hidden COUNT(*) liveness
@@ -130,6 +141,27 @@ class CompilerFlags:
     # behaviour: expression-keyed views fall back to the SQL step 1 (and
     # consequently the SQL step 3 where liveness needs source counts).
     native_expr_eval: bool = True
+    # Partition each view's incremental state (join / extrema / liveness
+    # ARTs) into this many shards by hashing the memcomparable group-key
+    # encoding (storage/keys.py).  With > 1 shard and a supported view
+    # shape (LEFT_JOIN_UPSERT, fully native pipeline) the whole refresh
+    # runs as one sharded step: deltas are routed once, every shard
+    # folds its own key range, and a merge barrier applies the combined
+    # writes before step 4.  1 keeps the per-step pipeline untouched.
+    shard_count: int = 1
+    # Execute the per-shard refresh work on a ThreadPoolExecutor (one
+    # worker per shard) with a merge barrier, instead of iterating the
+    # shards serially on the calling thread.  Only consulted when
+    # ``shard_count`` > 1.  Wall-clock parallelism requires a
+    # free-threaded / multi-core runtime; under a single-core GIL build
+    # the sharded path still wins through per-distinct-key folding.
+    parallel_refresh: bool = True
+    # Epoch-pin the view table for the duration of a refresh: the first
+    # mutation inside the pinned window publishes a copy-on-write row
+    # snapshot, so concurrent readers scan a consistent pre-refresh
+    # epoch and never observe a half-applied refresh.  The refreshing
+    # thread always sees its own writes.
+    snapshot_reads: bool = True
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

@@ -22,6 +22,7 @@ stored artifact and the portable row-at-a-time fallback.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol
 
@@ -63,6 +64,59 @@ class NativeStep(Protocol):
 
     def run(self, connection: "Connection") -> int:
         """Execute the step; returns a row count for diagnostics."""
+
+
+@dataclass
+class RefreshStats:
+    """Per-view refresh counters, collected by :func:`run_pipeline` and
+    the extension's refresh loop.
+
+    ``last_*`` fields describe the most recent refresh round; totals
+    accumulate across rounds.  ``last_rows_moved`` sums the row counts
+    reported by the pipeline stages (native ``run()`` returns, SQL
+    rowcounts) — a work measure, not a view-size delta.  The shard skew
+    ratio is max shard load over mean shard load for the last sharded
+    round (1.0 = perfectly balanced; 0.0 when unsharded or idle).
+    """
+
+    refreshes: int = 0
+    last_wall_seconds: float = 0.0
+    total_wall_seconds: float = 0.0
+    last_step_seconds: dict = field(default_factory=dict)
+    last_rows_in: int = 0
+    last_rows_moved: int = 0
+    last_shard_skew: float = 0.0
+
+    def begin_round(self) -> None:
+        self.last_step_seconds = {}
+        self.last_rows_moved = 0
+
+    def add_step(self, name: str, seconds: float, rows: int = 0) -> None:
+        self.last_step_seconds[name] = (
+            self.last_step_seconds.get(name, 0.0) + seconds
+        )
+        self.last_rows_moved += int(rows)
+
+    def finish_round(
+        self, wall_seconds: float, rows_in: int, shard_skew: float
+    ) -> None:
+        self.refreshes += 1
+        self.last_wall_seconds = wall_seconds
+        self.total_wall_seconds += wall_seconds
+        self.last_rows_in = int(rows_in)
+        self.last_shard_skew = float(shard_skew)
+
+    def snapshot(self) -> dict:
+        """A JSON-shaped copy (what the benchmarks emit)."""
+        return {
+            "refreshes": self.refreshes,
+            "last_wall_seconds": self.last_wall_seconds,
+            "total_wall_seconds": self.total_wall_seconds,
+            "last_step_seconds": dict(self.last_step_seconds),
+            "last_rows_in": self.last_rows_in,
+            "last_rows_moved": self.last_rows_moved,
+            "last_shard_skew": self.last_shard_skew,
+        }
 
 
 @dataclass
@@ -111,6 +165,7 @@ def run_pipeline(
     native_steps: list[NativeStep],
     execute: Callable,
     skip_label: Callable[[str], bool] | None = None,
+    stats: RefreshStats | None = None,
 ) -> None:
     """Run a propagation plan with per-step native/SQL selection.
 
@@ -120,6 +175,10 @@ def run_pipeline(
     consumed silently), everything else goes through ``execute``.  Both
     the extension and the HTAP pipeline refresh through here, so the two
     runners cannot drift on step ordering.
+
+    With ``stats``, each stage's wall time and reported row count are
+    recorded under the step name (native) or the label's step prefix
+    (SQL).
     """
     by_label: dict[str, NativeStep] = {}
     for step in native_steps:
@@ -131,10 +190,23 @@ def run_pipeline(
             continue
         step = by_label.get(label)
         if step is None:
-            execute(statement)
+            started = time.perf_counter()
+            result = execute(statement)
+            if stats is not None:
+                rows = getattr(result, "rowcount", 0) or 0
+                stats.add_step(
+                    label.split(":", 1)[0],
+                    time.perf_counter() - started,
+                    rows,
+                )
         elif id(step) not in ran:
             ran.add(id(step))
-            step.run(connection)
+            started = time.perf_counter()
+            rows = step.run(connection)
+            if stats is not None:
+                stats.add_step(
+                    step.name, time.perf_counter() - started, rows or 0
+                )
 
 
 def build_propagation(model: MVModel, dialect: Dialect) -> list[Statement]:

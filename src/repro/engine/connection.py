@@ -153,6 +153,17 @@ class Connection:
         native pipeline clears ΔV and ΔT through here."""
         return self.catalog.table(table_name).truncate()
 
+    def begin_table_snapshot(self, table_name: str) -> None:
+        """Epoch-pin a table for the calling (refresher) thread: until
+        the matching commit, readers on other threads scan the
+        pre-refresh snapshot (copy-on-first-write in the table) and
+        never observe a half-applied refresh."""
+        self.catalog.table(table_name).begin_refresh_snapshot()
+
+    def commit_table_snapshot(self, table_name: str) -> None:
+        """Publish a refreshed table: drop its pinned snapshot epoch."""
+        self.catalog.table(table_name).commit_refresh_snapshot()
+
     # -- parsing with extension fall-back ----------------------------------
 
     def _parse(self, sql: str) -> list[ast.Statement]:

@@ -30,11 +30,12 @@ Usage::
 from __future__ import annotations
 
 import pathlib
+import time
 from dataclasses import dataclass, field
 
 from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.flags import CompilerFlags, PropagationMode
-from repro.core.propagate import run_pipeline
+from repro.core.propagate import RefreshStats, run_pipeline
 from repro.engine.connection import Connection
 from repro.engine.triggers import delta_capture_rows
 from repro.engine.result import Result
@@ -53,6 +54,8 @@ class _ViewState:
     # Propagation statements parsed once at CREATE time (labels preserved),
     # so a refresh skips re-parsing the stored scripts.
     prepared: list[tuple[str, ast.Statement]] = None
+    # Per-refresh counters (wall time, per-step time, rows, shard skew).
+    stats: RefreshStats = field(default_factory=RefreshStats)
 
 
 class _MaterializedViewParser:
@@ -132,25 +135,52 @@ class IVMExtension:
         closure = self._refresh_closure(state)
         con = self._require_connection()
         for member in closure:
-            run_pipeline(
-                con,
-                member.prepared,
-                member.compiled.native_steps,
-                execute=con.execute_statement,
-                # Shared ΔT tables are cleared once for the whole closure.
-                skip_label=lambda label: label.startswith(
-                    "step4: clear delta table"
-                ),
-            )
+            stats = member.stats
+            stats.begin_round()
+            pending_before = member.pending_changes
+            started = time.perf_counter()
+            # Epoch-pin the view table: concurrent readers keep scanning
+            # the pre-refresh snapshot until the commit below, so they
+            # never observe a half-applied refresh.
+            pinned = member.compiled.model.flags.snapshot_reads
+            if pinned:
+                con.begin_table_snapshot(member.compiled.name)
+            try:
+                run_pipeline(
+                    con,
+                    member.prepared,
+                    member.compiled.native_steps,
+                    execute=con.execute_statement,
+                    # Shared ΔT tables are cleared once for the whole
+                    # closure.
+                    skip_label=lambda label: label.startswith(
+                        "step4: clear delta table"
+                    ),
+                    stats=stats,
+                )
+            finally:
+                if pinned:
+                    con.commit_table_snapshot(member.compiled.name)
             member.pending_changes = 0
             member.refresh_count += 1
+            rows_in = pending_before
+            skew = 0.0
+            for step in member.compiled.native_steps:
+                loads = getattr(step, "last_shard_loads", None)
+                if loads and sum(loads) > 0:
+                    skew = max(loads) * len(loads) / sum(loads)
+                rows_in = max(rows_in, getattr(step, "last_rows_in", 0))
+            stats.finish_round(time.perf_counter() - started, rows_in, skew)
         delta_tables = {
             delta
             for member in closure
             for delta in member.compiled.delta_tables.values()
         }
         native_truncate = all(
-            any(step.name == "step4" for step in member.compiled.native_steps)
+            any(
+                step.name in ("step4", "sharded")
+                for step in member.compiled.native_steps
+            )
             for member in closure
         )
         for delta in sorted(delta_tables):
@@ -163,6 +193,11 @@ class IVMExtension:
         for name in self.views():
             if self._views[name].pending_changes:
                 self.refresh(name)
+
+    def refresh_stats(self, name: str) -> dict:
+        """JSON-shaped per-refresh counters for ``name`` (wall seconds,
+        per-step seconds, rows in/moved, shard skew ratio)."""
+        return self.view_state(name).stats.snapshot()
 
     def status(self) -> list[dict]:
         """Per-view runtime status (for dashboards/demos): name, class,

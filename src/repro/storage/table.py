@@ -9,6 +9,7 @@ paper's aggregate-maintenance plans.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.catalog.schema import TableSchema
@@ -34,6 +35,24 @@ class Table:
         # tail appends; any other mutation invalidates it (dirty bit via
         # None).  Tables never read columnarly never pay for it.
         self._columns_cache: list[list] | None = None
+        # Guards the cache and the snapshot state below.  Cache lists
+        # handed to a caller are never mutated afterwards: once
+        # _cache_shared is set, the next tail append publishes fresh
+        # list objects and swaps them in (publish-then-swap), so a
+        # reader on another thread can never observe torn column
+        # lengths mid-extend.
+        self._cache_lock = threading.Lock()
+        self._cache_shared = False
+        # Snapshot-read state (epoch pinning).  While pinned, the first
+        # mutation parks the current row list as the read epoch and
+        # swaps self._rows for a shallow copy; readers on threads other
+        # than the pinning owner scan the parked epoch and therefore
+        # never see a half-applied refresh.  Slot ids stay valid for
+        # both lists, so ART row ids keep working either way.
+        self._snapshot_pinned = False
+        self._snapshot_owner: int | None = None
+        self._snapshot_rows: list[Row | None] | None = None
+        self._snapshot_columns: list[list] | None = None
         if schema.primary_key:
             self.add_index(
                 "__pk__", schema.primary_key_indexes, unique=True
@@ -45,13 +64,14 @@ class Table:
         return self._live_count
 
     def scan(self) -> Iterator[Row]:
-        """Yield live rows in slot order."""
-        for row in self._rows:
+        """Yield live rows in slot order (the pinned epoch for readers
+        racing a snapshot-pinned refresh)."""
+        for row in self._reader_rows():
             if row is not None:
                 yield row
 
     def scan_with_ids(self) -> Iterator[tuple[int, Row]]:
-        for row_id, row in enumerate(self._rows):
+        for row_id, row in enumerate(self._reader_rows()):
             if row is not None:
                 yield row_id, row
 
@@ -62,15 +82,83 @@ class Table:
         ingest pattern: append-heavy, truncated wholesale), so repeated
         refreshes don't re-transpose the whole table; deletes and
         updates invalidate it.  Callers must not mutate the returned
-        lists and should consume them before further table mutations."""
-        if self._columns_cache is None:
-            columns: list[list] = [[] for _ in self.schema.columns]
-            for row in self._rows:
-                if row is not None:
-                    for j, value in enumerate(row):
-                        columns[j].append(value)
-            self._columns_cache = columns
-        return self._columns_cache
+        lists; the lists they receive are frozen — a later append
+        publishes fresh list objects instead of extending these."""
+        with self._cache_lock:
+            snapshot = self._snapshot_rows
+            if (
+                snapshot is not None
+                and threading.get_ident() != self._snapshot_owner
+            ):
+                if self._snapshot_columns is None:
+                    self._snapshot_columns = self._transpose(snapshot)
+                return self._snapshot_columns
+            if self._columns_cache is None:
+                self._columns_cache = self._transpose(self._rows)
+            self._cache_shared = True
+            return self._columns_cache
+
+    def _transpose(self, rows: Sequence[Row | None]) -> list[list]:
+        columns: list[list] = [[] for _ in self.schema.columns]
+        for row in rows:
+            if row is not None:
+                for j, value in enumerate(row):
+                    columns[j].append(value)
+        return columns
+
+    def _reader_rows(self) -> list[Row | None]:
+        """The row list this thread should scan: the parked snapshot
+        epoch while a refresh on another thread holds the pin, else the
+        live rows (the pinning thread always sees its own writes)."""
+        snapshot = self._snapshot_rows
+        if (
+            snapshot is not None
+            and threading.get_ident() != self._snapshot_owner
+        ):
+            return snapshot
+        return self._rows
+
+    # -- snapshot pinning ---------------------------------------------------
+
+    def begin_refresh_snapshot(self) -> None:
+        """Pin the current epoch for the calling (refresher) thread.
+
+        Until :meth:`commit_refresh_snapshot`, the first mutation parks
+        the pre-refresh row list; readers on other threads scan that
+        parked epoch, so a refresh is invisible until it commits.  The
+        copy is lazy — an unpinned or mutation-free refresh costs
+        nothing."""
+        with self._cache_lock:
+            self._snapshot_pinned = True
+            self._snapshot_owner = threading.get_ident()
+            self._snapshot_rows = None
+            self._snapshot_columns = None
+
+    def commit_refresh_snapshot(self) -> None:
+        """Publish the refreshed state: drop the parked epoch so all
+        threads read the live rows again."""
+        with self._cache_lock:
+            self._snapshot_pinned = False
+            self._snapshot_owner = None
+            self._snapshot_rows = None
+            self._snapshot_columns = None
+
+    def _maybe_cow(self) -> None:
+        """Copy-on-first-write under a snapshot pin: park the current
+        row list as the read epoch and mutate a shallow copy.  Slot ids
+        are preserved, so index row ids resolve in both lists."""
+        if not self._snapshot_pinned or self._snapshot_rows is not None:
+            return
+        with self._cache_lock:
+            if not self._snapshot_pinned or self._snapshot_rows is not None:
+                return
+            # Freeze the columnar mirror alongside the rows: readers of
+            # the parked epoch may reuse it, so later appends must
+            # publish fresh lists rather than extend these.
+            self._snapshot_columns = self._columns_cache
+            self._cache_shared = True
+            self._snapshot_rows = self._rows
+            self._rows = list(self._rows)
 
     def row(self, row_id: int) -> Row:
         row = self._rows[row_id]
@@ -104,6 +192,7 @@ class Table:
                 raise ConstraintError(
                     f"NOT NULL constraint failed: {self.schema.name}.{column.name}"
                 )
+        self._maybe_cow()
         reused_slot = bool(self._free_slots)
         row_id = self._allocate_slot(row)
         try:
@@ -156,6 +245,7 @@ class Table:
                             f"{self.schema.name}.{column.name}"
                         )
 
+        self._maybe_cow()
         reused_slots = bool(self._free_slots)
         row_ids = self._allocate_slots(prepared)
         inserted: list[tuple[str, list[tuple[bytes, int]]]] = []
@@ -198,12 +288,18 @@ class Table:
                 self._release_slot(row_id)
             raise
         self._live_count += len(prepared)
-        if self._columns_cache is not None:
-            if reused_slots:
-                self._columns_cache = None
-            else:
-                for j, cached in enumerate(self._columns_cache):
-                    cached.extend(row[j] for row in prepared)
+        with self._cache_lock:
+            if self._columns_cache is not None:
+                if reused_slots:
+                    self._columns_cache = None
+                else:
+                    if self._cache_shared:
+                        self._columns_cache = [
+                            list(c) for c in self._columns_cache
+                        ]
+                        self._cache_shared = False
+                    for j, cached in enumerate(self._columns_cache):
+                        cached.extend(row[j] for row in prepared)
         return len(prepared)
 
     def upsert(self, values: Sequence[Any]) -> int:
@@ -277,10 +373,11 @@ class Table:
     def delete_row(self, row_id: int) -> Row:
         """Delete by row id; returns the removed row."""
         row = self.row(row_id)
+        self._maybe_cow()
         self._index_delete(row_id, row)
         self._release_slot(row_id)
         self._live_count -= 1
-        self._columns_cache = None
+        self._invalidate_cache()
         return row
 
     def delete_by_key(self, key_values: Sequence[Any]) -> int:
@@ -315,6 +412,7 @@ class Table:
                 raise ConstraintError(
                     f"NOT NULL constraint failed: {self.schema.name}.{column.name}"
                 )
+        self._maybe_cow()
         self._index_delete(row_id, old)
         try:
             self._index_insert(row_id, new_row)
@@ -322,16 +420,17 @@ class Table:
             self._index_insert(row_id, old)
             raise
         self._rows[row_id] = new_row
-        self._columns_cache = None
+        self._invalidate_cache()
         return old, new_row
 
     def truncate(self) -> int:
         """Remove all rows; returns how many were removed."""
         count = self._live_count
+        self._maybe_cow()
         self._rows.clear()
         self._free_slots.clear()
         self._live_count = 0
-        self._columns_cache = None
+        self._invalidate_cache()
         for name, (key_columns, index) in list(self._indexes.items()):
             self._indexes[name] = (key_columns, ARTIndex(unique=index.unique))
         return count
@@ -403,20 +502,30 @@ class Table:
 
     # -- internals ------------------------------------------------------------
 
+    def _invalidate_cache(self) -> None:
+        with self._cache_lock:
+            self._columns_cache = None
+
     def _cache_append(self, row: Row, reused_slot: bool) -> None:
         """Keep the columnar mirror valid across a single insert.
 
         Tail appends extend the cached columns in place (scan order is
         slot order, so a new tail slot lands at the end); a reused middle
-        slot would reorder the mirror, so it is dropped instead.
+        slot would reorder the mirror, so it is dropped instead.  If the
+        current lists were handed to a caller, fresh copies are
+        published first so the caller's reference stays frozen.
         """
-        if self._columns_cache is None:
-            return
-        if reused_slot:
-            self._columns_cache = None
-            return
-        for column, value in zip(self._columns_cache, row):
-            column.append(value)
+        with self._cache_lock:
+            if self._columns_cache is None:
+                return
+            if reused_slot:
+                self._columns_cache = None
+                return
+            if self._cache_shared:
+                self._columns_cache = [list(c) for c in self._columns_cache]
+                self._cache_shared = False
+            for column, value in zip(self._columns_cache, row):
+                column.append(value)
 
     def _allocate_slot(self, row: Row) -> int:
         if self._free_slots:

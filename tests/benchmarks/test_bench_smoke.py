@@ -79,6 +79,7 @@ def test_pipeline_trajectory_artifact(tmp_path):
     data = bench_join.emit_pipeline_trajectory(
         path=target, orders=200, delta_rows=10, rounds=2,
         minmax_rounds=2, ingestion_rows=(50,), ablation_rounds=2,
+        sharding_orders=200, sharding_delta_rows=10, sharding_rounds=2,
     )
     on_disk = json.loads(target.read_text())
     assert on_disk == data
@@ -114,6 +115,15 @@ def test_pipeline_trajectory_artifact(tmp_path):
     assert "step1" in expr["configs"]["native_expr"]["native_steps"]
     assert "step1" not in expr["configs"]["sql_step1"]["native_steps"]
     assert expr["speedup_native_expr_vs_sql_step1"] > 0
+    shard = data["sharding"]
+    assert set(shard["configs"]) == {"shards1", "shards2", "shards4"}
+    assert shard["configs"]["shards1"]["native_steps"] != ["sharded"]
+    for name in ("shards2", "shards4"):
+        cfg = shard["configs"][name]
+        assert cfg["native_steps"] == ["sharded"]
+        assert len(cfg["refresh_seconds"]) == 2
+        assert cfg["refresh_stats"]["refreshes"] > 0
+    assert shard["speedup_4_shards_vs_1"] > 0
 
 
 def test_union_and_expr_ablations_stay_correct_at_tiny_scale():
@@ -129,6 +139,21 @@ def test_union_and_expr_ablations_stay_correct_at_tiny_scale():
     )
     for cfg in expr["configs"].values():
         assert len(cfg["refresh_seconds"]) == 2
+
+
+def test_sharding_bench_stays_correct_at_tiny_scale():
+    """All three shard counts agree with the recompute (asserted inside
+    the collector) and report the expected step split and stats."""
+    data = bench_join.collect_sharding_trajectory(
+        orders=150, delta_rows=5, rounds=2, warmup_rounds=1
+    )
+    assert set(data["configs"]) == {"shards1", "shards2", "shards4"}
+    for name, cfg in data["configs"].items():
+        assert len(cfg["refresh_seconds"]) == 2
+        assert cfg["refresh_stats"]["refreshes"] == 3  # warmup + 2 rounds
+        if name != "shards1":
+            assert cfg["native_steps"] == ["sharded"]
+            assert cfg["refresh_stats"]["last_shard_skew"] >= 1.0
 
 
 def test_minmax_bench_stays_correct_at_tiny_scale():

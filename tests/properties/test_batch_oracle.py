@@ -634,3 +634,215 @@ def test_where_filtered_three_way_oracle():
             _check_agreement(
                 cons, "w", "group_index, s, n", WHERE_RECOMPUTE
             )
+
+
+# ---------------------------------------------------------------------------
+# Sharded refresh oracle: hash-partitioned state vs the per-step pipeline
+# ---------------------------------------------------------------------------
+
+import sys
+import threading
+
+from repro.workloads.generators import zipf_group_keys
+
+SHARDED_VIEW = (
+    "CREATE MATERIALIZED VIEW sh AS "
+    "SELECT c.region, COUNT(*) AS n, SUM(o.amount) AS revenue, "
+    "MIN(o.amount) AS lo, MAX(o.amount) AS hi, AVG(o.amount) AS mean "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+SHARDED_RECOMPUTE = (
+    "SELECT c.region, COUNT(*), SUM(o.amount), MIN(o.amount), "
+    "MAX(o.amount), AVG(o.amount) "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+
+# Four engines: the pure-SQL script, the unsharded per-step pipeline, and
+# the sharded single-step refresh at 2 shards (serial workers) and
+# 4 shards (ThreadPoolExecutor workers), so both execution modes of the
+# sharded path are differentially tested against the unsharded engines.
+SHARDED_ENGINE_CONFIGS = [
+    ("sql", dict(batch_kernels=False)),
+    ("native", dict()),
+    ("sharded2", dict(shard_count=2, parallel_refresh=False)),
+    ("sharded4", dict(shard_count=4, parallel_refresh=True)),
+]
+
+# The milestone's acceptance bar for the sharded oracle alone.
+SHARDED_STEPS = 220
+
+
+def test_sharded_refresh_four_way_oracle():
+    """Join-aggregation view with every fold kind (COUNT/SUM/MIN/MAX/AVG)
+    under a Zipf-skewed DML stream — most activity lands on a few hot
+    customers, so shard routing, per-shard extrema repair, and liveness
+    deletes all run against unbalanced shards.  All four engines must
+    agree with each other and with the recompute throughout."""
+    workload = generate_sales_workload(
+        num_customers=40, num_orders=150, num_regions=6, seed=41
+    )
+
+    def schema(con: Connection) -> None:
+        con.execute(workload.SCHEMA)
+        customers = con.table("customers")
+        for row in workload.customers:
+            customers.insert(row, coerce=False)
+        orders = con.table("orders")
+        for row in workload.orders:
+            orders.insert(row, coerce=False)
+
+    cons = []
+    for label, overrides in SHARDED_ENGINE_CONFIGS:
+        con = Connection()
+        ext = load_ivm(
+            con, CompilerFlags(mode=PropagationMode.LAZY, **overrides)
+        )
+        schema(con)
+        con.execute(SHARDED_VIEW)
+        native = ext.status()[0]["native_steps"]
+        if label == "sql":
+            assert native == []
+        elif label == "native":
+            assert "step1" in native and "sharded" not in native
+        else:
+            # The whole pipeline collapsed into the one sharded step.
+            assert native == ["sharded"]
+        cons.append(con)
+
+    # Zipf-skewed customer picks: ~90% of the stream hits a handful of
+    # hot customers (hash-routed to a minority of the shards).
+    hot_picks = [
+        int(key[1:]) for key in zipf_group_keys(
+            SHARDED_STEPS * 2, num_groups=40, skew=1.3, seed=43
+        )
+    ]
+    rng = random.Random(47)
+    live: dict[int, None] = {row[0]: None for row in workload.orders}
+    next_oid = workload.next_order_id()
+    pick = iter(hot_picks)
+    steps = 0
+    for _ in range(SHARDED_STEPS):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            cust = workload.customers[next(pick)][0]
+            amount = rng.randint(-200, 500)
+            for con in cons:
+                con.execute(
+                    "INSERT INTO orders VALUES (?, ?, ?, ?)",
+                    [next_oid, cust, "p", amount],
+                )
+            live[next_oid] = None
+            next_oid += 1
+        elif roll < 0.85:
+            victim = rng.choice(sorted(live))
+            del live[victim]
+            for con in cons:
+                con.execute("DELETE FROM orders WHERE oid = ?", [victim])
+        else:
+            target = rng.choice(sorted(live))
+            amount = rng.randint(-200, 500)
+            for con in cons:
+                con.execute(
+                    "UPDATE orders SET amount = ? WHERE oid = ?",
+                    [amount, target],
+                )
+        steps += 1
+        if steps % 5 == 0 or steps == SHARDED_STEPS:
+            results = [
+                (
+                    con.execute(
+                        "SELECT region, n, revenue, lo, hi, mean FROM sh"
+                    ).sorted(),
+                    con.execute(SHARDED_RECOMPUTE).sorted(),
+                )
+                for con in cons
+            ]
+            recomputes = [want for _, want in results]
+            assert all(w == recomputes[0] for w in recomputes)
+            for (label, _), (got, want) in zip(
+                SHARDED_ENGINE_CONFIGS, results
+            ):
+                assert got == want, f"{label} diverged from recompute"
+    assert steps >= 200
+
+
+# ---------------------------------------------------------------------------
+# Snapshot reads: a reader racing the refresher never sees a torn epoch
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_reads_never_observe_torn_refresh():
+    """Reader/refresher stress for the epoch-pinned view table.
+
+    The writer thread (this test's main thread) inserts exactly one
+    order per region per statement; under the EAGER policy each insert
+    refreshes the view before returning, so every *committed* epoch has
+    identical COUNT(*) across all regions.  A reader thread scans the
+    view continuously (EAGER views are never refreshed by SELECT, so the
+    reader only ever reads).  If a scan could observe a half-applied
+    refresh — some regions upserted, others not — it would see unequal
+    counts; with snapshot reads the pinned epoch makes that impossible.
+    """
+    num_regions = 8
+    con = Connection()
+    load_ivm(
+        con,
+        CompilerFlags(
+            mode=PropagationMode.EAGER, shard_count=2, snapshot_reads=True
+        ),
+    )
+    con.execute(
+        "CREATE TABLE customers (cust_id VARCHAR PRIMARY KEY, region VARCHAR)"
+    )
+    con.execute(
+        "CREATE TABLE orders (oid INTEGER PRIMARY KEY, cust_id VARCHAR, "
+        "product VARCHAR, amount INTEGER)"
+    )
+    for g in range(num_regions):
+        con.execute(f"INSERT INTO customers VALUES ('c{g}', 'r{g}')")
+    con.execute(SHARDED_VIEW)
+    # Seed epoch 1 so the reader always sees all regions.
+    seed = ", ".join(f"({g}, 'c{g}', 'p', {g + 1})" for g in range(num_regions))
+    con.execute(f"INSERT INTO orders VALUES {seed}")
+
+    errors: list = []
+    stop = threading.Event()
+
+    def reader() -> None:
+        while not stop.is_set():
+            rows = con.execute("SELECT region, n FROM sh").rows
+            counts = {n for _, n in rows}
+            if len(rows) != num_regions:
+                errors.append(("missing regions", rows))
+                stop.set()
+                return
+            if len(counts) != 1:
+                errors.append(("torn epoch", sorted(rows)))
+                stop.set()
+                return
+
+    thread = threading.Thread(target=reader)
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)  # force frequent interleaving
+    thread.start()
+    try:
+        oid = num_regions
+        for _ in range(120):
+            if stop.is_set():
+                break
+            values = ", ".join(
+                f"({oid + g}, 'c{g}', 'p', {g + 2})"
+                for g in range(num_regions)
+            )
+            oid += num_regions
+            con.execute(f"INSERT INTO orders VALUES {values}")
+    finally:
+        stop.set()
+        thread.join()
+        sys.setswitchinterval(old_interval)
+    assert not errors, errors[0]
+    # The view really advanced through the epochs while being read.
+    final = con.execute("SELECT n FROM sh").rows
+    assert {n for (n,) in final} == {121}

@@ -179,8 +179,20 @@ class TestScanColumnsCache:
         first = table.scan_columns()
         table.insert(["b", 2])
         second = table.scan_columns()
-        assert second is first  # same cached object, extended in place
+        # Publish-then-swap: the handed-out lists stay frozen; the
+        # append published fresh lists carrying the extension.
+        assert first == [["a"], [1]]
         assert second == [["a", "b"], [1, 2]]
+
+    def test_cache_appends_in_place_between_handouts(self):
+        table = make_table()
+        table.insert(["a", 1])
+        table.scan_columns()
+        table.insert(["b", 2])
+        third = table.scan_columns()
+        table.insert(["c", 3])  # third was handed out → fresh lists
+        assert third == [["a", "b"], [1, 2]]
+        assert table.scan_columns() == [["a", "b", "c"], [1, 2, 3]]
 
     def test_cache_invalidated_by_delete_and_slot_reuse(self):
         table = make_table()
@@ -194,6 +206,42 @@ class TestScanColumnsCache:
             [row[0] for row in table.scan()],
             [row[1] for row in table.scan()],
         ]
+
+    def test_concurrent_handout_and_append_never_torn(self):
+        """Regression for the scan_columns race: the old in-place extend
+        could leave a reader holding column lists of unequal lengths
+        mid-append.  Publish-then-swap freezes handed-out lists, so a
+        reader thread hammering scan_columns during a writer's append
+        storm must always see rectangular columns."""
+        import sys
+        import threading
+
+        table = make_table()
+        table.insert(["seed", 0])
+        errors: list = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                cols = table.scan_columns()
+                if len(cols[0]) != len(cols[1]):
+                    errors.append((len(cols[0]), len(cols[1])))
+                    stop.set()
+                    return
+
+        thread = threading.Thread(target=reader)
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-4)
+        thread.start()
+        try:
+            for i in range(4000):
+                table.insert([f"k{i}", i])
+        finally:
+            stop.set()
+            thread.join()
+            sys.setswitchinterval(old_interval)
+        assert not errors
+        assert table.scan_columns()[0][0] == "seed"
 
     def test_cache_invalidated_by_update_and_truncate(self):
         table = make_table()
