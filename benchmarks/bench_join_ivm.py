@@ -618,6 +618,104 @@ def collect_ingestion_benchmark(
     return result
 
 
+def collect_durability_benchmark(
+    rows_per_batch: int = 500, batches: int = 10, repeats: int = 3
+) -> dict:
+    """WAL append and recovery-replay throughput (``wal_sync`` off).
+
+    Two measurements: raw :class:`~repro.storage.wal.WriteAheadLog`
+    appends of delta-shaped batches (the overhead the capture path pays
+    per DML when durability is on), and a full
+    :meth:`~repro.engine.Connection.recover` of a durability directory
+    whose WAL holds every batch past the checkpoint — checkpoint load,
+    replay, and the catch-up refresh together, reported as replayed rows
+    per second.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.storage.wal import WriteAheadLog
+
+    total = rows_per_batch * batches
+    delta_rows = [
+        (i, "cust_%05d" % (i % 97), "p", i % 100, True)
+        for i in range(rows_per_batch)
+    ]
+    append_best = float("inf")
+    for _ in range(repeats):
+        tmp = tempfile.mkdtemp(prefix="ivm-wal-bench-")
+        try:
+            wal = WriteAheadLog.open(pathlib.Path(tmp) / "wal.log")
+            start = time.perf_counter()
+            for _ in range(batches):
+                wal.append("orders", delta_rows)
+            append_best = min(append_best, time.perf_counter() - start)
+            wal.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    replay_best = float("inf")
+    tmp = tempfile.mkdtemp(prefix="ivm-recover-bench-")
+    try:
+        directory = pathlib.Path(tmp)
+        con = Connection()
+        load_ivm(
+            con,
+            flags=CompilerFlags(durability=True),
+            durability_dir=directory,
+        )
+        con.execute(
+            "CREATE TABLE t (oid INTEGER PRIMARY KEY, cust VARCHAR, "
+            "amount INTEGER)"
+        )
+        con.execute(
+            "CREATE MATERIALIZED VIEW rev AS SELECT cust, SUM(amount) AS s, "
+            "COUNT(*) AS n FROM t GROUP BY cust"
+        )
+        oid = 0
+        for _ in range(batches):
+            values = ", ".join(
+                f"({oid + i}, 'cust_{(oid + i) % 97:05d}', {(oid + i) % 100})"
+                for i in range(rows_per_batch)
+            )
+            con.execute(f"INSERT INTO t VALUES {values}")
+            oid += rows_per_batch
+        # Every batch sits in the WAL past the view-creation checkpoint
+        # (no refresh ran), so recovery replays all of them.
+        recovered = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            recovered = Connection.recover(directory)
+            replay_best = min(replay_best, time.perf_counter() - start)
+        got = recovered.execute("SELECT cust, s, n FROM rev").sorted()
+        want = recovered.execute(
+            "SELECT cust, SUM(amount) AS s, COUNT(*) AS n FROM t GROUP BY cust"
+        ).sorted()
+        assert got == want, "recovered view diverged from recompute"
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "benchmark": "bench_join_ivm.durability",
+        "workload": {
+            "rows_per_batch": rows_per_batch,
+            "batches": batches,
+            "wal_sync": False,
+        },
+        "wal_append": {
+            "rows": total,
+            "best_seconds": append_best,
+            "rows_per_second": total / append_best,
+        },
+        "recovery_replay": {
+            "rows": total,
+            "best_seconds": replay_best,
+            "rows_per_second": total / replay_best,
+        },
+    }
+
+
 def emit_pipeline_trajectory(
     path: "pathlib.Path | str | None" = None,
     orders: int = ORDERS,
@@ -629,14 +727,17 @@ def emit_pipeline_trajectory(
     sharding_orders: int = 100_000,
     sharding_delta_rows: int = 2_000,
     sharding_rounds: int = 5,
+    durability_rows: int = 500,
+    durability_batches: int = 10,
 ) -> dict:
     """Collect the trajectories and write ``BENCH_pipeline.json``.
 
-    The artifact carries six sections: the per-step pipeline
+    The artifact carries seven sections: the per-step pipeline
     trajectory, the MIN/MAX step-2b ablation, the row-vs-batch ingestion
     comparison, the UNION-regroup step-2 ablation, the expression-keyed
-    step-1 ablation, and — since the sharded-refresh milestone — the
-    sharding ablation at 1/2/4 shards on the skewed 100k-row config.
+    step-1 ablation, the sharding ablation at 1/2/4 shards on the skewed
+    100k-row config, and — since the durability milestone — WAL append
+    and recovery-replay throughput.
     """
     data = collect_pipeline_trajectory(
         orders=orders, delta_rows=delta_rows, rounds=rounds
@@ -654,6 +755,9 @@ def emit_pipeline_trajectory(
     data["sharding"] = collect_sharding_trajectory(
         orders=sharding_orders, delta_rows=sharding_delta_rows,
         rounds=sharding_rounds,
+    )
+    data["durability"] = collect_durability_benchmark(
+        rows_per_batch=durability_rows, batches=durability_batches,
     )
     target = pathlib.Path(path) if path is not None else BENCH_PIPELINE_PATH
     target.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")

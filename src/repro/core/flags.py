@@ -80,6 +80,17 @@ class CompilerFlags:
                                  so concurrent readers scan a
                                  consistent copy-on-write snapshot
                                  (True)
+    ``durability``               write captured deltas to a write-ahead
+                                 log and allow checkpoints + replay-on-
+                                 restart (False; needs a
+                                 ``durability_dir`` at load time)
+    ``wal_sync``                 fsync the WAL after every append
+                                 (False — off in CI and benches)
+    ``checkpoint_every``         take a checkpoint automatically every
+                                 N refreshes; 0 disables the periodic
+                                 trigger (checkpoints still happen at
+                                 CREATE MATERIALIZED VIEW and on
+                                 demand) (0)
     ``multiplicity_column``      name of the boolean multiplicity
                                  column (the paper's spelling)
     ``hidden_count``             maintain a hidden COUNT(*) liveness
@@ -162,6 +173,20 @@ class CompilerFlags:
     # epoch and never observe a half-applied refresh.  The refreshing
     # thread always sees its own writes.
     snapshot_reads: bool = True
+    # Durability: log every captured delta batch to an append-only WAL
+    # (storage/wal.py) before it reaches ΔT, checkpoint view columns and
+    # incremental states (storage/checkpoint.py), and support
+    # Connection.recover(path) replay.  Requires a durability directory
+    # to be passed to load_ivm; without one the flag is inert.
+    durability: bool = False
+    # fsync the WAL file after every append.  Off trades the tail of the
+    # log on an OS crash for append speed (process crashes lose nothing
+    # either way); CI and benchmarks run with it off.
+    wal_sync: bool = False
+    # Take a checkpoint automatically after every N refresh rounds
+    # (0 = never; checkpoints are still written at CREATE MATERIALIZED
+    # VIEW time and by IVMExtension.checkpoint()).
+    checkpoint_every: int = 0
     # Name of the boolean multiplicity column (paper's spelling).
     multiplicity_column: str = "_duckdb_ivm_multiplicity"
     # Maintain a hidden COUNT(*) column for exact group liveness.  The

@@ -50,7 +50,7 @@ returns None), exactly like every other native-step fallback.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -166,7 +166,11 @@ class ShardedRefresh:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def initialize(self, connection: "Connection") -> None:
+    def prepare_states(self) -> None:
+        """Swap the composed steps' state slots for the sharded wrappers
+        (without seeding them) — shared by :meth:`initialize` and the
+        checkpoint-restore path, which loads dumped images instead of
+        recomputing from the base tables."""
         count = self.shard_count
         self.step1.state_factory = lambda left, right: ShardedJoinState(
             left, right, shard_count=count
@@ -176,6 +180,9 @@ class ShardedRefresh:
                 source.state = ShardedExtremaState(count)
         if self.step3.counters is not None:
             self.step3.counters = ShardedLivenessState(count)
+
+    def initialize(self, connection: "Connection") -> None:
+        self.prepare_states()
         self.step1.initialize(connection)
         if self.step2b is not None:
             self.step2b.initialize(connection)
@@ -206,14 +213,29 @@ class ShardedRefresh:
 
     def _map(self, fn) -> list:
         """Run ``fn(shard)`` for every shard — on the worker pool with a
-        barrier when parallel, else serially on the calling thread."""
+        barrier when parallel, else serially on the calling thread.
+
+        A failing worker must not leave stragglers mutating shard state
+        while the caller unwinds (``Executor.map`` raises at iteration
+        time with the other futures still running), so every future is
+        awaited before the first exception is re-raised.  The caller
+        (the extension's refresh loop) then marks the view for full
+        recompute — the surviving shards have integrated their deltas,
+        the failed one has not, so the partitions are mutually
+        inconsistent until reseeded."""
         count = self.shard_count
         if self.parallel and count > 1:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=count, thread_name_prefix="ivm-shard"
                 )
-            return list(self._pool.map(fn, range(count)))
+            futures = [self._pool.submit(fn, i) for i in range(count)]
+            wait(futures)
+            for future in futures:
+                error = future.exception()
+                if error is not None:
+                    raise error
+            return [future.result() for future in futures]
         return [fn(i) for i in range(count)]
 
     # -- phase 1: sharded delta compute --------------------------------------

@@ -20,6 +20,7 @@ from typing import Any, Sequence
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column, IndexSchema, TableSchema, ViewSchema
 from repro.datatypes.types import type_from_name
+from repro.datatypes.values import coerce_for_storage
 from repro.errors import (
     BinderError,
     ExecutionError,
@@ -163,6 +164,30 @@ class Connection:
     def commit_table_snapshot(self, table_name: str) -> None:
         """Publish a refreshed table: drop its pinned snapshot epoch."""
         self.catalog.table(table_name).commit_refresh_snapshot()
+
+    def abort_table_snapshot(self, table_name: str) -> None:
+        """Abandon a failed refresh: restore the pinned pre-refresh
+        epoch (rows, free list, live count) and release the pin.  The
+        caller is responsible for rebuilding the table's derived state
+        (the extension schedules a full recompute)."""
+        self.catalog.table(table_name).abort_refresh_snapshot()
+
+    # -- durability ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls, path, flags=None
+    ) -> "Connection":
+        """Rebuild an engine from a durability directory: load the
+        latest valid checkpoint, truncate any torn WAL tail, replay the
+        records past the checkpoint's LSN, and refresh the recovered
+        views.  Returns the new connection with the OpenIVM extension
+        loaded (``connection.extensions.loaded("openivm")``) and the WAL
+        reopened for appending.  See ``docs/durability.md``."""
+        from repro.storage.checkpoint import recover_connection
+
+        connection, _ = recover_connection(path, flags=flags)
+        return connection
 
     # -- parsing with extension fall-back ----------------------------------
 
@@ -357,12 +382,26 @@ class Connection:
                 source_rows.append(tuple(e((), ctx) for e in evaluators))
 
         rows = [self._reorder_insert_row(schema, statement.columns, r) for r in source_rows]
+        # Coerce to storage types *before* the append so the AFTER
+        # triggers see the stored rows, exactly like DELETE and UPDATE
+        # do.  Raw literals (e.g. an ISO date string headed for a DATE
+        # column) must never leak into the capture path: the IVM states
+        # address entries by memcomparable bytes, where a string and the
+        # date it spells encode differently — mixed spellings corrupt
+        # retraction cancellation and extrema ordering.
+        rows = [
+            tuple(
+                coerce_for_storage(value, column.type)
+                for value, column in zip(row, schema.columns)
+            )
+            for row in rows
+        ]
         # Whole-statement columnar ingestion: one batch append with a
         # single sorted index pass, instead of per-row insert calls.
         if statement.or_replace:
             table.upsert_batch(rows)
         else:
-            table.insert_batch(rows)
+            table.insert_batch(rows, coerce=False)
         self.triggers.fire(self, "INSERT", schema.name, rows)
         return Result(statement_type="INSERT", rowcount=len(rows))
 

@@ -50,5 +50,16 @@ class IVMError(ReproError):
     """Raised when a view definition cannot be incrementally maintained."""
 
 
+class WALError(ReproError):
+    """Raised for corrupt write-ahead-log records (CRC mismatch, bad
+    magic, non-monotone LSNs).  Torn tails are *not* errors — a partial
+    final record is the expected shape of a crash and is truncated."""
+
+
+class RecoveryError(ReproError):
+    """Raised when replay-on-restart cannot reconstruct a consistent
+    engine state (e.g. WAL records with no covering checkpoint)."""
+
+
 class UnsupportedError(IVMError):
     """Raised for SQL constructs outside the compiler's supported surface."""

@@ -42,6 +42,7 @@ from repro.engine.result import Result
 from repro.errors import IVMError, ParserError
 from repro.sql import ast
 from repro.sql.parser import parse_script
+from repro.zset.incremental import IndexedJoinState
 
 
 @dataclass
@@ -56,6 +57,11 @@ class _ViewState:
     prepared: list[tuple[str, ast.Statement]] = None
     # Per-refresh counters (wall time, per-step time, rows, shard skew).
     stats: RefreshStats = field(default_factory=RefreshStats)
+    # Set when a refresh died mid-pipeline: the stored rows were rolled
+    # back to the pinned snapshot, but the in-memory incremental states
+    # may have consumed part of the batch, so the next refresh rebuilds
+    # the whole view from the base tables instead of propagating.
+    needs_recompute: bool = False
 
 
 class _MaterializedViewParser:
@@ -85,15 +91,27 @@ class IVMExtension:
         self,
         flags: CompilerFlags | None = None,
         script_dir: str | pathlib.Path | None = None,
+        durability_dir: str | pathlib.Path | None = None,
     ) -> None:
         self.flags = flags or CompilerFlags()
         self.script_dir = pathlib.Path(script_dir) if script_dir else None
+        self.durability_dir = (
+            pathlib.Path(durability_dir) if durability_dir else None
+        )
         self._connection: Connection | None = None
         self._views: dict[str, _ViewState] = {}
         # base table (lower) -> view names watching it
         self._watched: dict[str, set[str]] = {}
         # delta table name (lower) -> view names reading it
         self._delta_readers: dict[str, set[str]] = {}
+        # WAL + checkpoints; opening the manager truncates a torn WAL tail.
+        self._durability = None
+        if self.flags.durability and self.durability_dir is not None:
+            from repro.storage.checkpoint import DurabilityManager
+
+            self._durability = DurabilityManager(
+                self.durability_dir, self, sync=self.flags.wal_sync
+            )
 
     # -- registration (the paper's "registration functions") ----------------
 
@@ -134,6 +152,9 @@ class IVMExtension:
         state = self.view_state(name)
         closure = self._refresh_closure(state)
         con = self._require_connection()
+        if any(member.needs_recompute for member in closure):
+            self._recompute_closure(closure)
+            return
         for member in closure:
             stats = member.stats
             stats.begin_round()
@@ -158,9 +179,18 @@ class IVMExtension:
                     ),
                     stats=stats,
                 )
-            finally:
+            except BaseException:
+                # Roll the stored rows back to the pinned pre-refresh
+                # epoch (never commit a half-applied refresh as the new
+                # truth) and flag the view: the in-memory states may
+                # have consumed part of the batch, so the next refresh
+                # rebuilds from the base tables.
                 if pinned:
-                    con.commit_table_snapshot(member.compiled.name)
+                    con.abort_table_snapshot(member.compiled.name)
+                member.needs_recompute = True
+                raise
+            if pinned:
+                con.commit_table_snapshot(member.compiled.name)
             member.pending_changes = 0
             member.refresh_count += 1
             rows_in = pending_before
@@ -188,10 +218,48 @@ class IVMExtension:
                 con.truncate_table(delta)
             else:
                 con.execute(f"DELETE FROM {delta}")
+        if self._durability is not None:
+            self._durability.note_refresh()
+
+    def _recompute_closure(self, closure: list[_ViewState]) -> None:
+        """Rebuild every view of a refresh closure from the base tables.
+
+        The escape hatch after a failed refresh: the stored rows were
+        rolled back to the pinned snapshot, but the incremental states
+        (join sides, liveness counters, extrema multisets — and any ART
+        index entries mutated before the failure) are not copy-on-write,
+        so propagation can no longer be trusted.  ΔT is truncated
+        *first*: the reseeded states must equal ``base − unconsumed ΔT``,
+        and discarding the deltas makes that simply ``base`` — the rows
+        they carried are already in the base tables, which the populate
+        below re-aggregates wholesale.
+        """
+        con = self._require_connection()
+        delta_tables = {
+            delta
+            for member in closure
+            for delta in member.compiled.delta_tables.values()
+        }
+        for delta in sorted(delta_tables):
+            con.truncate_table(delta)
+        for member in closure:
+            compiled = member.compiled
+            con.truncate_table(compiled.name)
+            con.truncate_table(compiled.delta_view_table)
+            con.execute(compiled.populate)
+            for step in compiled.native_steps:
+                _clear_step_pendings(step)
+                step.initialize(con)
+            member.pending_changes = 0
+            member.needs_recompute = False
+            member.refresh_count += 1
+        if self._durability is not None:
+            self._durability.note_refresh()
 
     def refresh_all(self) -> None:
         for name in self.views():
-            if self._views[name].pending_changes:
+            state = self._views[name]
+            if state.pending_changes or state.needs_recompute:
                 self.refresh(name)
 
     def refresh_stats(self, name: str) -> dict:
@@ -218,12 +286,163 @@ class IVMExtension:
                         step.name for step in state.compiled.native_steps
                     ),
                     "pending_changes": state.pending_changes,
+                    "needs_recompute": state.needs_recompute,
                     "refresh_count": state.refresh_count,
                     "rows": len(con.table(compiled.name)),
                     "base_tables": sorted(compiled.delta_tables),
                 }
             )
         return report
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def durability(self):
+        """The :class:`~repro.storage.checkpoint.DurabilityManager`, or
+        None when durability is off."""
+        return self._durability
+
+    def checkpoint(self) -> pathlib.Path:
+        """Write a checkpoint now (views must be quiescent, which they are
+        between statements); returns the new file's path."""
+        if self._durability is None:
+            raise IVMError(
+                "durability is not enabled; load the extension with "
+                "flags.durability=True and a durability_dir"
+            )
+        return self._durability.checkpoint()
+
+    def restore_view_definition(self, create_sql: str) -> None:
+        """Recovery: re-register one view from its stored CREATE statement.
+
+        Runs the compiled DDL (mv table, ΔT, ΔV, metadata row) and the
+        registration book-keeping, but *not* the initial populate and not
+        the per-step ``initialize`` — rows and incremental states are
+        restored from the checkpoint image afterwards (or reseeded by
+        :meth:`restore_view_state` where the image lacks them).
+        """
+        con = self._require_connection()
+        statement = parse_script(create_sql, allow_materialized=True)[0]
+        compiler = OpenIVMCompiler(con.catalog, self.flags)
+        compiled = compiler.compile_query(statement.name, statement.query)
+        for sql in compiled.ddl:
+            con.execute(sql)
+        self._register_compiled(compiled)
+
+    def restore_view_state(
+        self, name: str, sections: dict, pending_changes: int = 0
+    ) -> None:
+        """Recovery: load the checkpointed incremental-state images for
+        ``name`` — join sides, liveness counters, extrema multisets —
+        falling back to a base-table reseed (``step.initialize``) for any
+        image the checkpoint lacks.  Entries are restored through the
+        byte-identity-preserving :func:`~repro.storage.checkpoint.
+        restore_state_value` (only the codec's lossy float decodes are
+        undone), so every cell keeps the exact memcomparable address it
+        had before the crash.
+        """
+        from repro.storage.checkpoint import (
+            restore_state_row,
+            restore_state_value,
+        )
+
+        con = self._require_connection()
+        state = self.view_state(name)
+        compiled = state.compiled
+        vkey = compiled.name.lower()
+        steps = {step.name: step for step in compiled.native_steps}
+        sharded = steps.get("sharded")
+        if sharded is not None:
+            # Swap in the hash-partitioned state wrappers first; the
+            # loads below then route entries by shard.
+            sharded.prepare_states()
+            step1, step2b, step3 = sharded.step1, sharded.step2b, sharded.step3
+        else:
+            step1 = steps.get("step1")
+            step2b = steps.get("step2b")
+            step3 = steps.get("step3")
+
+        if step1 is not None and step1.is_join:
+            entries = sections.get(f"state:{vkey}:join")
+            if entries is None:
+                step1.initialize(con)
+            else:
+                factory = step1.state_factory or IndexedJoinState
+                join_state = factory(step1.join_left_key, step1.join_right_key)
+                left, right = compiled.model.analysis.tables
+                schemas = (
+                    con.table(left.name).schema,
+                    con.table(right.name).schema,
+                )
+                join_state.load_dump(
+                    (
+                        int(entry[0]),
+                        restore_state_row(
+                            tuple(entry[1:-1]), schemas[int(entry[0])]
+                        ),
+                        int(entry[-1]),
+                    )
+                    for entry in entries
+                )
+                step1.state = join_state
+
+        if step3 is not None and step3.counters is not None:
+            entries = sections.get(f"state:{vkey}:live")
+            if entries is None:
+                step3.initialize(con)
+            else:
+                # The counters are a plain dict keyed by group tuples, so
+                # a decoded DATE key (ordinal float) would never hash to
+                # the runtime date object it was — undo the lossy float
+                # decodes through the view's key column types.  Raw-string
+                # keys (INSERT-capture spelling) stay strings, exactly as
+                # they were keyed before the crash.
+                mv_schema = con.table(compiled.name).schema
+                key_types = [
+                    mv_schema.columns[i].type
+                    for i in mv_schema.primary_key_indexes
+                ]
+                step3.counters.load(
+                    (
+                        tuple(
+                            restore_state_value(value, dtype)
+                            for value, dtype in zip(entry[:-1], key_types)
+                        )
+                        if len(entry) - 1 == len(key_types)
+                        else tuple(entry[:-1]),
+                        int(entry[-1]),
+                    )
+                    for entry in entries
+                )
+
+        if step2b is not None:
+            complete = all(
+                f"state:{vkey}:ext:{ordinal}" in sections
+                for ordinal in step2b.sources
+            )
+            if not complete:
+                step2b.initialize(con)
+            else:
+                mv_schema = con.table(compiled.name).schema
+                value_types = {
+                    column.value_ordinal: mv_schema.columns[
+                        column.stored_ordinal
+                    ].type
+                    for column in step2b.columns
+                }
+                for ordinal, source in step2b.sources.items():
+                    entries = sections[f"state:{vkey}:ext:{ordinal}"]
+                    vtype = value_types.get(ordinal)
+                    source.state.load(
+                        (
+                            tuple(entry[:-2]),
+                            restore_state_value(entry[-2], vtype),
+                            int(entry[-1]),
+                        )
+                        for entry in entries
+                    )
+
+        state.pending_changes = int(pending_changes)
 
     def _refresh_closure(self, state: _ViewState) -> list[_ViewState]:
         names: set[str] = set()
@@ -299,6 +518,19 @@ class IVMExtension:
             # ΔT rows other views left pending), the exact group-liveness
             # counters for step 3.
             step.initialize(con)
+        self._register_compiled(compiled)
+        if self._durability is not None:
+            # Cover the freshly populated view: WAL records only carry
+            # base-table deltas, so the initial state must come from a
+            # checkpoint.
+            self._durability.checkpoint()
+        return Result(statement_type="CREATE MATERIALIZED VIEW")
+
+    def _register_compiled(self, compiled: CompiledView) -> _ViewState:
+        """Book-keeping shared by CREATE and recovery: store the script,
+        parse the propagation statements once, register the view state,
+        and install the capture triggers."""
+        name = compiled.name
         self._store_script(compiled)
         prepared = [
             (label, parse_script(sql)[0]) for label, sql in compiled.propagation
@@ -311,7 +543,7 @@ class IVMExtension:
                 name.lower()
             )
             self._install_capture_triggers(base_table, delta_table)
-        return Result(statement_type="CREATE MATERIALIZED VIEW")
+        return state
 
     def _handle_drop(self, statement: ast.DropView) -> Result:
         con = self._require_connection()
@@ -355,9 +587,15 @@ class IVMExtension:
         delta = con.table(delta_table)
 
         def capture(connection: Connection, event: str, table: str, rows) -> None:
+            delta_rows = delta_capture_rows(event, rows)
+            if self._durability is not None:
+                # Write-ahead: the signed rows hit the log (and, with
+                # wal_sync, the disk) before they reach ΔT, so a crash
+                # after this point replays them instead of losing them.
+                self._durability.log_delta(base_table, delta_rows)
             # One columnar append per statement (delta tables have no
             # indexes, so this is a straight block extend).
-            delta.insert_batch(delta_capture_rows(event, rows), coerce=False)
+            delta.insert_batch(delta_rows, coerce=False)
 
         for event in ("INSERT", "DELETE", "UPDATE"):
             con.triggers.register(trigger_name, base_table, event, capture)
@@ -392,11 +630,32 @@ def load_ivm(
     connection: Connection,
     flags: CompilerFlags | None = None,
     script_dir: str | pathlib.Path | None = None,
+    durability_dir: str | pathlib.Path | None = None,
 ) -> IVMExtension:
     """Load the OpenIVM extension into ``connection`` (like DuckDB LOAD)."""
-    extension = IVMExtension(flags=flags, script_dir=script_dir)
+    extension = IVMExtension(
+        flags=flags, script_dir=script_dir, durability_dir=durability_dir
+    )
     extension.register(connection)
     return extension
+
+
+def _clear_step_pendings(step) -> None:
+    """Drop per-round batches a failed refresh may have left half-consumed
+    (step-1 pushes to the liveness/extrema steps, touched-key lists)."""
+    if step.name == "sharded":
+        for inner in (step.step1, step.step2, step.step3, step.step2b):
+            if inner is not None:
+                _clear_step_pendings(inner)
+        return
+    for attr in ("pending", "pending_keys", "pending_touched"):
+        value = getattr(step, attr, None)
+        if isinstance(value, list):
+            value.clear()
+    sources = getattr(step, "sources", None)
+    if isinstance(sources, dict):
+        for source in sources.values():
+            source.pending.clear()
 
 
 def _referenced_tables(statement: ast.Select) -> set[str]:

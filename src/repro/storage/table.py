@@ -53,6 +53,12 @@ class Table:
         self._snapshot_owner: int | None = None
         self._snapshot_rows: list[Row | None] | None = None
         self._snapshot_columns: list[list] | None = None
+        # Parked alongside the rows at copy-on-write time so a failed
+        # refresh can be aborted: restoring _rows without the matching
+        # free list / live count would let a later insert overwrite a
+        # live slot.
+        self._snapshot_free_slots: list[int] | None = None
+        self._snapshot_live_count = 0
         if schema.primary_key:
             self.add_index(
                 "__pk__", schema.primary_key_indexes, unique=True
@@ -142,6 +148,35 @@ class Table:
             self._snapshot_owner = None
             self._snapshot_rows = None
             self._snapshot_columns = None
+            self._snapshot_free_slots = None
+            self._snapshot_live_count = 0
+
+    def abort_refresh_snapshot(self) -> None:
+        """Throw away the refresh's writes and restore the pinned epoch.
+
+        The inverse of :meth:`commit_refresh_snapshot` for a refresh that
+        raised mid-pipeline: the parked row list, columnar mirror, free
+        list, and live count become current again, so readers — and the
+        next mutation — see the pre-refresh state instead of a
+        half-applied one.  ART index entries added by the failed refresh
+        are *not* rolled back (the indexes are not parked); the caller
+        must schedule a full recompute of the table, whose
+        :meth:`truncate` rebuilds every index from scratch.  Without a
+        parked epoch (no mutation happened, or the table was never
+        pinned) this just releases the pin."""
+        with self._cache_lock:
+            if self._snapshot_rows is not None:
+                self._rows = self._snapshot_rows
+                self._columns_cache = self._snapshot_columns
+                if self._snapshot_free_slots is not None:
+                    self._free_slots = self._snapshot_free_slots
+                self._live_count = self._snapshot_live_count
+            self._snapshot_pinned = False
+            self._snapshot_owner = None
+            self._snapshot_rows = None
+            self._snapshot_columns = None
+            self._snapshot_free_slots = None
+            self._snapshot_live_count = 0
 
     def _maybe_cow(self) -> None:
         """Copy-on-first-write under a snapshot pin: park the current
@@ -158,6 +193,8 @@ class Table:
             self._snapshot_columns = self._columns_cache
             self._cache_shared = True
             self._snapshot_rows = self._rows
+            self._snapshot_free_slots = list(self._free_slots)
+            self._snapshot_live_count = self._live_count
             self._rows = list(self._rows)
 
     def row(self, row_id: int) -> Row:
@@ -198,7 +235,14 @@ class Table:
         try:
             self._index_insert(row_id, row)
         except ConstraintError:
-            self._release_slot(row_id)
+            # Exact undo: a reused slot goes back on the free list (it
+            # was popped from the tail, so appending restores the order),
+            # a tail slot is truncated away rather than free-listed.
+            if reused_slot:
+                self._rows[row_id] = None
+                self._free_slots.append(row_id)
+            else:
+                del self._rows[row_id:]
             raise
         self._live_count += 1
         self._cache_append(row, reused_slot)
@@ -247,6 +291,7 @@ class Table:
 
         self._maybe_cow()
         reused_slots = bool(self._free_slots)
+        tail_start = len(self._rows)
         row_ids = self._allocate_slots(prepared)
         inserted: list[tuple[str, list[tuple[bytes, int]]]] = []
         try:
@@ -284,8 +329,16 @@ class Table:
                 undo = self._indexes[name][1]
                 for key, row_id in entries:
                     undo.delete(key, row_id)
+            # Exact undo of _allocate_slots: truncate the tail extend
+            # and re-free the reused slots in reverse pop order, so the
+            # row list and free list match the pre-batch state
+            # byte-for-byte (release-listing tail slots would leave
+            # phantom None entries behind).
+            del self._rows[tail_start:]
             for row_id in reversed(row_ids):
-                self._release_slot(row_id)
+                if row_id < tail_start:
+                    self._rows[row_id] = None
+                    self._free_slots.append(row_id)
             raise
         self._live_count += len(prepared)
         with self._cache_lock:
@@ -357,16 +410,28 @@ class Table:
             )
             deduped[encode_key([row[i] for i in key_columns])] = row
             count += 1
-        replaced: list[Row] = []
+        replaced: list[tuple[int, Row]] = []
         for key in deduped:
             for row_id in index.search(key):
-                replaced.append(self.delete_row(row_id))
+                replaced.append((row_id, self.delete_row(row_id)))
         try:
             self.insert_batch(list(deduped.values()), coerce=False)
         except Exception:
             # The replaced rows coexisted before, so restoring them
-            # cannot itself violate a constraint.
-            self.insert_batch(replaced, coerce=False)
+            # cannot itself violate a constraint.  Each goes back into
+            # its *original* slot (insert_batch already rolled its own
+            # allocations back, leaving the free list exactly as the
+            # deletes left it), so index row ids, the free list, and the
+            # row list match the pre-batch state byte-for-byte.
+            restore_ids = {row_id for row_id, _ in replaced}
+            self._free_slots = [
+                slot for slot in self._free_slots if slot not in restore_ids
+            ]
+            for row_id, row in replaced:
+                self._rows[row_id] = row
+                self._index_insert(row_id, row)
+            self._live_count += len(replaced)
+            self._invalidate_cache()
             raise
         return count
 

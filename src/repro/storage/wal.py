@@ -1,0 +1,201 @@
+"""Append-only write-ahead log of captured base-table deltas.
+
+The IVM capture path (the AFTER triggers installed by the extension)
+writes every delta batch here *before* inserting it into the in-memory
+delta table, so a crash after the append can always be replayed: recovery
+re-applies the logged rows to the base tables and ΔT and lets one refresh
+round carry them into the views.
+
+File layout (all integers big-endian)::
+
+    header   magic  b"IVMWAL1\\n"                              8 bytes
+    record   u32 body_len | u32 crc32(body) | body
+    body     u64 lsn | u16 table_len | table utf-8 | u32 nrows | rows
+    row      u32 row_len | encode_key(values)
+
+Rows are full delta rows — the base columns plus the trailing boolean
+multiplicity column — serialized with the memcomparable encoding of
+:mod:`repro.storage.keys` (the same bytes the ART indexes key on), so
+the log shares one codec with the rest of the storage layer.  LSNs are
+strictly increasing; checkpoints record the highest LSN they cover and
+replay starts just past it.
+
+Crash semantics on read:
+
+* a **torn tail** — the file ends mid-record because the process died
+  mid-append — is expected: reading stops at the last complete record
+  and reports the valid byte length, which recovery truncates to.
+* a **CRC mismatch on a complete record** is corruption, not a crash
+  artifact (truncation can only shorten the file), and raises
+  :class:`~repro.errors.WALError`.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+from zlib import crc32
+
+from repro.errors import WALError
+from repro.storage.keys import decode_key, encode_key
+
+MAGIC = b"IVMWAL1\n"
+HEADER_SIZE = len(MAGIC)
+_RECORD_HEADER = struct.Struct(">II")  # body_len, crc32(body)
+_BODY_PREFIX = struct.Struct(">QH")  # lsn, table name length
+_U32 = struct.Struct(">I")
+
+
+@dataclass
+class WALRecord:
+    """One decoded log record: a delta batch for one base table."""
+
+    lsn: int
+    table: str
+    # Full delta rows (base columns + trailing boolean multiplicity),
+    # decoded through decode_key — numbers come back as floats; replay
+    # coerces them through the table schema.
+    rows: list[tuple]
+
+
+def encode_record(lsn: int, table: str, rows: Iterable[Sequence[Any]]) -> bytes:
+    """Serialize one record (header + body) to its on-disk bytes."""
+    name = table.encode("utf-8")
+    parts = [_BODY_PREFIX.pack(lsn, len(name)), name]
+    encoded_rows = [encode_key(row) for row in rows]
+    parts.append(_U32.pack(len(encoded_rows)))
+    for encoded in encoded_rows:
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    body = b"".join(parts)
+    return _RECORD_HEADER.pack(len(body), crc32(body)) + body
+
+
+def _decode_body(body: bytes) -> WALRecord:
+    lsn, name_len = _BODY_PREFIX.unpack_from(body, 0)
+    pos = _BODY_PREFIX.size
+    table = body[pos:pos + name_len].decode("utf-8")
+    pos += name_len
+    (nrows,) = _U32.unpack_from(body, pos)
+    pos += _U32.size
+    rows: list[tuple] = []
+    for _ in range(nrows):
+        (row_len,) = _U32.unpack_from(body, pos)
+        pos += _U32.size
+        rows.append(tuple(decode_key(body[pos:pos + row_len])))
+        pos += row_len
+    if pos != len(body):
+        raise WALError("corrupt WAL record: trailing bytes inside body")
+    return WALRecord(lsn=lsn, table=table, rows=rows)
+
+
+def read_records(path: str | pathlib.Path) -> tuple[list[WALRecord], int]:
+    """Read every complete record; returns ``(records, valid_size)``.
+
+    ``valid_size`` is the byte offset of the last complete record's end —
+    a torn tail past it is reported by stopping, never by raising.  A
+    missing file reads as empty.  CRC mismatches and non-monotone LSNs on
+    *complete* records raise :class:`WALError`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], 0
+    data = path.read_bytes()
+    if len(data) < HEADER_SIZE:
+        # The file died mid-header — nothing was ever fully logged.
+        return [], 0
+    if data[:HEADER_SIZE] != MAGIC:
+        raise WALError(f"bad WAL magic in {path}")
+    records: list[WALRecord] = []
+    pos = HEADER_SIZE
+    last_lsn = 0
+    while pos < len(data):
+        if pos + _RECORD_HEADER.size > len(data):
+            break  # torn record header
+        body_len, crc = _RECORD_HEADER.unpack_from(data, pos)
+        body_start = pos + _RECORD_HEADER.size
+        if body_start + body_len > len(data):
+            break  # torn record body
+        body = data[body_start:body_start + body_len]
+        if crc32(body) != crc:
+            raise WALError(
+                f"WAL CRC mismatch at byte {pos} of {path} "
+                f"(complete record, so this is corruption, not a crash)"
+            )
+        record = _decode_body(body)
+        if record.lsn <= last_lsn:
+            raise WALError(
+                f"non-monotone WAL LSN {record.lsn} after {last_lsn}"
+            )
+        last_lsn = record.lsn
+        records.append(record)
+        pos = body_start + body_len
+    return records, pos
+
+
+class WriteAheadLog:
+    """Appender over one WAL file.
+
+    ``sync=True`` fsyncs after every append (the ``wal_sync`` flag);
+    off, durability extends only to the OS page cache — the right
+    trade-off for CI and benchmarks.
+    """
+
+    def __init__(self, path: str | pathlib.Path, sync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.sync = bool(sync)
+        self._last_lsn = 0
+        self._file = None
+
+    @classmethod
+    def open(cls, path: str | pathlib.Path, sync: bool = False) -> "WriteAheadLog":
+        """Open (or create) a log for appending.
+
+        Scans any existing file, truncates a torn tail off the end, and
+        resumes LSNs after the last complete record.
+        """
+        wal = cls(path, sync=sync)
+        records, valid_size = read_records(wal.path)
+        wal._last_lsn = records[-1].lsn if records else 0
+        fresh = valid_size == 0
+        wal._file = open(wal.path, "ab" if not fresh else "wb")
+        if fresh:
+            wal._file.write(MAGIC)
+            wal._file.flush()
+        elif wal.path.stat().st_size > valid_size:
+            wal._file.truncate(valid_size)
+        return wal
+
+    @property
+    def last_lsn(self) -> int:
+        return self._last_lsn
+
+    def ensure_lsn_at_least(self, lsn: int) -> None:
+        """Raise the LSN floor so future appends stay above ``lsn``.
+
+        Recovery calls this with the checkpoint's LSN: if the log itself
+        was lost (truncated below its header), freshly appended records
+        must not restart below the checkpoint horizon, or a later
+        recovery would skip them as already covered.
+        """
+        self._last_lsn = max(self._last_lsn, int(lsn))
+
+    def append(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Log one delta batch; returns the record's LSN."""
+        if self._file is None:
+            raise WALError("write-ahead log is closed")
+        lsn = self._last_lsn + 1
+        self._file.write(encode_record(lsn, table, rows))
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self._last_lsn = lsn
+        return lsn
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None

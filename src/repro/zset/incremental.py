@@ -30,7 +30,7 @@ from zlib import crc32
 import numpy as np
 
 from repro.storage.art import ARTIndex
-from repro.storage.keys import encode_key
+from repro.storage.keys import decode_key, encode_key
 from repro.zset.batch import ZSetBatch
 from repro.zset.zset import ZSet
 
@@ -123,6 +123,11 @@ class GroupLivenessState:
         """Seed the counters with ``(key, count)`` pairs."""
         self._counts = {key: int(count) for key, count in entries}
 
+    def dump(self) -> list[tuple[tuple, int]]:
+        """Checkpoint image: every ``(key, count)`` pair.  ``load`` of a
+        dump reproduces the state exactly."""
+        return list(self._counts.items())
+
     def apply(
         self, keys: Sequence[tuple], nets: Sequence[int]
     ) -> list[tuple]:
@@ -184,6 +189,23 @@ class GroupExtremaState:
         self._art = ARTIndex()
         for key, value, count in entries:
             self.apply([key], [value], [count])
+
+    def dump(self) -> list[tuple[tuple, object, int]]:
+        """Checkpoint image: ``(group_key, value, count)`` triples in
+        (group, value) key order.  Group keys are rebuilt through
+        :func:`~repro.storage.keys.decode_key`, so their numbers come
+        back as floats — encoding-equivalent to the originals (the state
+        addresses groups by encoded bytes), and ``load`` of a dump
+        answers every ``extremum`` query identically.  Values keep their
+        original objects: the inner cells store them verbatim."""
+        out: list[tuple[tuple, object, int]] = []
+        for group_encoded, payloads in self._art.items():
+            key = tuple(decode_key(group_encoded))
+            bucket: ARTIndex = payloads[0]
+            for _, cells in bucket.items():
+                value, count = cells[0]
+                out.append((key, value, count))
+        return out
 
     def apply(self, keys: Sequence[tuple], values: Sequence, nets) -> None:
         """Integrate one refresh round's per-(group, value) count deltas.
@@ -312,17 +334,40 @@ class _SideIndex:
     def bulk_load(self, rows: Iterable[tuple]) -> None:
         """Initial build from base rows (weight +1 each), via the chunked
         ART construction path used for CREATE-time index builds."""
+        self.load_weighted((row, 1) for row in rows)
+
+    def load_weighted(self, entries: Iterable[tuple[tuple, int]]) -> None:
+        """Build from ``(row, weight)`` pairs (the checkpoint image
+        shape); zero-weight survivors are dropped like ``integrate``
+        would."""
         buckets: dict[tuple, dict[tuple, int]] = {}
-        for row in rows:
+        for row, weight in entries:
             key = self.key_of(row)
             if any(v is None for v in key):
                 continue
             bucket = buckets.setdefault(key, {})
-            bucket[row] = bucket.get(row, 0) + 1
-        self._row_count = sum(len(b) for b in buckets.values())
-        entries = [(encode_key(key), bucket) for key, bucket in buckets.items()]
-        entries.sort(key=lambda kv: kv[0])
-        self._art = ARTIndex.build_chunked(entries)
+            new_weight = bucket.get(row, 0) + int(weight)
+            if new_weight == 0:
+                bucket.pop(row, None)
+            else:
+                bucket[row] = new_weight
+        built = [
+            (encode_key(key), bucket)
+            for key, bucket in buckets.items()
+            if bucket
+        ]
+        self._row_count = sum(len(b) for _, b in built)
+        built.sort(key=lambda kv: kv[0])
+        self._art = ARTIndex.build_chunked(built)
+
+    def dump(self) -> list[tuple[tuple, int]]:
+        """Checkpoint image: every stored ``(row, weight)`` pair, in key
+        order.  ``load_weighted`` of a dump reproduces the state."""
+        out: list[tuple[tuple, int]] = []
+        for _, payloads in self._art.items():
+            for row, weight in payloads[0].items():
+                out.append((row, weight))
+        return out
 
 
 class IndexedJoinState:
@@ -368,6 +413,23 @@ class IndexedJoinState:
 
     def load_right(self, rows: Iterable[tuple]) -> None:
         self._right.bulk_load(rows)
+
+    def dump(self) -> list[tuple[int, tuple, int]]:
+        """Checkpoint image: ``(side, row, weight)`` triples (side 0 is
+        left, 1 is right).  ``load_dump`` reproduces the state."""
+        return [
+            (side, row, weight)
+            for side, index in ((0, self._left), (1, self._right))
+            for row, weight in index.dump()
+        ]
+
+    def load_dump(self, entries: Iterable[tuple[int, tuple, int]]) -> None:
+        """Rebuild both sides from a :meth:`dump` image."""
+        sides: tuple[list, list] = ([], [])
+        for side, row, weight in entries:
+            sides[side].append((row, weight))
+        self._left.load_weighted(sides[0])
+        self._right.load_weighted(sides[1])
 
     def rewind(self, delta_left: ZSetBatch, delta_right: ZSetBatch) -> None:
         """Back the state out of deltas that are already *in* the loaded
@@ -523,6 +585,35 @@ class ShardedJoinState:
 
     def load_right(self, rows: Iterable[tuple]) -> None:
         self._load(rows, self._rights, self._right_key)
+
+    def dump(self) -> list[tuple[int, tuple, int]]:
+        """Checkpoint image in the :meth:`IndexedJoinState.dump` shape —
+        shard structure is not serialized; ``load_dump`` re-routes."""
+        return [
+            (side, row, weight)
+            for side, indexes in ((0, self._lefts), (1, self._rights))
+            for index in indexes
+            for row, weight in index.dump()
+        ]
+
+    def load_dump(self, entries: Iterable[tuple[int, tuple, int]]) -> None:
+        """Rebuild from a dump image (sharded or unsharded origin),
+        routing every row to its key's shard."""
+        parts: tuple[list[list], list[list]] = (
+            [[] for _ in range(self.shard_count)],
+            [[] for _ in range(self.shard_count)],
+        )
+        ordinals = (self._left_key, self._right_key)
+        for side, row, weight in entries:
+            key = tuple(row[i] for i in ordinals[side])
+            if any(v is None for v in key):
+                continue
+            shard = shard_of(encode_key(key), self.shard_count)
+            parts[side][shard].append((row, weight))
+        for index, part in zip(self._lefts, parts[0]):
+            index.load_weighted(part)
+        for index, part in zip(self._rights, parts[1]):
+            index.load_weighted(part)
 
     def rewind(self, delta_left: ZSetBatch, delta_right: ZSetBatch) -> None:
         for side, groups in zip(self._lefts, self.route_left(-delta_left)):
@@ -701,6 +792,10 @@ class ShardedLivenessState:
         for shard, bucket in zip(self._shards, buckets):
             shard.load(bucket)
 
+    def dump(self) -> list[tuple[tuple, int]]:
+        """Flattened checkpoint image; ``load`` re-routes by shard."""
+        return [pair for shard in self._shards for pair in shard.dump()]
+
     def route(
         self, keys: Sequence[tuple], nets: Sequence[int]
     ) -> list[tuple[list[tuple], list[int]]]:
@@ -756,6 +851,10 @@ class ShardedExtremaState:
             buckets[self.shard_of_key(key)].append((key, value, count))
         for shard, bucket in zip(self._shards, buckets):
             shard.load(bucket)
+
+    def dump(self) -> list[tuple[tuple, object, int]]:
+        """Flattened checkpoint image; ``load`` re-routes by shard."""
+        return [triple for shard in self._shards for triple in shard.dump()]
 
     def route(
         self, keys: Sequence[tuple], values: Sequence, nets: Sequence[int]

@@ -80,6 +80,7 @@ def test_pipeline_trajectory_artifact(tmp_path):
         path=target, orders=200, delta_rows=10, rounds=2,
         minmax_rounds=2, ingestion_rows=(50,), ablation_rounds=2,
         sharding_orders=200, sharding_delta_rows=10, sharding_rounds=2,
+        durability_rows=40, durability_batches=2,
     )
     on_disk = json.loads(target.read_text())
     assert on_disk == data
@@ -124,6 +125,11 @@ def test_pipeline_trajectory_artifact(tmp_path):
         assert len(cfg["refresh_seconds"]) == 2
         assert cfg["refresh_stats"]["refreshes"] > 0
     assert shard["speedup_4_shards_vs_1"] > 0
+    durability = data["durability"]
+    assert durability["workload"]["wal_sync"] is False
+    for section in ("wal_append", "recovery_replay"):
+        assert durability[section]["rows"] == 80
+        assert durability[section]["rows_per_second"] > 0
 
 
 def test_union_and_expr_ablations_stay_correct_at_tiny_scale():
@@ -165,6 +171,17 @@ def test_minmax_bench_stays_correct_at_tiny_scale():
     assert set(data["configs"]) == {"sql_rescan", "native_rescan"}
     for cfg in data["configs"].values():
         assert len(cfg["refresh_seconds"]) == 2
+
+
+def test_durability_bench_stays_correct_at_tiny_scale():
+    """The durability collector verifies the recovered view against a
+    recompute internally and reports positive throughput both ways."""
+    data = bench_join.collect_durability_benchmark(
+        rows_per_batch=30, batches=2, repeats=1
+    )
+    assert data["wal_append"]["rows_per_second"] > 0
+    assert data["recovery_replay"]["rows_per_second"] > 0
+    assert data["wal_append"]["rows"] == 60
 
 
 def test_regression_gate_baseline_is_well_formed():

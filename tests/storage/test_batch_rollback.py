@@ -1,0 +1,164 @@
+"""Batch-write atomicity: a constraint failure anywhere inside
+``insert_batch`` / ``upsert_batch`` must leave the table byte-for-byte
+as it was — row list (including free-listed ``None`` slots), free list,
+live count, and every ART index.  Also covers the refresh-snapshot
+abort path, which restores the same invariants after a failed refresh
+mutated a pinned table."""
+
+import pytest
+
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import INTEGER, VARCHAR
+from repro.errors import ConstraintError
+from repro.storage.table import Table
+
+
+def make_table(not_null_v: bool = False) -> Table:
+    schema = TableSchema(
+        "t",
+        [
+            Column("k", INTEGER),
+            Column("s", VARCHAR),
+            Column("v", INTEGER, not_null=not_null_v),
+        ],
+        primary_key=["k"],
+    )
+    table = Table(schema)
+    table.add_index("sec_v", [2], unique=True)
+    return table
+
+
+def fingerprint(table: Table) -> tuple:
+    """Exact physical state: rows (with holes), free list, live count,
+    and every index's full (key, row_ids) listing."""
+    return (
+        list(table._rows),
+        list(table._free_slots),
+        table._live_count,
+        {
+            name: [
+                (key, list(values)) for key, values in index.items()
+            ]
+            for name, (_, index) in table._indexes.items()
+        },
+    )
+
+
+def seeded_table(**kwargs) -> Table:
+    table = make_table(**kwargs)
+    table.insert_batch([(1, "a", 10), (2, "b", 20), (3, "c", 30)])
+    # Leave a hole on the free list so the rollback has to undo both a
+    # reused slot and a tail extend.
+    table.delete_by_key([2])
+    assert table._free_slots
+    return table
+
+
+class TestInsertBatchRollback:
+    def test_secondary_unique_mid_batch(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        # Fresh primary keys (the __pk__ pass succeeds and must be
+        # undone), second row collides on the unique secondary index.
+        with pytest.raises(ConstraintError):
+            table.insert_batch([(8, "x", 99), (9, "y", 30)])
+        assert fingerprint(table) == before
+
+    def test_intra_batch_duplicate_on_secondary(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        with pytest.raises(ConstraintError):
+            table.insert_batch([(8, "x", 99), (9, "y", 99)])
+        assert fingerprint(table) == before
+
+    def test_primary_key_collision(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        with pytest.raises(ConstraintError):
+            table.insert_batch([(8, "x", 99), (1, "dup", 98)])
+        assert fingerprint(table) == before
+
+    def test_not_null_mid_batch(self):
+        table = seeded_table(not_null_v=True)
+        before = fingerprint(table)
+        with pytest.raises(ConstraintError):
+            table.insert_batch([(8, "x", 99), (9, "y", None)])
+        assert fingerprint(table) == before
+
+    def test_rollback_preserves_insert_capacity(self):
+        """After a rolled-back batch the table accepts the corrected
+        batch and lands in the same state as if the failure never
+        happened."""
+        table = seeded_table()
+        with pytest.raises(ConstraintError):
+            table.insert_batch([(8, "x", 99), (9, "y", 30)])
+        table.insert_batch([(8, "x", 99), (9, "y", 31)])
+        want = seeded_table()
+        want.insert_batch([(8, "x", 99), (9, "y", 31)])
+        assert fingerprint(table) == fingerprint(want)
+
+
+class TestUpsertBatchRollback:
+    def test_replaced_rows_restored_on_secondary_collision(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        # Row 1 is replaced (deleted) first; the insert half then dies
+        # because v=31 collides with... nothing — but v=30 (row 3) does.
+        with pytest.raises(ConstraintError):
+            table.upsert_batch([(1, "a2", 40), (4, "d", 30)])
+        assert fingerprint(table) == before
+
+    def test_replaced_rows_restored_on_not_null(self):
+        table = seeded_table(not_null_v=True)
+        before = fingerprint(table)
+        with pytest.raises(ConstraintError):
+            table.upsert_batch([(1, "a2", 40), (4, "d", None)])
+        assert fingerprint(table) == before
+
+    def test_successful_upsert_after_rollback(self):
+        table = seeded_table()
+        with pytest.raises(ConstraintError):
+            table.upsert_batch([(1, "a2", 40), (4, "d", 30)])
+        table.upsert_batch([(1, "a2", 40), (4, "d", 44)])
+        rows = sorted(table.scan())
+        assert rows == [(1, "a2", 40), (3, "c", 30), (4, "d", 44)]
+
+
+class TestSnapshotAbort:
+    def test_abort_restores_rows_free_list_and_live_count(self):
+        table = seeded_table()
+        before_rows = list(table._rows)
+        before_free = list(table._free_slots)
+        before_live = table._live_count
+        table.begin_refresh_snapshot()
+        # Mutations during the pinned refresh: fill the hole, extend the
+        # tail, delete a pre-existing row.
+        table.insert_batch([(8, "x", 99), (9, "y", 98)])
+        table.delete_by_key([3])
+        table.abort_refresh_snapshot()
+        assert table._snapshot_pinned is False
+        assert list(table._rows) == before_rows
+        assert list(table._free_slots) == before_free
+        assert table._live_count == before_live
+        assert sorted(table.scan()) == [(1, "a", 10), (3, "c", 30)]
+
+    def test_abort_without_mutation_is_noop(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        table.begin_refresh_snapshot()
+        table.abort_refresh_snapshot()
+        assert fingerprint(table) == before
+
+    def test_abort_is_idempotent_and_unpinned_abort_safe(self):
+        table = seeded_table()
+        before = fingerprint(table)
+        table.abort_refresh_snapshot()  # never pinned
+        table.begin_refresh_snapshot()
+        table.insert((8, "x", 99))
+        table.abort_refresh_snapshot()
+        table.abort_refresh_snapshot()  # second abort: no-op
+        assert (
+            list(table._rows),
+            list(table._free_slots),
+            table._live_count,
+        ) == (before[0], before[1], before[2])

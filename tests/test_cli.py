@@ -98,3 +98,38 @@ class TestBench:
         out = capsys.readouterr().out
         assert "incremental refresh" in out
         assert "full recomputation" in out
+
+
+class TestRecover:
+    def _build_durable(self, directory):
+        from repro import CompilerFlags, Connection, load_ivm
+
+        con = Connection()
+        load_ivm(
+            con,
+            flags=CompilerFlags(durability=True),
+            durability_dir=directory,
+        )
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+            "FROM t GROUP BY g"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2), ('a', 3)")
+
+    def test_recover_verify(self, tmp_path, capsys):
+        self._build_durable(tmp_path)
+        assert main(["recover", "--dir", str(tmp_path), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "q" in out
+        assert "ok" in out
+        assert "MISMATCH" not in out
+
+    def test_recover_without_verify(self, tmp_path, capsys):
+        self._build_durable(tmp_path)
+        assert main(["recover", "--dir", str(tmp_path)]) == 0
+        assert "recovered" in capsys.readouterr().out
+
+    def test_recover_missing_dir_fails(self, tmp_path, capsys):
+        assert main(["recover", "--dir", str(tmp_path / "nope")]) == 2
+        assert "not a directory" in capsys.readouterr().err
