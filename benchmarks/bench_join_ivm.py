@@ -79,11 +79,17 @@ MINMAX_RECOMPUTE = (
     "GROUP BY o.cust_id"
 )
 
-# name -> CompilerFlags overrides, in increasing nativeness.
+# name -> CompilerFlags overrides, in increasing nativeness.  The
+# "adaptive" config in each ablation family runs the cost-based planner
+# (core/adaptive.py) instead of a static plan; it gets 3x the rounds so
+# the initial arm round-robin is amortized, and its entry additionally
+# records the RefreshStats decision log.  The emitted artifact's
+# top-level "adaptive" section summarizes it against the static configs.
 PIPELINE_CONFIGS = [
     ("sql", dict(batch_kernels=False)),
     ("step1_native", dict(batch_kernels=True, native_steps=(1,))),
     ("full_native", dict(batch_kernels=True)),
+    ("adaptive", dict(batch_kernels=True, adaptive=True)),
 ]
 
 # Step-2b ablation: full native pipeline either way, with MIN/MAX
@@ -91,6 +97,7 @@ PIPELINE_CONFIGS = [
 MINMAX_CONFIGS = [
     ("sql_rescan", dict(native_minmax_rescan=False)),
     ("native_rescan", dict()),
+    ("adaptive", dict(adaptive=True)),
 ]
 
 # UNION-regroup step-2 ablation: the per-customer join view under the
@@ -116,6 +123,9 @@ UNION_CONFIGS = [
     ("native_regroup", dict(
         strategy=MaterializationStrategy.UNION_REGROUP,
     )),
+    ("adaptive", dict(
+        strategy=MaterializationStrategy.UNION_REGROUP, adaptive=True,
+    )),
 ]
 
 # Expression-keyed ablation: computed key + computed aggregate argument
@@ -134,6 +144,7 @@ EXPR_RECOMPUTE = (
 EXPR_CONFIGS = [
     ("sql_step1", dict(native_expr_eval=False)),
     ("native_expr", dict()),
+    ("adaptive", dict(adaptive=True)),
 ]
 
 # Sharding ablation: the per-customer join view refreshed through the
@@ -147,11 +158,19 @@ SHARDING_CONFIGS = [
     ("shards1", dict()),
     ("shards2", dict(shard_count=2, parallel_refresh=True)),
     ("shards4", dict(shard_count=4, parallel_refresh=True)),
+    ("adaptive", dict(shard_count=4, parallel_refresh=True, adaptive=True)),
 ]
 
 BENCH_PIPELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / (
     "BENCH_pipeline.json"
 )
+
+
+def _config_rounds(overrides: dict, rounds: int) -> int:
+    """Adaptive configs run 3x the rounds: the planner's initial
+    round-robin visits every arm once before feedback converges, and
+    best-of timing should reflect the converged regime."""
+    return rounds * 3 if overrides.get("adaptive") else rounds
 
 
 def _build(
@@ -304,7 +323,7 @@ def collect_pipeline_trajectory(
         all_steps = ["step1", "step2", "step3", "step4"]
         oid = workload.next_order_id()
         timings = []
-        for _ in range(rounds):
+        for _ in range(_config_rounds(overrides, rounds)):
             _apply_delta(con, workload, oid, delta_rows)
             oid += delta_rows
             elapsed, _ = time_call(lambda: ext.refresh("rev_cust"))
@@ -315,6 +334,10 @@ def collect_pipeline_trajectory(
             "refresh_seconds": timings,
             "best_seconds": min(timings),
         }
+        if overrides.get("adaptive"):
+            result["configs"][name]["refresh_stats"] = ext.refresh_stats(
+                "rev_cust"
+            )
     best = {name: cfg["best_seconds"] for name, cfg in result["configs"].items()}
     result["speedup_full_native_vs_sql"] = best["sql"] / best["full_native"]
     result["speedup_full_native_vs_step1_only"] = (
@@ -376,7 +399,7 @@ def collect_minmax_trajectory(
         push_round(0)
         ext.refresh("px")  # absorb the seed round outside the timing
         timings = []
-        for round_index in range(1, rounds + 1):
+        for round_index in range(1, _config_rounds(overrides, rounds) + 1):
             push_round(round_index)
             elapsed, _ = time_call(lambda: ext.refresh("px"))
             timings.append(elapsed)
@@ -388,6 +411,8 @@ def collect_minmax_trajectory(
             "refresh_seconds": timings,
             "best_seconds": min(timings),
         }
+        if overrides.get("adaptive"):
+            result["configs"][name]["refresh_stats"] = ext.refresh_stats("px")
     best = {name: cfg["best_seconds"] for name, cfg in result["configs"].items()}
     result["speedup_native_rescan_vs_sql_rescan"] = (
         best["sql_rescan"] / best["native_rescan"]
@@ -426,7 +451,7 @@ def _collect_refresh_ablation(
         status = ext.status()[0]
         oid = workload.next_order_id()
         timings = []
-        for _ in range(rounds):
+        for _ in range(_config_rounds(overrides, rounds)):
             _apply_delta(con, workload, oid, delta_rows)
             oid += delta_rows
             elapsed, _ = time_call(lambda: ext.refresh(view_name))
@@ -439,6 +464,10 @@ def _collect_refresh_ablation(
             "refresh_seconds": timings,
             "best_seconds": min(timings),
         }
+        if overrides.get("adaptive"):
+            result["configs"][name]["refresh_stats"] = ext.refresh_stats(
+                view_name
+            )
     return result
 
 
@@ -516,8 +545,14 @@ def collect_sharding_trajectory(
         "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
         "GROUP BY o.cust_id"
     )
-    total_rounds = rounds + warmup_rounds
-    keys = zipf_group_keys(delta_rows * total_rounds, 200, skew, 77)
+    # Key schedule sized for the longest config (adaptive runs 3x the
+    # rounds); every config replays the same prefix of it.
+    max_rounds = max(
+        _config_rounds(overrides, rounds) for _, overrides in SHARDING_CONFIGS
+    )
+    keys = zipf_group_keys(
+        delta_rows * (max_rounds + warmup_rounds), 200, skew, 77
+    )
     for name, overrides in SHARDING_CONFIGS:
         con, ext, workload = _build(
             orders=orders, view=VIEW_BY_CUSTOMER, bulk_ingest=True,
@@ -529,6 +564,7 @@ def collect_sharding_trajectory(
         oid = workload.next_order_id()
         key_index = 0
         timings = []
+        total_rounds = _config_rounds(overrides, rounds) + warmup_rounds
         for round_index in range(total_rounds):
             rows = []
             for _ in range(delta_rows):
@@ -716,6 +752,51 @@ def collect_durability_benchmark(
     }
 
 
+def summarize_adaptive(data: dict) -> dict:
+    """Derive the artifact's top-level ``adaptive`` section.
+
+    Per ablation family: the best and worst *static* config, the
+    adaptive config's converged best, the normalized ``vs_best_ratio``
+    (adaptive / static best — the planner's goal is ~1.0), whether it
+    beat the worst static plan (the floor a wrong static flag choice
+    pays), and the planner's decision log summary.
+    """
+    families = {
+        "pipeline": data["configs"],
+        "minmax": data["minmax"]["configs"],
+        "union_regroup": data["union_regroup"]["configs"],
+        "expr_keyed": data["expr_keyed"]["configs"],
+        "sharding": data["sharding"]["configs"],
+    }
+    summary: dict = {}
+    for family, configs in families.items():
+        adaptive = configs.get("adaptive")
+        if adaptive is None:
+            continue
+        static = {
+            name: cfg["best_seconds"]
+            for name, cfg in configs.items()
+            if name != "adaptive"
+        }
+        best_name = min(static, key=static.get)
+        worst_name = max(static, key=static.get)
+        stats = adaptive.get("refresh_stats") or {}
+        decisions = stats.get("decisions") or []
+        summary[family] = {
+            "static_best": best_name,
+            "static_best_seconds": static[best_name],
+            "static_worst": worst_name,
+            "static_worst_seconds": static[worst_name],
+            "adaptive_best_seconds": adaptive["best_seconds"],
+            "vs_best_ratio": adaptive["best_seconds"] / static[best_name],
+            "beats_worst": adaptive["best_seconds"] < static[worst_name],
+            "decisions": len(decisions),
+            "plan_switches": stats.get("plan_switches", 0),
+            "arms_seen": sorted({d["plan"]["arm"] for d in decisions}),
+        }
+    return summary
+
+
 def emit_pipeline_trajectory(
     path: "pathlib.Path | str | None" = None,
     orders: int = ORDERS,
@@ -732,12 +813,15 @@ def emit_pipeline_trajectory(
 ) -> dict:
     """Collect the trajectories and write ``BENCH_pipeline.json``.
 
-    The artifact carries seven sections: the per-step pipeline
+    The artifact carries eight sections: the per-step pipeline
     trajectory, the MIN/MAX step-2b ablation, the row-vs-batch ingestion
     comparison, the UNION-regroup step-2 ablation, the expression-keyed
     step-1 ablation, the sharding ablation at 1/2/4 shards on the skewed
-    100k-row config, and — since the durability milestone — WAL append
-    and recovery-replay throughput.
+    100k-row config, WAL append and recovery-replay throughput, and —
+    since the adaptive-planner milestone — the ``adaptive`` summary
+    comparing the planner's converged refresh against the best and worst
+    static config of every family (each family also carries its own
+    ``adaptive`` config with the full decision log).
     """
     data = collect_pipeline_trajectory(
         orders=orders, delta_rows=delta_rows, rounds=rounds
@@ -759,6 +843,7 @@ def emit_pipeline_trajectory(
     data["durability"] = collect_durability_benchmark(
         rows_per_batch=durability_rows, batches=durability_batches,
     )
+    data["adaptive"] = summarize_adaptive(data)
     target = pathlib.Path(path) if path is not None else BENCH_PIPELINE_PATH
     target.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
     return data
@@ -874,6 +959,32 @@ def test_pipeline_trajectory_shape(report_lines):
         "sharded refresh at 4 shards should be >= 2x the per-step pipeline "
         "on the skewed 100k-row config"
     )
+    adaptive = data["adaptive"]
+    for family, record in adaptive.items():
+        report_lines.append(
+            f"E6j adaptive {family:13s} "
+            f"vs-best={record['vs_best_ratio']:5.2f}x  "
+            f"static-best={record['static_best']}  "
+            f"switches={record['plan_switches']}"
+        )
+    # The planner's contract: converge near the best static plan of
+    # every family (1.25 leaves room for shared-runner noise on top of
+    # the 10% target checked when committing the artifact), and never
+    # get stuck on the worst one where the static gap is real (pipeline
+    # sql-vs-native and sharding 1-vs-4 are multi-x gaps; the expr
+    # family's gap is ~noise, so beats_worst is not meaningful there).
+    for family, record in adaptive.items():
+        assert record["vs_best_ratio"] <= 1.25, (
+            f"adaptive {family} converged {record['vs_best_ratio']:.2f}x "
+            "off the best static config (allowed 1.25x)"
+        )
+        assert record["decisions"] > 0 and record["arms_seen"], (
+            f"adaptive {family} recorded no planner decisions"
+        )
+    for family in ("pipeline", "sharding"):
+        assert adaptive[family]["beats_worst"], (
+            f"adaptive {family} failed to beat the worst static config"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -886,17 +997,22 @@ BENCH_BASELINE_PATH = pathlib.Path(__file__).resolve().parents[1] / (
 
 
 def measure_gate_metric(orders: int = ORDERS, delta_rows: int = 50,
-                        rounds: int = 5) -> dict:
+                        rounds: int = 5, **flag_overrides) -> dict:
     """The machine-normalized gate metric for the 15k-row join config.
 
     Raw refresh seconds vary wildly across runner hardware, so the gate
     compares the *ratio* of the best full-native refresh to the best full
     recompute of the same view on the same machine — dimensionless, and
-    exactly the quantity the native pipeline exists to shrink.
+    exactly the quantity the native pipeline exists to shrink.  Extra
+    flag overrides measure variants of the same config (the adaptive
+    gate passes ``adaptive=True`` and triples the rounds).
     """
     from repro.workloads import time_call
 
-    con, ext, workload = _build(orders=orders, view=VIEW_BY_CUSTOMER)
+    con, ext, workload = _build(
+        orders=orders, view=VIEW_BY_CUSTOMER, **flag_overrides
+    )
+    rounds = _config_rounds(flag_overrides, rounds)
     recompute_sql = (
         "SELECT o.cust_id, SUM(o.amount) AS revenue, COUNT(*) AS n "
         "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
@@ -936,5 +1052,23 @@ def test_bench_regression_gate(report_lines):
     )
     assert current["refresh_vs_recompute_ratio"] <= allowed, (
         "full-native refresh regressed >1.5x vs BENCH_baseline.json on the "
+        "15k-row join config"
+    )
+    # Same gate for the adaptive planner: its converged refresh must hold
+    # the committed normalized ratio within the same 1.5x regression band
+    # (a planner that dithers or picks slow arms trips this).
+    adaptive = measure_gate_metric(adaptive=True)
+    adaptive_allowed = (
+        baseline["join_15k_adaptive"]["refresh_vs_recompute_ratio"] * 1.5
+    )
+    report_lines.append(
+        f"E6f gate adaptive ratio="
+        f"{adaptive['refresh_vs_recompute_ratio']:6.3f} "
+        f"(baseline="
+        f"{baseline['join_15k_adaptive']['refresh_vs_recompute_ratio']:6.3f}, "
+        f"allowed<{adaptive_allowed:6.3f})"
+    )
+    assert adaptive["refresh_vs_recompute_ratio"] <= adaptive_allowed, (
+        "adaptive refresh regressed >1.5x vs BENCH_baseline.json on the "
         "15k-row join config"
     )

@@ -1,0 +1,439 @@
+"""Adaptive per-refresh plan selection (``CompilerFlags.adaptive``).
+
+Static flags pick one refresh plan forever; the benchmark ablations
+show different winners per workload (``BENCH_pipeline.json``).  This
+module picks the plan *per refresh round*, with the two-layer recipe of
+the SIGMOD'25 optimizer-prototyping tutorial: the analytic UES-style
+cost model of :mod:`repro.core.costmodel` ranks the candidate arms from
+cheap signals before anything has been observed, and BAO-style runtime
+feedback (an EWMA of observed wall seconds per arm) takes over as
+rounds accumulate, with epsilon-greedy exploration and a forced
+re-exploration burst when the signal regime shifts (e.g. the retraction
+rate spikes or the delta size changes by orders of magnitude).
+
+**What is an arm.**  Only *stateless* choices are switchable per round.
+The native step 1 owns the integrated join state, the step-2b extrema
+multisets and the counter-mode step 3 integrate source-level deltas
+every round — running any of those on SQL for one round would let their
+state go stale and corrupt later rounds, so they are never offered as
+alternatives.  What remains:
+
+* **step 2 kernel** — for views whose folds are all key/additive/AVG,
+  the upsert, union-regroup and outer-merge kernels are interchangeable
+  (they fold the same :func:`~repro.core.batched._column_folds` layout
+  per key), and the compiled SQL step 2 is a fourth form.  MIN/MAX
+  views keep their compiled upsert (+ step 2b) fixed.
+* **step 3** — with a *stored* liveness column the native test and the
+  SQL ``DELETE ... WHERE count <= 0`` are equivalent, so either runs.
+  Counter-mode step 3 is stateful (never switched); paper-mode scalar
+  views switch freely (both forms evaluate the same predicate).
+* **sharded views** — serial vs parallel shard execution
+  (:meth:`~repro.core.sharded.ShardedRefresh.set_parallel`); the
+  routing, folds and merge barrier are identical either way.
+
+Activation wiring: when an arm pairs a native step 2 with the SQL
+step 3, the step-2 → step-3 touched-key handoff is disconnected for the
+round (otherwise ``pending_keys`` would accumulate unboundedly on a
+step that never runs), and any keys a previous arm left behind on an
+excluded step are dropped.  Arms that exclude a native step simply omit
+it from the ``native_steps`` list handed to ``run_pipeline`` — the
+compiled SQL script is total, so the statement takes over.
+
+Determinism: each planner's RNG is seeded from
+``CompilerFlags.adaptive_seed`` and the view name, so a replayed
+workload makes the same decisions — the differential oracles rely on
+this only for debuggability; correctness holds for *any* decision
+sequence, which is exactly what they prove.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.costmodel import (
+    SIGNAL_FIELDS,
+    PlanShape,
+    RefreshSignals,
+    coefficients,
+    decision_margin,
+    plan_cost,
+    stability_epsilon,
+)
+
+
+@dataclass(frozen=True)
+class PlanArm:
+    """One executable plan candidate: its cost shape plus the native
+    steps that realize it (SQL fills every step the list omits)."""
+
+    arm_id: str
+    shape: PlanShape
+    steps: tuple  # NativeStep objects, possibly empty (pure SQL)
+    parallel: bool | None = None  # sharded arms only
+
+    def describe(self) -> dict:
+        """JSON-shaped decision record for RefreshStats.
+
+        Memoized — it is built per refresh round on the hot path, and
+        ``RefreshStats.record_decision`` copies it before storing.
+        """
+        cached = self.__dict__.get("_described")
+        if cached is None:
+            cached = {
+                "arm": self.arm_id,
+                "step2": self.shape.step2_kind,
+                "step3": self.shape.step3_kind,
+                "native_steps": sorted(step.name for step in self.steps),
+                "shard_count": self.shape.shard_count,
+                "parallel": self.parallel,
+            }
+            object.__setattr__(self, "_described", cached)
+        return cached
+
+
+@dataclass
+class PlanDecision:
+    """One round's choice, with everything the stats record needs."""
+
+    arm: PlanArm
+    signals: RefreshSignals
+    predicted_cost: float
+    margin: float  # absolute cost gap best vs runner-up
+    stability: float  # relative perturbation margin ε*
+    explored: bool  # True when not the greedy pick
+    regime_shift: bool  # True when this round triggered re-exploration
+
+
+def build_plan_arms(model, native_steps: list) -> list[PlanArm]:
+    """The switchable plan arms for one compiled view.
+
+    ``native_steps`` is the compiled pipeline (what the static flags
+    selected); its stateful steps are carried into every arm unchanged.
+    Always returns at least one arm (the as-compiled plan), so the
+    planner degenerates gracefully for shapes with nothing to switch.
+    """
+    steps: dict[str, Any] = {}
+    for step in native_steps:
+        steps.setdefault(step.name, step)
+
+    sharded = steps.get("sharded")
+    if sharded is not None:
+        base = dict(sharded=True, shard_count=sharded.shard_count)
+        return [
+            PlanArm(
+                arm_id="sharded=parallel",
+                shape=PlanShape(parallel=True, **base),
+                steps=(sharded,),
+                parallel=True,
+            ),
+            PlanArm(
+                arm_id="sharded=serial",
+                shape=PlanShape(parallel=False, **base),
+                steps=(sharded,),
+                parallel=False,
+            ),
+        ]
+
+    step1 = steps.get("step1")
+    step2 = steps.get("step2")
+    step2b = steps.get("step2b")
+    step3 = steps.get("step3")
+    step4 = steps.get("step4")
+
+    # Step-2 alternatives: the compiled kernel first, then the sibling
+    # kernels (same fold layout) and the SQL statement — only for
+    # MIN/MAX-free views; extremum folds exist in the upsert kernel
+    # alone, and its step-2b pairing must not be reshuffled.
+    step2_choices: list[tuple[str, Any]]
+    if step2 is None:
+        step2_choices = [("sql", None)]
+    else:
+        from repro.core.strategies import step2_kind
+
+        current = step2_kind(model.flags.strategy)
+        step2_choices = [(current, step2)]
+        if not model.minmax_columns():
+            from repro.core.batched import build_step2_variants
+
+            for kind, variant in build_step2_variants(model).items():
+                if kind == current:
+                    continue
+                variant.replaces = step2.replaces
+                step2_choices.append((kind, variant))
+            step2_choices.append(("sql", None))
+
+    # Step-3 alternatives: only the stored-liveness and paper-mode forms
+    # are stateless; counter-mode step 3 stays native in every arm.
+    if step3 is None:
+        step3_choices = [(None, None)]
+    elif step3.counters is not None:
+        step3_choices = [("native", step3)]
+    else:
+        step3_choices = [("native", step3), ("sql", None)]
+
+    arms: list[PlanArm] = []
+    for s2_kind, s2_obj in step2_choices:
+        for s3_kind, s3_obj in step3_choices:
+            chosen = tuple(
+                step
+                for step in (step1, s2_obj, step2b, s3_obj, step4)
+                if step is not None
+            )
+            arms.append(
+                PlanArm(
+                    arm_id=f"step2={s2_kind}|step3={s3_kind or 'sql-scan'}",
+                    shape=PlanShape(
+                        step1_native=step1 is not None,
+                        step2_kind=s2_kind,
+                        step2b_native=step2b is not None,
+                        step3_kind=s3_kind
+                        if s3_kind is not None or step3 is None
+                        else "sql",
+                        step4_native=step4 is not None,
+                    ),
+                    steps=chosen,
+                )
+            )
+    return arms
+
+
+class AdaptivePlanner:
+    """Epsilon-greedy arm selector over one view's plan arms.
+
+    ``choose`` ranks the arms with the analytic model, then picks:
+    first-time through, a model-ranked round-robin over every arm (each
+    gets one observation, and the model-best arm a second, warm one —
+    see :meth:`_robin`); afterwards the arm with the best score —
+    observed floor seconds where available, model cost scaled to the
+    observed regime otherwise — except for an ``epsilon`` fraction of
+    random exploration.  A change in the bucketed signal signature
+    (delta magnitude, retraction-rate band, skew band) restarts the
+    round-robin and forgets the observations: the old regime's timings
+    no longer describe the new one.
+    """
+
+    def __init__(
+        self,
+        arms: list[PlanArm],
+        all_steps: list | tuple = (),
+        *,
+        epsilon: float = 0.1,
+        seed: int = 0,
+        alpha: float = 0.4,
+    ) -> None:
+        if not arms:
+            raise ValueError("AdaptivePlanner needs at least one arm")
+        self.arms = list(arms)
+        self._by_id = {arm.arm_id: arm for arm in self.arms}
+        self._shapes = {arm.arm_id: arm.shape for arm in self.arms}
+        # Per-arm nonzero cost coefficients, precomputed: choose() ranks
+        # every round, and only the signals change between rounds.
+        self._coef = {
+            arm.arm_id: tuple(
+                (fieldname, weight)
+                for fieldname, weight in coefficients(arm.shape).items()
+                if weight > 0.0
+            )
+            for arm in self.arms
+        }
+        self._all_steps = list(all_steps)
+        self._epsilon = float(epsilon)
+        self._alpha = float(alpha)
+        self._rng = random.Random(seed)
+        self._runtime: dict[str, float] = {}  # arm -> EWMA wall seconds
+        self._floor: dict[str, float] = {}  # arm -> best observed seconds
+        self._observations: dict[str, int] = {}
+        self._explore_queue: list[str] | None = None
+        self._signature_seen: tuple | None = None
+        self.regime_shifts = 0
+
+    # -- selection ----------------------------------------------------------
+
+    def choose(self, signals: RefreshSignals) -> PlanDecision:
+        ranked = self._rank(signals)
+        costs = dict(ranked)
+        signature = self._signature(signals)
+        regime_shift = (
+            self._signature_seen is not None
+            and signature != self._signature_seen
+            and len(self.arms) > 1
+        )
+        if regime_shift:
+            self.regime_shifts += 1
+            self._explore_queue = self._robin(ranked)
+            self._runtime.clear()
+            self._floor.clear()
+            self._observations.clear()
+        self._signature_seen = signature
+
+        explored = False
+        if self._explore_queue is None:
+            # First round ever: seed the round-robin with the model's
+            # ranking, so the presumed-best arm runs first.
+            self._explore_queue = self._robin(ranked)
+        if self._explore_queue:
+            arm_id = self._explore_queue.pop(0)
+            explored = arm_id != ranked[0][0]
+        elif len(self.arms) > 1 and self._rng.random() < self._epsilon:
+            arm_id = self.arms[self._rng.randrange(len(self.arms))].arm_id
+            explored = True
+        else:
+            arm_id = self._exploit(ranked)
+        return PlanDecision(
+            arm=self._by_id[arm_id],
+            signals=signals,
+            predicted_cost=costs[arm_id],
+            margin=decision_margin(ranked),
+            stability=stability_epsilon(ranked),
+            explored=explored,
+            regime_shift=regime_shift,
+        )
+
+    def _rank(self, signals: RefreshSignals) -> list[tuple[str, float]]:
+        """:func:`~repro.core.costmodel.rank_plans` over the precomputed
+        nonzero coefficients — same ordering, no per-round dict builds."""
+        values = {f: signals.value(f) for f in SIGNAL_FIELDS}
+        ranked = [
+            (
+                arm_id,
+                sum(weight * values[f] for f, weight in coef),
+            )
+            for arm_id, coef in self._coef.items()
+        ]
+        ranked.sort(key=lambda item: (item[1], item[0]))
+        return ranked
+
+    @staticmethod
+    def _robin(ranked: list[tuple[str, float]]) -> list[str]:
+        """The exploration round-robin: every arm once in model-ranked
+        order, then the model-best arm once more.  The first sample of a
+        fresh regime lands on a cold system (unwarmed caches, first ART
+        descents), and it lands on the presumed-best arm — without the
+        repeat, that arm's floor carries a systematic cold-start penalty
+        and feedback steers away from exactly the arm the model likes."""
+        queue = [arm_id for arm_id, _ in ranked]
+        if len(queue) > 1:
+            queue.append(queue[0])
+        return queue
+
+    def _exploit(self, ranked: list[tuple[str, float]]) -> str:
+        """Best arm by observed floor seconds; unobserved arms compete
+        with their model cost rescaled to the observed cost/seconds
+        regime (median ratio), so one good-looking stranger can still
+        win.  The floor (best observed), not the EWMA, is the score:
+        refresh-time noise is one-sided — GC pauses and cache misses
+        only ever inflate a sample — so an arm's floor estimates its
+        achievable cost and one slow outlier cannot bury a good arm."""
+        if not self._floor:
+            return ranked[0][0]
+        costs = dict(ranked)
+        ratios = sorted(
+            seconds / costs[arm_id]
+            for arm_id, seconds in self._floor.items()
+            if costs[arm_id] > 0.0
+        )
+        scale = ratios[len(ratios) // 2] if ratios else 1.0
+
+        def score(arm_id: str, cost: float) -> float:
+            seconds = self._floor.get(arm_id)
+            return seconds if seconds is not None else cost * scale
+
+        return min(
+            ranked, key=lambda item: (score(item[0], item[1]), item[0])
+        )[0]
+
+    # -- feedback -----------------------------------------------------------
+
+    def observe(self, decision: PlanDecision, wall_seconds: float) -> None:
+        """Fold one observed refresh wall time into the chosen arm: the
+        floor drives exploitation, the EWMA is kept for introspection
+        and regime diagnostics."""
+        arm_id = decision.arm.arm_id
+        seconds = float(wall_seconds)
+        previous = self._runtime.get(arm_id)
+        self._runtime[arm_id] = (
+            seconds
+            if previous is None
+            else (1.0 - self._alpha) * previous + self._alpha * seconds
+        )
+        best = self._floor.get(arm_id)
+        self._floor[arm_id] = seconds if best is None else min(best, seconds)
+        self._observations[arm_id] = self._observations.get(arm_id, 0) + 1
+
+    # -- activation ---------------------------------------------------------
+
+    def activate(self, decision: PlanDecision) -> list:
+        """Wire the chosen arm and return its native-step list for
+        ``run_pipeline``."""
+        arm = decision.arm
+        step2 = step3 = None
+        for step in arm.steps:
+            if step.name == "sharded" and arm.parallel is not None:
+                step.set_parallel(arm.parallel)
+            elif step.name == "step2":
+                step2 = step
+            elif step.name == "step3":
+                step3 = step
+        if step2 is not None and hasattr(step2, "liveness_step"):
+            # Hand touched keys to the native step 3 only when this arm
+            # actually runs it (and it tests a stored liveness column).
+            step2.liveness_step = (
+                step3
+                if step3 is not None
+                and getattr(step3, "liveness_ordinal", None) is not None
+                else None
+            )
+        # Steps this arm benches must not keep keys an earlier arm's
+        # step 2 handed them — they would be tested twice next time.
+        chosen = {id(step) for step in arm.steps}
+        for step in self._all_steps:
+            if id(step) in chosen:
+                continue
+            pending_keys = getattr(step, "pending_keys", None)
+            if isinstance(pending_keys, list):
+                pending_keys.clear()
+        return list(arm.steps)
+
+    # -- regime detection ---------------------------------------------------
+
+    @staticmethod
+    def _signature(signals: RefreshSignals) -> tuple:
+        """Bucketed signal signature; a change re-triggers exploration.
+
+        Buckets are deliberately coarse (order-of-magnitude delta size,
+        three retraction-rate bands, one skew threshold) so ordinary
+        round-to-round jitter never thrashes the learned state.
+        """
+        delta = int(signals.delta_rows)
+        retraction = int(signals.retraction_rows)
+        if retraction == 0:
+            retraction_band = 0
+        elif retraction * 4 <= max(delta, 1):
+            retraction_band = 1
+        else:
+            retraction_band = 2
+        return (
+            delta.bit_length() // 2,
+            int(signals.view_rows).bit_length() // 3,
+            retraction_band,
+            1 if signals.shard_skew > 2.0 else 0,
+        )
+
+
+def planner_seed(base_seed: int, view_name: str) -> int:
+    """Deterministic per-view RNG seed (process-salt-free)."""
+    from zlib import crc32
+
+    return int(base_seed) ^ crc32(view_name.lower().encode("utf-8"))
+
+
+__all__ = [
+    "AdaptivePlanner",
+    "PlanArm",
+    "PlanDecision",
+    "build_plan_arms",
+    "plan_cost",
+    "planner_seed",
+]

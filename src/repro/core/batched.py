@@ -1210,6 +1210,26 @@ def build_native_steps(
     return steps
 
 
+def build_step2_variants(model: MVModel) -> dict:
+    """Every interchangeable native step-2 kernel for ``model``, keyed by
+    kind ("native-upsert" / "native-regroup" / "native-outer").
+
+    The adaptive planner (:mod:`repro.core.adaptive`) offers these as
+    per-refresh alternatives: all three fold the identical
+    :func:`_column_folds` layout per key, so for key/additive/AVG views
+    they produce byte-identical stored rows and can be swapped round by
+    round.  MIN/MAX views get the upsert form alone — extremum folds
+    and the step-2b retraction pairing exist only there.
+    """
+    if model.minmax_columns():
+        return {"native-upsert": _build_upsert_step(model)}
+    return {
+        "native-upsert": _build_upsert_step(model),
+        "native-regroup": _build_regroup_step(model),
+        "native-outer": _build_outer_merge_step(model),
+    }
+
+
 def _column_folds(model: MVModel) -> tuple[list, list]:
     """(key positions in the ΔV row, per-mv-column fold specs) — the
     shared layout every native step-2 variant folds ΔV with."""

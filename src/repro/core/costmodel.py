@@ -1,0 +1,253 @@
+"""Analytic per-refresh cost model: UES-style upper bounds per step.
+
+The adaptive planner (:mod:`repro.core.adaptive`) must rank candidate
+refresh plans *before* running them, from statistics that cost O(1) to
+collect.  Following the UES recipe (Hertzschuch et al., CIDR'21 — simple
+upper bounds beat mis-estimated exact models), each plan's predicted
+cost is a **positive linear functional** over the per-refresh signals:
+
+    cost(plan, s) = Σ_f  coef(plan)[f] · s[f]        (coef ≥ 0)
+
+with one pseudo-signal ``constant = 1`` carrying per-statement fixed
+overheads.  The coefficients are per-step formulas:
+
+* step 1 — rows probed: native kernels touch each delta row once
+  (ART descent per distinct key); the SQL form pays interpreter
+  overhead per row plus a fixed statement cost.
+* step 2 — keys upserted: the native upsert/regroup/outer-merge kernels
+  are linear in the *touched-group* count (bounded UES-style by
+  ``min(delta_rows, view_rows)`` — a group must appear in the delta,
+  and there are only |V| groups); the SQL forms of the regroup/outer
+  strategies rebuild the stored table, hence a ``view_rows`` term.
+* step 3 — liveness: native tests only the touched keys; the SQL DELETE
+  scans the view (``view_rows``).
+* sharded — routing is linear in delta rows; with a parallel pool the
+  per-shard fold is bounded by the *hottest* shard
+  (``max_shard_load``), plus a merge-barrier overhead per shard.
+
+Calibration: the constants below are fitted against the measured
+ablations of ``BENCH_pipeline.json`` (15k-row join view, 50-row deltas:
+full-native ≈ 2.2 ms vs pure-SQL ≈ 14 ms; sharded 100k-row skewed
+config: 4 shards ≈ 2.8x over 1).  They only need to get *ratios* right
+— the planner replaces them with observed wall seconds per arm after a
+few rounds (BAO-style; Marcus et al., SIGMOD'22).
+
+Ranking stability (the property tests hold this): because every cost is
+a positive linear functional, multiplying each signal by a factor in
+``(1 − ε, 1 + ε)`` changes each cost by at most that factor.  For the
+top two plans with costs ``c1 ≤ c2`` the ranking therefore survives any
+perturbation with
+
+    ε  <  ε* = (c2 − c1) / (c2 + c1)
+
+since perturbed costs satisfy ``c1' ≤ c1·(1+ε) < c2·(1−ε) ≤ c2'``
+exactly when ``ε < ε*``.  :func:`stability_epsilon` reports that margin
+for a ranking; a decision is only "confident" when the margin is wide.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+# -- calibrated constants (seconds), fitted from BENCH_pipeline.json ------
+
+# SQL path: per-statement parse/plan/dispatch overhead and per-row
+# interpreter cost (pure-SQL refresh of the 15k-row join view spends
+# ~14 ms over ~8 statements scanning the 15k-row view twice).
+SQL_STATEMENT_SECONDS = 3e-4
+SQL_ROW_SECONDS = 5e-7
+# Native step 1: one ART probe + fold per delta row.
+NATIVE_DELTA_ROW_SECONDS = 1.2e-5
+# Native step 2 kernels: per touched group — point lookup, merge, upsert.
+NATIVE_UPSERT_KEY_SECONDS = 2.0e-5
+NATIVE_REGROUP_KEY_SECONDS = 3.0e-5
+NATIVE_OUTER_KEY_SECONDS = 2.2e-5
+# Native step 3 / 2b: one stored-row probe per touched (or retracted) key.
+NATIVE_PROBE_KEY_SECONDS = 8e-6
+# Sharded refresh: per-row routing cost and per-shard barrier overhead.
+SHARD_ROUTE_ROW_SECONDS = 6e-6
+SHARD_BARRIER_SECONDS = 1.5e-4
+
+# Signal field names, in a fixed order (the "constant" pseudo-signal is
+# always 1; it carries the fixed per-statement overheads).
+SIGNAL_FIELDS = (
+    "constant",
+    "delta_rows",
+    "view_rows",
+    "touched_groups",
+    "retraction_rows",
+    "max_shard_load",
+)
+
+
+@dataclass(frozen=True)
+class RefreshSignals:
+    """Cheap per-refresh statistics; every field is O(1) to collect.
+
+    ``delta_rows`` — unconsumed ΔT rows (live counts of the delta
+    tables); ``view_rows`` — |V| (live count of the stored view);
+    ``touched_groups`` — UES bound on distinct groups in the delta
+    (:meth:`bound_touched`); ``retraction_rows`` — captured rows with
+    FALSE multiplicity since the last refresh; ``max_shard_load`` —
+    projected hottest-shard row count (from the last round's observed
+    shard loads); ``shard_skew`` — last observed max/mean load ratio
+    (carried for diagnostics/regime detection, not a cost term).
+    """
+
+    delta_rows: int = 0
+    view_rows: int = 0
+    touched_groups: int = 0
+    retraction_rows: int = 0
+    max_shard_load: int = 0
+    shard_skew: float = 0.0
+
+    @staticmethod
+    def bound_touched(delta_rows: int, view_rows: int) -> int:
+        """UES-style upper bound on the distinct touched-group count: a
+        touched group needs at least one delta row, and there are at
+        most |V| (+ the new groups, themselves ≤ delta_rows) of them."""
+        return max(1, min(int(delta_rows), max(int(view_rows), 1)))
+
+    def as_dict(self) -> dict:
+        return {
+            "delta_rows": self.delta_rows,
+            "view_rows": self.view_rows,
+            "touched_groups": self.touched_groups,
+            "retraction_rows": self.retraction_rows,
+            "max_shard_load": self.max_shard_load,
+            "shard_skew": self.shard_skew,
+        }
+
+    def value(self, fieldname: str) -> float:
+        if fieldname == "constant":
+            return 1.0
+        return float(getattr(self, fieldname))
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """The cost-relevant shape of one candidate plan.
+
+    ``step2_kind``/``step3_kind`` name the chosen execution form
+    (``None`` = the step does not exist for this view); the booleans
+    say whether the remaining steps run natively.  Sharded plans carry
+    the shard count and the serial/parallel choice instead.
+    """
+
+    step1_native: bool = True
+    step2_kind: str | None = None  # native-upsert|native-regroup|native-outer|sql
+    step2b_native: bool = False
+    step3_kind: str | None = None  # "native" | "sql"
+    step4_native: bool = True
+    sharded: bool = False
+    parallel: bool = False
+    shard_count: int = 1
+
+
+@functools.lru_cache(maxsize=256)
+def coefficients(shape: PlanShape) -> dict[str, float]:
+    """Non-negative cost coefficients of ``shape`` over SIGNAL_FIELDS.
+
+    Cached per shape (frozen, hence hashable): the planner re-ranks its
+    arms every refresh round, and the coefficients never change — only
+    the signals do.  Callers must not mutate the returned dict.
+    """
+    coef = {fieldname: 0.0 for fieldname in SIGNAL_FIELDS}
+    if shape.sharded:
+        # Routing touches every delta row once; the folds run per shard
+        # — bounded by the hottest shard when parallel, by the full
+        # delta when serial — and the merge barrier costs a fixed
+        # overhead per shard (submit + wait + combined write pass).
+        coef["delta_rows"] += SHARD_ROUTE_ROW_SECONDS
+        if shape.parallel:
+            coef["max_shard_load"] += NATIVE_DELTA_ROW_SECONDS
+            coef["constant"] += 2 * SHARD_BARRIER_SECONDS * shape.shard_count
+        else:
+            coef["delta_rows"] += NATIVE_DELTA_ROW_SECONDS
+        coef["touched_groups"] += NATIVE_UPSERT_KEY_SECONDS
+        coef["retraction_rows"] += NATIVE_PROBE_KEY_SECONDS
+        return coef
+
+    if shape.step1_native:
+        coef["delta_rows"] += NATIVE_DELTA_ROW_SECONDS
+    else:
+        coef["delta_rows"] += 4 * SQL_ROW_SECONDS
+        coef["constant"] += SQL_STATEMENT_SECONDS
+
+    kind = shape.step2_kind
+    if kind == "native-upsert":
+        coef["touched_groups"] += NATIVE_UPSERT_KEY_SECONDS
+    elif kind == "native-regroup":
+        coef["touched_groups"] += NATIVE_REGROUP_KEY_SECONDS
+    elif kind == "native-outer":
+        coef["touched_groups"] += NATIVE_OUTER_KEY_SECONDS
+    elif kind == "sql":
+        # The SQL upsert joins ΔV against the stored table; the SQL
+        # regroup/outer forms rebuild it outright.  Either way the
+        # statement's cost scales with |V|, plus fixed overhead.
+        coef["view_rows"] += SQL_ROW_SECONDS
+        coef["touched_groups"] += 2 * SQL_ROW_SECONDS
+        coef["constant"] += SQL_STATEMENT_SECONDS
+
+    if shape.step2b_native:
+        # One extrema-state descent per retraction-touched group.
+        coef["retraction_rows"] += NATIVE_PROBE_KEY_SECONDS
+
+    if shape.step3_kind == "native":
+        coef["touched_groups"] += NATIVE_PROBE_KEY_SECONDS
+    elif shape.step3_kind == "sql":
+        coef["view_rows"] += SQL_ROW_SECONDS
+        coef["constant"] += SQL_STATEMENT_SECONDS
+
+    if not shape.step4_native:
+        coef["constant"] += SQL_STATEMENT_SECONDS
+    return coef
+
+
+def plan_cost(shape: PlanShape, signals: RefreshSignals) -> float:
+    """Predicted refresh seconds for ``shape`` under ``signals``."""
+    return sum(
+        weight * signals.value(fieldname)
+        for fieldname, weight in coefficients(shape).items()
+    )
+
+
+def rank_plans(
+    shapes: dict[str, PlanShape], signals: RefreshSignals
+) -> list[tuple[str, float]]:
+    """Candidate plans ranked cheapest-first.
+
+    Ties break on the arm id so the ranking is total and deterministic.
+    """
+    ranked = [
+        (arm_id, plan_cost(shape, signals))
+        for arm_id, shape in shapes.items()
+    ]
+    ranked.sort(key=lambda item: (item[1], item[0]))
+    return ranked
+
+
+def decision_margin(ranked: list[tuple[str, float]]) -> float:
+    """Absolute cost gap between the best and second-best plan
+    (``inf`` with fewer than two candidates)."""
+    if len(ranked) < 2:
+        return float("inf")
+    return ranked[1][1] - ranked[0][1]
+
+
+def stability_epsilon(ranked: list[tuple[str, float]]) -> float:
+    """The relative-perturbation margin ε* = (c2 − c1) / (c2 + c1).
+
+    Any multiplicative signal perturbation with every factor inside
+    ``(1 − ε, 1 + ε)`` for ``ε < ε*`` leaves the top-ranked plan on
+    top (positive linear costs scale by at most the same factor; see
+    the module docstring for the two-line proof).  ``inf`` with fewer
+    than two candidates; 0.0 on an exact tie.
+    """
+    if len(ranked) < 2:
+        return float("inf")
+    c1, c2 = ranked[0][1], ranked[1][1]
+    if c1 + c2 <= 0.0:
+        return 0.0
+    return max(0.0, (c2 - c1) / (c2 + c1))

@@ -10,6 +10,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.errors import IVMError
+
 
 class MaterializationStrategy(enum.Enum):
     """How ΔV is folded into the materialized table V (paper §2).
@@ -80,6 +82,17 @@ class CompilerFlags:
                                  so concurrent readers scan a
                                  consistent copy-on-write snapshot
                                  (True)
+    ``adaptive``                 pick the refresh plan per round with
+                                 the cost-based adaptive planner
+                                 (core/adaptive.py) instead of the
+                                 static flag settings (False)
+    ``adaptive_epsilon``         exploration rate of the planner's
+                                 epsilon-greedy arm selector (0.1)
+    ``adaptive_history``         how many recent plan decisions
+                                 ``RefreshStats`` retains (16)
+    ``adaptive_seed``            base RNG seed for the per-view arm
+                                 selectors — decisions replay
+                                 deterministically (0)
     ``durability``               write captured deltas to a write-ahead
                                  log and allow checkpoints + replay-on-
                                  restart (False; needs a
@@ -173,6 +186,25 @@ class CompilerFlags:
     # epoch and never observe a half-applied refresh.  The refreshing
     # thread always sees its own writes.
     snapshot_reads: bool = True
+    # Pick the refresh plan per round: before run_pipeline, the adaptive
+    # planner (core/adaptive.py) ranks the view's interchangeable plan
+    # arms — step-2 kernel (upsert / regroup / outer-merge / SQL), the
+    # stored-liveness step 3 on native vs SQL, serial vs parallel shard
+    # execution — with the analytic cost model (core/costmodel.py) over
+    # cheap per-refresh signals, then lets observed wall-clock feedback
+    # take over per arm (epsilon-greedy).  Stateful choices (native
+    # step 1's join state, the extrema/counter states) are never
+    # switched: they integrate deltas every round and would go stale.
+    # Decisions land in RefreshStats.  Off keeps the static flags.
+    adaptive: bool = False
+    # Exploration rate of the epsilon-greedy arm selector: fraction of
+    # refreshes that try a random arm instead of the current best.
+    adaptive_epsilon: float = 0.1
+    # How many recent plan decisions RefreshStats.decisions retains.
+    adaptive_history: int = 16
+    # Base seed for the per-view selector RNGs (each view XORs in a hash
+    # of its name), so adaptive runs replay deterministically.
+    adaptive_seed: int = 0
     # Durability: log every captured delta batch to an append-only WAL
     # (storage/wal.py) before it reaches ΔT, checkpoint view columns and
     # incremental states (storage/checkpoint.py), and support
@@ -201,6 +233,36 @@ class CompilerFlags:
     # Emit an explicit unique index statement on the view keys in addition
     # to the PRIMARY KEY (PostgreSQL upserts want a named unique index).
     emit_key_index: bool | None = None  # None: follow the dialect default
+
+    def __post_init__(self) -> None:
+        """Reject nonsensical knob values up front, with the knob named —
+        plan construction would otherwise fail (or silently misbehave)
+        several layers down."""
+        if self.shard_count < 1:
+            raise IVMError(
+                f"shard_count must be >= 1, got {self.shard_count}"
+            )
+        if self.batch_size < 1:
+            raise IVMError(f"batch_size must be >= 1, got {self.batch_size}")
+        invalid = set(self.native_steps) - {1, 2, 3, 4}
+        if invalid:
+            raise IVMError(
+                "native_steps must be a subset of {1, 2, 3, 4}, got "
+                f"{tuple(sorted(invalid))} in {tuple(self.native_steps)}"
+            )
+        if not 0.0 <= self.adaptive_epsilon <= 1.0:
+            raise IVMError(
+                "adaptive_epsilon must be in [0, 1], got "
+                f"{self.adaptive_epsilon}"
+            )
+        if self.adaptive_history < 1:
+            raise IVMError(
+                f"adaptive_history must be >= 1, got {self.adaptive_history}"
+            )
+        if self.checkpoint_every < 0:
+            raise IVMError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
 
     def hidden_count_column(self) -> str:
         return f"{self.hidden_prefix}count"

@@ -77,6 +77,14 @@ class RefreshStats:
     rowcounts) — a work measure, not a view-size delta.  The shard skew
     ratio is max shard load over mean shard load for the last sharded
     round (1.0 = perfectly balanced; 0.0 when unsharded or idle).
+
+    With the adaptive planner (``CompilerFlags.adaptive``) the stats
+    additionally carry the optimizer's audit trail: ``last_plan`` /
+    ``last_signals`` describe the most recent decision, ``decisions``
+    keeps the last N (``CompilerFlags.adaptive_history``) with their
+    input signals, predicted cost, decision margin, and — once the
+    round finishes — the observed wall seconds, and ``plan_switches``
+    counts rounds whose chosen arm differed from the previous round's.
     """
 
     refreshes: int = 0
@@ -86,6 +94,12 @@ class RefreshStats:
     last_rows_in: int = 0
     last_rows_moved: int = 0
     last_shard_skew: float = 0.0
+    # Adaptive-planner audit trail (empty / None when adaptive is off).
+    last_plan: dict | None = None
+    last_signals: dict | None = None
+    decisions: list = field(default_factory=list)
+    plan_switches: int = 0
+    decision_history: int = 16
 
     def begin_round(self) -> None:
         self.last_step_seconds = {}
@@ -106,6 +120,41 @@ class RefreshStats:
         self.last_rows_in = int(rows_in)
         self.last_shard_skew = float(shard_skew)
 
+    def record_decision(
+        self,
+        plan: dict,
+        signals: dict,
+        predicted_cost: float,
+        margin: float,
+        explored: bool,
+        regime_shift: bool,
+    ) -> None:
+        """Log one adaptive-planner decision (before the round runs);
+        :meth:`close_decision` fills in the observed wall time after."""
+        if self.last_plan is not None and self.last_plan.get(
+            "arm"
+        ) != plan.get("arm"):
+            self.plan_switches += 1
+        self.last_plan = dict(plan)
+        self.last_signals = dict(signals)
+        self.decisions.append(
+            {
+                "plan": dict(plan),
+                "signals": dict(signals),
+                "predicted_cost": float(predicted_cost),
+                "margin": float(margin),
+                "explored": bool(explored),
+                "regime_shift": bool(regime_shift),
+                "wall_seconds": None,
+            }
+        )
+        del self.decisions[: -self.decision_history]
+
+    def close_decision(self, wall_seconds: float) -> None:
+        """Attach the observed wall time to the last recorded decision."""
+        if self.decisions:
+            self.decisions[-1]["wall_seconds"] = float(wall_seconds)
+
     def snapshot(self) -> dict:
         """A JSON-shaped copy (what the benchmarks emit)."""
         return {
@@ -116,6 +165,14 @@ class RefreshStats:
             "last_rows_in": self.last_rows_in,
             "last_rows_moved": self.last_rows_moved,
             "last_shard_skew": self.last_shard_skew,
+            "last_plan": None
+            if self.last_plan is None
+            else dict(self.last_plan),
+            "last_signals": None
+            if self.last_signals is None
+            else dict(self.last_signals),
+            "decisions": [dict(entry) for entry in self.decisions],
+            "plan_switches": self.plan_switches,
         }
 
 

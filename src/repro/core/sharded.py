@@ -166,6 +166,13 @@ class ShardedRefresh:
 
     # -- lifecycle ----------------------------------------------------------
 
+    def set_parallel(self, parallel: bool) -> None:
+        """Adaptive-planner hook: choose pooled vs serial shard execution
+        for the next ``run()``.  Free to flip per refresh — the routing,
+        folds and merge barrier are identical either way, only the
+        executor changes (the pool is created lazily and kept)."""
+        self.parallel = bool(parallel)
+
     def prepare_states(self) -> None:
         """Swap the composed steps' state slots for the sharded wrappers
         (without seeding them) — shared by :meth:`initialize` and the

@@ -29,11 +29,15 @@ Usage::
 
 from __future__ import annotations
 
+import math
 import pathlib
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro.core.adaptive import AdaptivePlanner, build_plan_arms, planner_seed
 from repro.core.compiler import CompiledView, OpenIVMCompiler
+from repro.core.costmodel import RefreshSignals
 from repro.core.flags import CompilerFlags, PropagationMode
 from repro.core.propagate import RefreshStats, run_pipeline
 from repro.engine.connection import Connection
@@ -57,6 +61,11 @@ class _ViewState:
     prepared: list[tuple[str, ast.Statement]] = None
     # Per-refresh counters (wall time, per-step time, rows, shard skew).
     stats: RefreshStats = field(default_factory=RefreshStats)
+    # The per-view adaptive planner (CompilerFlags.adaptive), or None.
+    adaptive: Any = None
+    # Captured rows with FALSE multiplicity since the last refresh — the
+    # planner's retraction-rate signal, counted by the capture triggers.
+    pending_retractions: int = 0
     # Set when a refresh died mid-pipeline: the stored rows were rolled
     # back to the pinned snapshot, but the in-memory incremental states
     # may have consumed part of the batch, so the next refresh rebuilds
@@ -159,6 +168,24 @@ class IVMExtension:
             stats = member.stats
             stats.begin_round()
             pending_before = member.pending_changes
+            # Adaptive plan selection: collect the O(1) signals, let the
+            # per-view planner pick this round's arm, and wire it in —
+            # run_pipeline then executes the chosen native steps and
+            # falls back to SQL for every step the arm excludes.
+            decision = None
+            active_steps = member.compiled.native_steps
+            if member.adaptive is not None:
+                signals = self._refresh_signals(member)
+                decision = member.adaptive.choose(signals)
+                active_steps = member.adaptive.activate(decision)
+                stats.record_decision(
+                    decision.arm.describe(),
+                    signals.as_dict(),
+                    decision.predicted_cost,
+                    decision.margin,
+                    decision.explored,
+                    decision.regime_shift,
+                )
             started = time.perf_counter()
             # Epoch-pin the view table: concurrent readers keep scanning
             # the pre-refresh snapshot until the commit below, so they
@@ -170,7 +197,7 @@ class IVMExtension:
                 run_pipeline(
                     con,
                     member.prepared,
-                    member.compiled.native_steps,
+                    active_steps,
                     execute=con.execute_statement,
                     # Shared ΔT tables are cleared once for the whole
                     # closure.
@@ -200,7 +227,12 @@ class IVMExtension:
                 if loads and sum(loads) > 0:
                     skew = max(loads) * len(loads) / sum(loads)
                 rows_in = max(rows_in, getattr(step, "last_rows_in", 0))
-            stats.finish_round(time.perf_counter() - started, rows_in, skew)
+            wall = time.perf_counter() - started
+            stats.finish_round(wall, rows_in, skew)
+            if decision is not None:
+                member.adaptive.observe(decision, wall)
+                stats.close_decision(wall)
+            member.pending_retractions = 0
         delta_tables = {
             delta
             for member in closure
@@ -251,6 +283,7 @@ class IVMExtension:
                 _clear_step_pendings(step)
                 step.initialize(con)
             member.pending_changes = 0
+            member.pending_retractions = 0
             member.needs_recompute = False
             member.refresh_count += 1
         if self._durability is not None:
@@ -264,8 +297,47 @@ class IVMExtension:
 
     def refresh_stats(self, name: str) -> dict:
         """JSON-shaped per-refresh counters for ``name`` (wall seconds,
-        per-step seconds, rows in/moved, shard skew ratio)."""
+        per-step seconds, rows in/moved, shard skew ratio — and, with
+        the adaptive planner, the last plan, its input signals, and the
+        last N decisions with observed wall times)."""
         return self.view_state(name).stats.snapshot()
+
+    def _refresh_signals(self, member: _ViewState) -> RefreshSignals:
+        """The planner's per-refresh inputs; every read is O(1) (table
+        live counts, trigger-maintained counters, last-round shard
+        loads) — no scans on the refresh path."""
+        con = self._require_connection()
+        compiled = member.compiled
+        delta_rows = sum(
+            len(con.table(delta))
+            for delta in compiled.delta_tables.values()
+        )
+        view_rows = len(con.table(compiled.name))
+        max_load = delta_rows
+        for step in compiled.native_steps:
+            if step.name != "sharded":
+                continue
+            state = step.step1.state
+            loads = list(getattr(state, "last_shard_loads", []) or [])
+            total = sum(loads)
+            # Project this round's hottest shard from the last observed
+            # load distribution (uniform before the first round).
+            fraction = (
+                max(loads) / total
+                if total > 0
+                else 1.0 / max(step.shard_count, 1)
+            )
+            max_load = int(math.ceil(delta_rows * fraction))
+        return RefreshSignals(
+            delta_rows=delta_rows,
+            view_rows=view_rows,
+            touched_groups=RefreshSignals.bound_touched(
+                delta_rows, view_rows
+            ),
+            retraction_rows=member.pending_retractions,
+            max_shard_load=max_load,
+            shard_skew=member.stats.last_shard_skew,
+        )
 
     def status(self) -> list[dict]:
         """Per-view runtime status (for dashboards/demos): name, class,
@@ -536,6 +608,15 @@ class IVMExtension:
             (label, parse_script(sql)[0]) for label, sql in compiled.propagation
         ]
         state = _ViewState(compiled=compiled, prepared=prepared)
+        flags = compiled.model.flags
+        if flags.adaptive:
+            state.adaptive = AdaptivePlanner(
+                build_plan_arms(compiled.model, compiled.native_steps),
+                all_steps=compiled.native_steps,
+                epsilon=flags.adaptive_epsilon,
+                seed=planner_seed(flags.adaptive_seed, name),
+            )
+            state.stats.decision_history = flags.adaptive_history
         self._views[name.lower()] = state
         for base_table, delta_table in compiled.delta_tables.items():
             self._watched.setdefault(base_table.lower(), set()).add(name.lower())
@@ -596,6 +677,12 @@ class IVMExtension:
             # One columnar append per statement (delta tables have no
             # indexes, so this is a straight block extend).
             delta.insert_batch(delta_rows, coerce=False)
+            retractions = sum(1 for row in delta_rows if not row[-1])
+            if retractions:
+                for watcher in self._watched.get(base_table.lower(), ()):
+                    member = self._views.get(watcher)
+                    if member is not None:
+                        member.pending_retractions += retractions
 
         for event in ("INSERT", "DELETE", "UPDATE"):
             con.triggers.register(trigger_name, base_table, event, capture)

@@ -116,6 +116,11 @@ class GroupLivenessState:
     def __len__(self) -> int:
         return len(self._counts)
 
+    @property
+    def live_groups(self) -> int:
+        """Number of groups currently alive — an O(1) planner signal."""
+        return len(self._counts)
+
     def count(self, key: tuple) -> int:
         return self._counts.get(key, 0)
 
@@ -182,6 +187,11 @@ class GroupExtremaState:
 
     def __len__(self) -> int:
         """Number of groups currently holding at least one value."""
+        return len(self._art)
+
+    @property
+    def group_count(self) -> int:
+        """Groups with at least one value — an O(1) planner signal."""
         return len(self._art)
 
     def load(self, entries: Iterable[tuple[tuple, object, int]]) -> None:
@@ -406,6 +416,12 @@ class IndexedJoinState:
     def right_rows(self) -> int:
         return len(self._right)
 
+    @property
+    def total_rows(self) -> int:
+        """Integrated rows across both sides — an O(1) planner signal
+        (each side index maintains a running row count)."""
+        return len(self._left) + len(self._right)
+
     # -- loading -----------------------------------------------------------
 
     def load_left(self, rows: Iterable[tuple]) -> None:
@@ -567,6 +583,17 @@ class ShardedJoinState:
     @property
     def right_rows(self) -> int:
         return sum(len(side) for side in self._rights)
+
+    @property
+    def total_rows(self) -> int:
+        """Integrated rows across all shards of both sides — O(shards)."""
+        return self.left_rows + self.right_rows
+
+    @property
+    def max_shard_load(self) -> int:
+        """Hottest shard's delta-row load in the last apply round — the
+        planner's skew signal (O(shards), no scanning)."""
+        return max(self.last_shard_loads, default=0)
 
     # -- loading -----------------------------------------------------------
 
@@ -777,6 +804,11 @@ class ShardedLivenessState:
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
 
+    @property
+    def live_groups(self) -> int:
+        """Live groups across all shards — O(shards) planner signal."""
+        return len(self)
+
     def shard_of_key(self, key: tuple) -> int:
         return shard_of(encode_key(key), self.shard_count)
 
@@ -839,6 +871,11 @@ class ShardedExtremaState:
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self._shards)
+
+    @property
+    def group_count(self) -> int:
+        """Non-empty groups across all shards — O(shards) planner signal."""
+        return len(self)
 
     def shard_of_key(self, key: tuple) -> int:
         return shard_of(encode_key(key), self.shard_count)
