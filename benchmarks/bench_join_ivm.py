@@ -752,6 +752,129 @@ def collect_durability_benchmark(
     }
 
 
+# Ingest-queue configs: the synchronous capture path vs the bounded
+# queue under the block and coalesce backpressure policies.  Capacity
+# (96 rows against ~120-row bursts) is sized so bursts overflow it —
+# backpressure actually engages — and the
+# watermark pump is disabled (high=1.0) so drains happen at refresh
+# time — the queue's amortization, not the pump cadence, is measured.
+INGEST_QUEUE_CONFIGS = [
+    ("sync", dict()),
+    (
+        "queue_block",
+        dict(
+            ingest_queue=True, queue_policy="block", queue_capacity=96,
+            queue_high_watermark=1.0, queue_low_watermark=0.5,
+        ),
+    ),
+    (
+        "queue_coalesce",
+        dict(
+            ingest_queue=True, queue_policy="coalesce", queue_capacity=96,
+            queue_high_watermark=1.0, queue_low_watermark=0.5,
+        ),
+    ),
+]
+
+
+def _quantile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+
+def collect_ingestion_queue_benchmark(
+    bursts: int = 8, statements_per_burst: int = 60,
+    rows_per_statement: int = 3, churn: float = 0.35,
+) -> dict:
+    """Sustained write throughput and refresh latency under burst, with
+    and without the bounded ingest queue (``CompilerFlags.ingest_queue``).
+
+    Each burst fires ``statements_per_burst`` DML statements (a ``churn``
+    fraction are deletes of previously inserted rows — the coalesce
+    policy's food) and then refreshes the view once.  Per config the
+    artifact records the ingest throughput (rows/second over the DML
+    wall time), the refresh-latency distribution (p50/p99/max over the
+    per-burst refreshes), and the queue's admission counters — shed and
+    coalesced rows quantify what backpressure absorbed.  Correctness is
+    asserted against the recompute at the end of every config.
+    """
+    import random
+    import time
+
+    result: dict = {
+        "benchmark": "bench_join_ivm.ingestion_queue",
+        "workload": {
+            "bursts": bursts,
+            "statements_per_burst": statements_per_burst,
+            "rows_per_statement": rows_per_statement,
+            "churn": churn,
+        },
+        "configs": {},
+    }
+    for name, overrides in INGEST_QUEUE_CONFIGS:
+        con = Connection()
+        ext = load_ivm(
+            con,
+            CompilerFlags(mode=PropagationMode.LAZY, **overrides),
+        )
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS "
+            "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g"
+        )
+        rng = random.Random(5005)
+        live: list = []
+        ingest_seconds: list = []
+        refresh_seconds: list = []
+        rows_written = 0
+        for _ in range(bursts):
+            start = time.perf_counter()
+            for _ in range(statements_per_burst):
+                if live and rng.random() < churn:
+                    g, v = live.pop(rng.randrange(len(live)))
+                    con.execute(
+                        "DELETE FROM t WHERE g = ? AND v = ?", [g, v]
+                    )
+                    rows_written += 1
+                else:
+                    values = []
+                    for _ in range(rows_per_statement):
+                        g, v = f"g{rng.randrange(32)}", rng.randint(-50, 50)
+                        live.append((g, v))
+                        values.append(f"('{g}', {v})")
+                    con.execute(f"INSERT INTO t VALUES {', '.join(values)}")
+                    rows_written += rows_per_statement
+            ingest_seconds.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            ext.refresh("q")
+            refresh_seconds.append(time.perf_counter() - start)
+        got = con.execute("SELECT g, s, n FROM q").sorted()
+        want = con.execute(
+            "SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g"
+        ).sorted()
+        assert got == want, f"{name} diverged from recompute"
+        ingest_total = sum(ingest_seconds)
+        result["configs"][name] = {
+            "rows_written": rows_written,
+            "ingest_seconds": ingest_total,
+            "rows_per_second": rows_written / ingest_total,
+            "refresh_seconds": refresh_seconds,
+            "refresh_p50_seconds": _quantile(refresh_seconds, 0.50),
+            "refresh_p99_seconds": _quantile(refresh_seconds, 0.99),
+            "refresh_max_seconds": max(refresh_seconds),
+            "queue": None if ext.queue is None else ext.queue.snapshot(),
+        }
+    sync = result["configs"]["sync"]
+    block = result["configs"]["queue_block"]
+    result["queue_vs_sync_ingest_ratio"] = (
+        block["rows_per_second"] / sync["rows_per_second"]
+    )
+    result["queue_vs_sync_p99_ratio"] = (
+        block["refresh_p99_seconds"] / sync["refresh_p99_seconds"]
+    )
+    return result
+
+
 def summarize_adaptive(data: dict) -> dict:
     """Derive the artifact's top-level ``adaptive`` section.
 
@@ -810,6 +933,8 @@ def emit_pipeline_trajectory(
     sharding_rounds: int = 5,
     durability_rows: int = 500,
     durability_batches: int = 10,
+    queue_bursts: int = 8,
+    queue_statements: int = 60,
 ) -> dict:
     """Collect the trajectories and write ``BENCH_pipeline.json``.
 
@@ -817,7 +942,9 @@ def emit_pipeline_trajectory(
     trajectory, the MIN/MAX step-2b ablation, the row-vs-batch ingestion
     comparison, the UNION-regroup step-2 ablation, the expression-keyed
     step-1 ablation, the sharding ablation at 1/2/4 shards on the skewed
-    100k-row config, WAL append and recovery-replay throughput, and —
+    100k-row config, WAL append and recovery-replay throughput, the
+    ``ingestion_queue`` burst comparison (sync capture vs the bounded
+    queue under block/coalesce backpressure), and —
     since the adaptive-planner milestone — the ``adaptive`` summary
     comparing the planner's converged refresh against the best and worst
     static config of every family (each family also carries its own
@@ -842,6 +969,9 @@ def emit_pipeline_trajectory(
     )
     data["durability"] = collect_durability_benchmark(
         rows_per_batch=durability_rows, batches=durability_batches,
+    )
+    data["ingestion_queue"] = collect_ingestion_queue_benchmark(
+        bursts=queue_bursts, statements_per_burst=queue_statements,
     )
     data["adaptive"] = summarize_adaptive(data)
     target = pathlib.Path(path) if path is not None else BENCH_PIPELINE_PATH
@@ -959,6 +1089,24 @@ def test_pipeline_trajectory_shape(report_lines):
         "sharded refresh at 4 shards should be >= 2x the per-step pipeline "
         "on the skewed 100k-row config"
     )
+    queue = data["ingestion_queue"]["configs"]
+    report_lines.append(
+        f"E6k queue burst  "
+        f"sync={queue['sync']['rows_per_second']:9.0f}rows/s "
+        f"p99={queue['sync']['refresh_p99_seconds'] * 1e3:7.2f}ms  "
+        f"block={queue['queue_block']['rows_per_second']:9.0f}rows/s "
+        f"p99={queue['queue_block']['refresh_p99_seconds'] * 1e3:7.2f}ms  "
+        f"coalesced={queue['queue_coalesce']['queue']['coalesced_rows']}"
+    )
+    for name, cfg in queue.items():
+        assert cfg["rows_per_second"] > 0 and cfg["refresh_p99_seconds"] > 0
+    assert queue["sync"]["queue"] is None
+    for name in ("queue_block", "queue_coalesce"):
+        counters = queue[name]["queue"]
+        assert counters["enqueued_rows"] > 0
+        assert counters["drained_rows"] + counters["coalesced_rows"] >= (
+            counters["enqueued_rows"] - counters["depth_rows"]
+        )
     adaptive = data["adaptive"]
     for family, record in adaptive.items():
         report_lines.append(

@@ -8,11 +8,15 @@ command-line tool".  Subcommands:
 * ``openivm bench`` — a quick incremental-vs-recompute comparison.
 * ``openivm recover`` — rebuild an engine from a durability directory
   (checkpoint + WAL replay) and report the recovered views.
+* ``openivm health`` — JSON health report for a durability directory:
+  WAL tail CRC validity, checkpoint epochs, and (after an in-process
+  recovery) per-view recompute/degradation status and queue depth.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -149,6 +153,41 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Report the health of a durability directory as JSON.
+
+    The offline facts (WAL tail validity, torn-tail bytes, checkpoint
+    decodability and epochs) are collected *before* any recovery — which
+    would truncate the torn tail — so the report describes the directory
+    as it sits on disk.  Unless ``--offline`` is given, an in-process
+    recovery then adds the per-view section: ``needs_recompute``,
+    degradation rung, pending changes, and the ingest-queue counters.
+    """
+    from repro.storage.checkpoint import durability_health
+
+    directory = pathlib.Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    report = {"storage": durability_health(directory), "runtime": None}
+    healthy = report["storage"]["wal"]["valid"]
+    if not args.offline:
+        try:
+            con = Connection.recover(directory)
+        except Exception as error:
+            report["runtime"] = {"recover_error": str(error)}
+            healthy = False
+        else:
+            extension = con.extensions.loaded("openivm")
+            report["runtime"] = extension.health()
+            extension.shutdown()
+            healthy = healthy and not any(
+                view["needs_recompute"] for view in report["runtime"]["views"]
+            )
+    print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    return 0 if healthy else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="openivm",
@@ -192,6 +231,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every view and compare against the recovered rows",
     )
     recover_parser.set_defaults(fn=cmd_recover)
+
+    health_parser = sub.add_parser(
+        "health", help="JSON health report for a durability directory"
+    )
+    health_parser.add_argument(
+        "--dir", required=True, help="durability directory (WAL + checkpoints)"
+    )
+    health_parser.add_argument(
+        "--offline", action="store_true",
+        help="report only on-disk facts; skip the in-process recovery",
+    )
+    health_parser.set_defaults(fn=cmd_health)
     return parser
 
 

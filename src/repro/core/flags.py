@@ -9,8 +9,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import IVMError
+
+# Backpressure policies accepted by CompilerFlags.queue_policy.
+QUEUE_POLICIES = ("block", "shed", "coalesce")
 
 
 class MaterializationStrategy(enum.Enum):
@@ -93,6 +97,45 @@ class CompilerFlags:
     ``adaptive_seed``            base RNG seed for the per-view arm
                                  selectors — decisions replay
                                  deterministically (0)
+    ``ingest_queue``             put the bounded async ingestion queue
+                                 in front of the capture path: DML
+                                 enqueues delta batches, the refresher
+                                 drains on batch-size / deadline /
+                                 watermark triggers (False)
+    ``queue_capacity``           queue bound, in delta rows (4096)
+    ``queue_policy``             overflow behaviour — ``block`` (writer
+                                 waits / drains inline), ``shed``
+                                 (reject with BackpressureError +
+                                 recompute self-heal), ``coalesce``
+                                 (cancel opposite-sign rows in place)
+                                 (``block``)
+    ``queue_high_watermark``     queue fill fraction that requests a
+                                 drain before capacity is hit (0.8)
+    ``queue_low_watermark``      fill fraction blocked writers wait for
+                                 (0.5)
+    ``queue_deadline``           seconds the oldest queued batch may
+                                 wait before a drain+refresh is forced;
+                                 0 disables the deadline trigger (0.0)
+    ``queue_block_timeout``      seconds a blocked writer waits for the
+                                 drainer before raising
+                                 BackpressureError (5.0)
+    ``queue_async``              drain on a background refresher thread
+                                 instead of piggybacking on the next
+                                 statement (False)
+    ``worker_timeout``           seconds a sharded refresh worker may
+                                 run before the round abandons it; 0
+                                 disables the timeout (0.0)
+    ``worker_retries``           bounded retries of failed/timed-out
+                                 shard workers that have not yet
+                                 mutated shard state (2)
+    ``worker_backoff``           base of the exponential retry backoff,
+                                 seconds (0.01)
+    ``degradation_heal_after``   clean refreshes at a demoted rung
+                                 before the ladder heals one rung (3)
+    ``fault_plan``               deterministic fault-injection schedule
+                                 (:class:`~repro.core.faults.FaultPlan`)
+                                 consulted at the named sites; None
+                                 disables injection (None)
     ``durability``               write captured deltas to a write-ahead
                                  log and allow checkpoints + replay-on-
                                  restart (False; needs a
@@ -205,6 +248,58 @@ class CompilerFlags:
     # Base seed for the per-view selector RNGs (each view XORs in a hash
     # of its name), so adaptive runs replay deterministically.
     adaptive_seed: int = 0
+    # Put the bounded ingestion queue (core/runtime.py) in front of the
+    # delta-capture path: the AFTER triggers enqueue batches instead of
+    # writing WAL + ΔT directly, and the refresher drains on batch-size,
+    # deadline, and high-watermark triggers.  Off keeps the synchronous
+    # capture path untouched.
+    ingest_queue: bool = False
+    # Queue bound, counted in delta rows across all queued batches.
+    queue_capacity: int = 4096
+    # What an enqueue that would exceed the capacity does: "block" makes
+    # the writer wait for the drainer (or drain inline when no
+    # background refresher runs), "shed" rejects the batch with a typed
+    # BackpressureError and flags the watching views for recompute
+    # self-heal, "coalesce" cancels opposite-sign rows already queued
+    # (insert + delete of the same row annihilate) and only then falls
+    # back to blocking.
+    queue_policy: str = "block"
+    # Fill fraction at which the queue requests a drain (the admission
+    # path flags it; the next pump or the background refresher drains).
+    queue_high_watermark: float = 0.8
+    # Fill fraction a blocked writer waits for before re-admitting.
+    queue_low_watermark: float = 0.5
+    # Deadline trigger: seconds the oldest queued batch may sit before a
+    # drain + refresh is forced on the next pump.  0 disables.
+    queue_deadline: float = 0.0
+    # How long a blocked writer waits for the drainer before giving up
+    # with BackpressureError (prevents deadlock when the drainer died).
+    queue_block_timeout: float = 5.0
+    # Drain on a dedicated background refresher thread (deadline ticks
+    # fire without waiting for the next statement).  Off drains
+    # synchronously on the statement path — deterministic, the default.
+    queue_async: bool = False
+    # Per-shard worker timeout for the sharded refresh, in seconds.  A
+    # worker still running past it is abandoned behind the round token
+    # (it can never mutate shard state afterwards) and retried or
+    # escalated.  0 disables the timeout.
+    worker_timeout: float = 0.0
+    # How many times a failed or timed-out shard worker is retried
+    # (with exponential backoff) before the refresh escalates.  Only
+    # workers that have not yet mutated their shard's state are retried;
+    # a worker that failed mid-mutation always escalates to recompute.
+    worker_retries: int = 2
+    # Base of the exponential retry backoff: attempt k sleeps
+    # worker_backoff * 2**(k-1) seconds.
+    worker_backoff: float = 0.01
+    # Degradation ladder: after this many consecutive clean refreshes at
+    # a demoted rung, heal one rung back toward the full plan.
+    degradation_heal_after: int = 3
+    # Deterministic fault-injection schedule (core/faults.FaultPlan),
+    # consulted at wal.append / checkpoint.write / shard.compute /
+    # queue.enqueue.  None disables injection.  Runtime-only: never
+    # serialized into checkpoints.
+    fault_plan: Any = None
     # Durability: log every captured delta batch to an append-only WAL
     # (storage/wal.py) before it reaches ΔT, checkpoint view columns and
     # incremental states (storage/checkpoint.py), and support
@@ -262,6 +357,47 @@ class CompilerFlags:
         if self.checkpoint_every < 0:
             raise IVMError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise IVMError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, got "
+                f"{self.queue_policy!r}"
+            )
+        if self.queue_capacity < 1:
+            raise IVMError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if not 0.0 < self.queue_low_watermark <= self.queue_high_watermark <= 1.0:
+            raise IVMError(
+                "queue watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={self.queue_low_watermark} "
+                f"high={self.queue_high_watermark}"
+            )
+        if self.queue_deadline < 0:
+            raise IVMError(
+                f"queue_deadline must be >= 0, got {self.queue_deadline}"
+            )
+        if self.queue_block_timeout <= 0:
+            raise IVMError(
+                "queue_block_timeout must be > 0, got "
+                f"{self.queue_block_timeout}"
+            )
+        if self.worker_timeout < 0:
+            raise IVMError(
+                f"worker_timeout must be >= 0, got {self.worker_timeout}"
+            )
+        if self.worker_retries < 0:
+            raise IVMError(
+                f"worker_retries must be >= 0, got {self.worker_retries}"
+            )
+        if self.worker_backoff < 0:
+            raise IVMError(
+                f"worker_backoff must be >= 0, got {self.worker_backoff}"
+            )
+        if self.degradation_heal_after < 1:
+            raise IVMError(
+                "degradation_heal_after must be >= 1, got "
+                f"{self.degradation_heal_after}"
             )
 
     def hidden_count_column(self) -> str:

@@ -100,6 +100,16 @@ class RefreshStats:
     decisions: list = field(default_factory=list)
     plan_switches: int = 0
     decision_history: int = 16
+    # Robustness-runtime audit trail: structured events (degradation
+    # ladder demote/heal, refresh failures, recompute fallbacks, shed
+    # batches) appended by the extension, newest last, capped at
+    # ``event_history``; ``degradation_rung`` mirrors the view ladder's
+    # current rung; ``queue`` is the ingest queue's counter snapshot
+    # (shared by every view of a connection; None when the queue is off).
+    events: list = field(default_factory=list)
+    event_history: int = 64
+    degradation_rung: int = 0
+    queue: dict | None = None
 
     def begin_round(self) -> None:
         self.last_step_seconds = {}
@@ -155,6 +165,20 @@ class RefreshStats:
         if self.decisions:
             self.decisions[-1]["wall_seconds"] = float(wall_seconds)
 
+    def record_event(self, kind: str, **detail) -> dict:
+        """Append one structured robustness event (``demote``, ``heal``,
+        ``refresh_failure``, ``recompute``, ``capture_failure``, ...) and
+        return it.  The log is bounded at ``event_history`` entries."""
+        event = {"kind": kind, "refresh_round": self.refreshes}
+        event.update(detail)
+        self.events.append(event)
+        del self.events[: -self.event_history]
+        return event
+
+    def events_of(self, kind: str) -> list[dict]:
+        """The recorded events of one kind, oldest first."""
+        return [event for event in self.events if event["kind"] == kind]
+
     def snapshot(self) -> dict:
         """A JSON-shaped copy (what the benchmarks emit)."""
         return {
@@ -173,6 +197,9 @@ class RefreshStats:
             else dict(self.last_signals),
             "decisions": [dict(entry) for entry in self.decisions],
             "plan_switches": self.plan_switches,
+            "events": [dict(event) for event in self.events],
+            "degradation_rung": self.degradation_rung,
+            "queue": None if self.queue is None else dict(self.queue),
         }
 
 

@@ -49,12 +49,15 @@ returns None), exactly like every other native-step fallback.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+from repro.errors import WorkerTimeoutError
 
 from repro.core.batched import (
     BatchedDeltaStep,
@@ -83,6 +86,12 @@ from repro.zset.operators import batch_aggregate, batch_filter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.connection import Connection
+
+
+class _StaleRoundError(Exception):
+    """A worker from an abandoned round token-fenced itself off before
+    mutating shard state.  Only ever raised on an abandoned pool's
+    future, whose result nobody reads."""
 
 
 def try_build_sharded_refresh(
@@ -163,6 +172,14 @@ class ShardedRefresh:
     last_rows_in: int = 0
     last_step_seconds: dict = field(default_factory=dict)
     _pool: Any = field(default=None, repr=False, compare=False)
+    # Mutation-token fencing (see _map): the round token is bumped to
+    # invalidate stragglers from a timed-out attempt; _mutated records
+    # which shards touched their state this round (retry barrier).
+    _token: int = field(default=0, repr=False, compare=False)
+    _round_lock: Any = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _mutated: set = field(default_factory=set, repr=False, compare=False)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -219,31 +236,162 @@ class ShardedRefresh:
         return written
 
     def _map(self, fn) -> list:
-        """Run ``fn(shard)`` for every shard — on the worker pool with a
-        barrier when parallel, else serially on the calling thread.
+        """Run ``fn(shard, token)`` for every shard — on the worker pool
+        with a barrier when parallel, else serially on the calling
+        thread — with per-attempt timeouts and bounded retry.
 
-        A failing worker must not leave stragglers mutating shard state
-        while the caller unwinds (``Executor.map`` raises at iteration
-        time with the other futures still running), so every future is
-        awaited before the first exception is re-raised.  The caller
-        (the extension's refresh loop) then marks the view for full
-        recompute — the surviving shards have integrated their deltas,
-        the failed one has not, so the partitions are mutually
-        inconsistent until reseeded."""
+        The retry protocol is built on mutation tokens: each ``_map``
+        round takes a fresh generation token; workers must pass it to
+        :meth:`_begin_mutation` immediately before their first
+        shard-state write.  That gives three guarantees:
+
+        * **Safe retries.**  Only shards that never reached
+          ``_begin_mutation`` are retried (with exponential backoff,
+          ``worker_backoff * 2**(attempt-1)``), so a transient failure
+          injected or raised *before* the state write replays without
+          double-applying deltas.  A shard that failed or hung *after*
+          mutating poisons the round — the error propagates and the
+          caller's degradation ladder / recompute self-heal takes over.
+        * **Fenced stragglers.**  When an attempt exceeds
+          ``CompilerFlags.worker_timeout``, the token is bumped under
+          the round lock and the pool is abandoned
+          (``shutdown(wait=False, cancel_futures=True)``); a hung
+          worker that later wakes sees the stale token inside
+          ``_begin_mutation`` and aborts *before* touching shard state.
+          The retry runs on a fresh pool.
+        * **No leaked threads behind a rollback.**  Every raise out of
+          this method first bumps the token and abandons the pool, so a
+          failed parallel refresh cannot leave futures running that
+          mutate shard state while the caller unwinds and reseeds.
+        """
         count = self.shard_count
-        if self.parallel and count > 1:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=count, thread_name_prefix="ivm-shard"
+        flags = self.model.flags
+        retries = int(getattr(flags, "worker_retries", 0))
+        backoff = float(getattr(flags, "worker_backoff", 0.0))
+        timeout = float(getattr(flags, "worker_timeout", 0.0)) or None
+
+        with self._round_lock:
+            self._token += 1
+            token = self._token
+            self._mutated = set()
+
+        results: list = [None] * count
+        pending = list(range(count))
+        last_error: Exception | None = None
+        for attempt in range(retries + 1):
+            if attempt and backoff > 0:
+                time.sleep(backoff * (2 ** (attempt - 1)))
+            if self.parallel and count > 1:
+                failures, hung = self._run_parallel(
+                    fn, pending, token, results, timeout
                 )
-            futures = [self._pool.submit(fn, i) for i in range(count)]
-            wait(futures)
-            for future in futures:
-                error = future.exception()
-                if error is not None:
+            else:
+                failures, hung = self._run_serial(fn, pending, token, results)
+            if not failures and not hung:
+                return results
+            if hung:
+                with self._round_lock:
+                    self._token += 1
+                    token = self._token
+                    mutated = set(self._mutated)
+                self._abandon_pool()
+                stuck = sorted(s for s in hung if s in mutated)
+                if stuck:
+                    raise WorkerTimeoutError(
+                        f"shard worker(s) {stuck} exceeded "
+                        f"worker_timeout={flags.worker_timeout}s after "
+                        "mutating shard state; the round cannot be retried",
+                        shards=tuple(stuck),
+                    )
+            else:
+                with self._round_lock:
+                    mutated = set(self._mutated)
+            for s in sorted(failures):
+                error = failures[s]
+                if s in mutated or not getattr(error, "retryable", True):
+                    self._fence_and_abandon()
                     raise error
-            return [future.result() for future in futures]
-        return [fn(i) for i in range(count)]
+                last_error = error
+            pending = sorted(set(failures) | set(hung))
+        self._fence_and_abandon()
+        if last_error is not None:
+            raise last_error
+        raise WorkerTimeoutError(
+            f"shard worker(s) {pending} still unresponsive after "
+            f"{retries} retries (worker_timeout="
+            f"{flags.worker_timeout}s per attempt)",
+            shards=tuple(pending),
+        )
+
+    def _run_parallel(
+        self, fn, shards: list, token: int, results: list, timeout
+    ) -> tuple[dict, list]:
+        """One pooled attempt over ``shards``.  Returns
+        ``(failures: {shard: exc}, hung: [shard])``; successful shards
+        write straight into ``results``."""
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.shard_count, thread_name_prefix="ivm-shard"
+            )
+        futures = {
+            self._pool.submit(self._attempt, fn, s, token): s for s in shards
+        }
+        done, not_done = wait(futures, timeout=timeout)
+        failures: dict = {}
+        for future in done:
+            shard = futures[future]
+            error = future.exception()
+            if error is not None:
+                failures[shard] = error
+            else:
+                results[shard] = future.result()
+        return failures, [futures[future] for future in not_done]
+
+    def _run_serial(
+        self, fn, shards: list, token: int, results: list
+    ) -> tuple[dict, list]:
+        """One serial attempt (no pool, so nothing can hang the caller;
+        the timeout only applies to pooled attempts)."""
+        failures: dict = {}
+        for shard in shards:
+            try:
+                results[shard] = self._attempt(fn, shard, token)
+            except Exception as error:  # collected for the retry loop
+                failures[shard] = error
+        return failures, []
+
+    def _attempt(self, fn, shard: int, token: int):
+        """Worker entry: consult the fault plan (the ``shard.compute``
+        site fires *before* any state mutation, so injected errors and
+        latency are always retry-safe), then run the phase function."""
+        plan = getattr(self.model.flags, "fault_plan", None)
+        if plan is not None:
+            plan.check("shard.compute", shard=shard)
+        return fn(shard, token)
+
+    def _begin_mutation(self, shard: int, token: int) -> None:
+        """Called by a worker immediately before its first shard-state
+        write.  A stale token means the round was abandoned while this
+        worker hung — abort without mutating (the raise surfaces only
+        on the abandoned pool's future, which nobody reads)."""
+        with self._round_lock:
+            if token != self._token:
+                raise _StaleRoundError(
+                    f"shard {shard} worker outlived its refresh round"
+                )
+            self._mutated.add(shard)
+
+    def _fence_and_abandon(self) -> None:
+        """Invalidate outstanding workers and drop the pool — the
+        failure path of a refresh round (see _map's contract)."""
+        with self._round_lock:
+            self._token += 1
+        self._abandon_pool()
+
+    def _abandon_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # -- phase 1: sharded delta compute --------------------------------------
 
@@ -258,9 +406,9 @@ class ShardedRefresh:
         parts_left = state.route_left(batches[0])
         parts_right = state.route_right(batches[1])
 
-        def shard_delta(shard: int):
+        def shard_delta(shard: int, token: int):
             return self._shard_delta(
-                connection, shard, parts_left[shard], parts_right[shard]
+                connection, shard, token, parts_left[shard], parts_right[shard]
             )
 
         shard_sources = self._map(shard_delta)
@@ -299,6 +447,7 @@ class ShardedRefresh:
         self,
         connection: "Connection",
         shard: int,
+        token: int,
         dl_groups: dict,
         dr_groups: dict,
     ) -> ZSetBatch | None:
@@ -307,6 +456,7 @@ class ShardedRefresh:
         entries.  Runs on a worker thread; touches only shard-local
         state and read-only catalog metadata."""
         s1 = self.step1
+        self._begin_mutation(shard, token)
         source = s1.state.apply_shard(shard, dl_groups, dr_groups)
         ctx = None
         if s1.where_eval is not None and len(source):
@@ -375,10 +525,11 @@ class ShardedRefresh:
         else:
             delta_parts = [delta_view for _ in range(count)]
 
-        def fold(shard: int):
+        def fold(shard: int, token: int):
             return self._shard_fold(
                 connection,
                 shard,
+                token,
                 delta_parts[shard],
                 None if live_parts is None else live_parts[shard],
                 {
@@ -400,6 +551,7 @@ class ShardedRefresh:
         self,
         connection: "Connection",
         shard: int,
+        token: int,
         batch: ZSetBatch,
         live_part,
         extrema_part: dict,
@@ -420,12 +572,14 @@ class ShardedRefresh:
         if live_part is not None:
             part_keys, part_nets = live_part
             if part_keys:
+                self._begin_mutation(shard, token)
                 dead_from_counters = set(
                     s3.counters.apply_shard(shard, part_keys, part_nets)
                 )
         if s2b is not None:
             for ordinal, (e_keys, e_values, e_nets) in extrema_part.items():
                 if e_keys:
+                    self._begin_mutation(shard, token)
                     s2b.sources[ordinal].state.apply_shard(
                         shard, e_keys, e_values, e_nets
                     )

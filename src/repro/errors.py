@@ -61,5 +61,44 @@ class RecoveryError(ReproError):
     engine state (e.g. WAL records with no covering checkpoint)."""
 
 
+class BackpressureError(ReproError):
+    """Raised by the ingest queue when admission control rejects a delta
+    batch: the ``shed`` policy raises on overflow, and the ``block``
+    policy raises after waiting ``queue_block_timeout`` seconds without
+    the drainer relieving the queue.  The base-table mutation that
+    produced the batch has already been applied (capture runs in AFTER
+    triggers); the watching views are flagged for full recompute so they
+    converge despite the dropped capture."""
+
+
+class WorkerTimeoutError(ReproError):
+    """Raised when a sharded refresh worker exceeds
+    ``CompilerFlags.worker_timeout`` and cannot be safely retried.  The
+    worker pool is abandoned (hung threads are fenced off from shard
+    state by the round token) and the view self-heals via recompute."""
+
+    def __init__(self, message: str, shards: tuple = ()) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards)
+
+
+class FaultInjectedError(ReproError):
+    """An artificial failure raised by the deterministic fault-injection
+    layer (:mod:`repro.core.faults`).  ``site`` names the injection
+    point; ``retryable`` tells retry loops whether the fault models a
+    transient error (safe to retry — injected before any state
+    mutation) or a hard one."""
+
+    def __init__(
+        self, site: str, retryable: bool = True, detail: str = ""
+    ) -> None:
+        message = f"injected fault at {site}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.site = site
+        self.retryable = retryable
+
+
 class UnsupportedError(IVMError):
     """Raised for SQL constructs outside the compiler's supported surface."""

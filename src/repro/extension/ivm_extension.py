@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 import pathlib
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -40,10 +41,20 @@ from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.costmodel import RefreshSignals
 from repro.core.flags import CompilerFlags, PropagationMode
 from repro.core.propagate import RefreshStats, run_pipeline
+from repro.core.runtime import (
+    RUNG_NAMES,
+    RUNG_PARALLEL,
+    RUNG_RECOMPUTE,
+    RUNG_SERIAL,
+    RUNG_UNSHARDED,
+    DegradationLadder,
+    IngestQueue,
+    RefreshDaemon,
+)
 from repro.engine.connection import Connection
 from repro.engine.triggers import delta_capture_rows
 from repro.engine.result import Result
-from repro.errors import IVMError, ParserError
+from repro.errors import BackpressureError, IVMError, ParserError
 from repro.sql import ast
 from repro.sql.parser import parse_script
 from repro.zset.incremental import IndexedJoinState
@@ -71,6 +82,9 @@ class _ViewState:
     # may have consumed part of the batch, so the next refresh rebuilds
     # the whole view from the base tables instead of propagating.
     needs_recompute: bool = False
+    # The escalating degradation ladder (parallel → serial → unsharded
+    # SQL → recompute); every view gets one, even when it never demotes.
+    ladder: DegradationLadder = field(default_factory=DegradationLadder)
 
 
 class _MaterializedViewParser:
@@ -121,6 +135,37 @@ class IVMExtension:
             self._durability = DurabilityManager(
                 self.durability_dir, self, sync=self.flags.wal_sync
             )
+        # The async ingestion runtime (CompilerFlags.ingest_queue): the
+        # capture triggers enqueue delta batches here instead of writing
+        # WAL + ΔT synchronously; _drain_queue moves them on batch-size/
+        # deadline/watermark triggers and at the top of every refresh.
+        self._runtime_lock = threading.RLock()
+        self._queue: IngestQueue | None = None
+        self._daemon: RefreshDaemon | None = None
+        if self.flags.ingest_queue:
+            self._queue = IngestQueue(
+                capacity=self.flags.queue_capacity,
+                policy=self.flags.queue_policy,
+                high_watermark=self.flags.queue_high_watermark,
+                low_watermark=self.flags.queue_low_watermark,
+                block_timeout=self.flags.queue_block_timeout,
+                drain_callback=self._drain_queue,
+                fault_plan=self.flags.fault_plan,
+            )
+            if self._durability is not None:
+                # A checkpoint must cover the queued deltas: base rows
+                # are already applied, so an image taken with batches
+                # still queued would lose them on recovery.
+                self._durability.pre_checkpoint_hook = self._drain_queue
+            if self.flags.queue_async:
+                tick = (
+                    self.flags.queue_deadline / 2
+                    if self.flags.queue_deadline > 0
+                    else 0.05
+                )
+                self._daemon = RefreshDaemon(
+                    self._queue, self._daemon_pump, tick=tick
+                )
 
     # -- registration (the paper's "registration functions") ----------------
 
@@ -132,6 +177,21 @@ class IVMExtension:
         connection.extensions.register_pre_hook(self._pre_hook)
         connection.extensions.register_post_hook(self._post_hook)
         connection.extensions.mark_loaded("openivm", self)
+        if self._daemon is not None:
+            self._daemon.start()
+
+    def shutdown(self) -> None:
+        """Stop the background refresher (draining what it holds) and
+        close the durability manager.  Idempotent."""
+        if self._daemon is not None:
+            self._daemon.stop()
+        if self._queue is not None and self._queue.depth():
+            try:
+                self._drain_queue()
+            except Exception:
+                pass  # watchers were marked needs_recompute by the drain
+        if self._durability is not None:
+            self._durability.close()
 
     # -- public API ---------------------------------------------------------
 
@@ -159,22 +219,45 @@ class IVMExtension:
         eager, lazy, and batch — funnel through here.
         """
         state = self.view_state(name)
+        # Queued capture batches must reach ΔT before the pipeline reads
+        # it (a drain failure marks the watchers and raises — the
+        # recompute below then repairs them on the next call).
+        self._drain_queue()
         closure = self._refresh_closure(state)
         con = self._require_connection()
-        if any(member.needs_recompute for member in closure):
+        if any(
+            member.needs_recompute or member.ladder.rung == RUNG_RECOMPUTE
+            for member in closure
+        ):
             self._recompute_closure(closure)
             return
+        # Members whose ladder heals across the unsharded rung this
+        # round: their native states sat out the SQL rounds and must be
+        # reseeded — after the closure-wide ΔT truncation below, so the
+        # rebuilt states equal exactly the current base tables.
+        reseed: list[_ViewState] = []
         for member in closure:
             stats = member.stats
             stats.begin_round()
             pending_before = member.pending_changes
-            # Adaptive plan selection: collect the O(1) signals, let the
+            # Apply the degradation-ladder rung, then (rung 0 only) the
+            # adaptive plan selection: collect the O(1) signals, let the
             # per-view planner pick this round's arm, and wire it in —
             # run_pipeline then executes the chosen native steps and
             # falls back to SQL for every step the arm excludes.
+            rung = member.ladder.rung
             decision = None
             active_steps = member.compiled.native_steps
-            if member.adaptive is not None:
+            if rung == RUNG_UNSHARDED:
+                # Pure SQL fallback: the compiled script is complete on
+                # its own; the native states go stale and are reseeded
+                # when the ladder heals back past this rung.
+                active_steps = []
+            elif rung == RUNG_SERIAL:
+                for step in active_steps:
+                    if step.name == "sharded":
+                        step.set_parallel(False)
+            elif member.adaptive is not None:
                 signals = self._refresh_signals(member)
                 decision = member.adaptive.choose(signals)
                 active_steps = member.adaptive.activate(decision)
@@ -186,6 +269,12 @@ class IVMExtension:
                     decision.explored,
                     decision.regime_shift,
                 )
+            else:
+                for step in active_steps:
+                    if step.name == "sharded":
+                        step.set_parallel(
+                            member.compiled.model.flags.parallel_refresh
+                        )
             started = time.perf_counter()
             # Epoch-pin the view table: concurrent readers keep scanning
             # the pre-refresh snapshot until the commit below, so they
@@ -206,15 +295,36 @@ class IVMExtension:
                     ),
                     stats=stats,
                 )
-            except BaseException:
+            except BaseException as error:
                 # Roll the stored rows back to the pinned pre-refresh
                 # epoch (never commit a half-applied refresh as the new
                 # truth) and flag the view: the in-memory states may
                 # have consumed part of the batch, so the next refresh
-                # rebuilds from the base tables.
+                # rebuilds from the base tables.  The failure also
+                # demotes the degradation ladder one rung, so once the
+                # recompute has repaired the view, subsequent refreshes
+                # run in the next-safer execution mode.
                 if pinned:
                     con.abort_table_snapshot(member.compiled.name)
                 member.needs_recompute = True
+                stats.record_event(
+                    "refresh_failure",
+                    rung=rung,
+                    rung_name=RUNG_NAMES[rung],
+                    error=type(error).__name__,
+                    detail=str(error)[:200],
+                )
+                from_rung, to_rung = member.ladder.note_failure()
+                if to_rung != from_rung:
+                    stats.record_event(
+                        "demote",
+                        from_rung=from_rung,
+                        to_rung=to_rung,
+                        from_name=RUNG_NAMES[from_rung],
+                        to_name=RUNG_NAMES[to_rung],
+                        reason=type(error).__name__,
+                    )
+                stats.degradation_rung = member.ladder.rung
                 raise
             if pinned:
                 con.commit_table_snapshot(member.compiled.name)
@@ -233,6 +343,7 @@ class IVMExtension:
                 member.adaptive.observe(decision, wall)
                 stats.close_decision(wall)
             member.pending_retractions = 0
+            self._note_clean_refresh(member, reseed)
         delta_tables = {
             delta
             for member in closure
@@ -250,8 +361,35 @@ class IVMExtension:
                 con.truncate_table(delta)
             else:
                 con.execute(f"DELETE FROM {delta}")
+        for member in reseed:
+            for step in member.compiled.native_steps:
+                _clear_step_pendings(step)
+                step.initialize(con)
         if self._durability is not None:
             self._durability.note_refresh()
+
+    def _note_clean_refresh(
+        self, member: _ViewState, reseed: list | None = None
+    ) -> None:
+        """One refresh of ``member`` completed cleanly: advance the
+        degradation ladder's heal counter, record the heal event when a
+        rung is regained, and sync the stats mirrors (current rung, the
+        ingest queue's counters)."""
+        healed = member.ladder.note_clean()
+        if healed is not None:
+            from_rung, to_rung = healed
+            member.stats.record_event(
+                "heal",
+                from_rung=from_rung,
+                to_rung=to_rung,
+                from_name=RUNG_NAMES[from_rung],
+                to_name=RUNG_NAMES[to_rung],
+            )
+            if from_rung == RUNG_UNSHARDED and reseed is not None:
+                reseed.append(member)
+        member.stats.degradation_rung = member.ladder.rung
+        if self._queue is not None:
+            member.stats.queue = self._queue.snapshot()
 
     def _recompute_closure(self, closure: list[_ViewState]) -> None:
         """Rebuild every view of a refresh closure from the base tables.
@@ -284,12 +422,23 @@ class IVMExtension:
                 step.initialize(con)
             member.pending_changes = 0
             member.pending_retractions = 0
+            member.stats.record_event(
+                "recompute",
+                rung=member.ladder.rung,
+                rung_name=member.ladder.rung_name,
+                flagged=member.needs_recompute,
+            )
             member.needs_recompute = False
             member.refresh_count += 1
+            # A successful recompute is a clean round for the ladder —
+            # it is how the last rung ever heals.  The reseed above
+            # already rebuilt the native states, so no extra reseed list.
+            self._note_clean_refresh(member)
         if self._durability is not None:
             self._durability.note_refresh()
 
     def refresh_all(self) -> None:
+        self._drain_queue()
         for name in self.views():
             state = self._views[name]
             if state.pending_changes or state.needs_recompute:
@@ -552,15 +701,26 @@ class IVMExtension:
         self, connection: Connection, statement: ast.Statement, result: Result
     ) -> None:
         """After a DML statement on a watched base table, apply the refresh
-        policy (the capture itself happened in the AFTER triggers)."""
+        policy (the capture itself happened in the AFTER triggers).
+
+        With the ingest queue on, the pending-change accounting moves to
+        drain time (:meth:`_drain_queue`) — the capture deferred the ΔT
+        write, so counting here would let a refresh consume an empty ΔT
+        and zero counters the queue still backs.  The synchronous pump
+        below drains on the batch-size/deadline/watermark triggers when
+        no background refresher owns the queue.
+        """
         if not isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
             return
         watchers = self._watched.get(statement.table.lower())
         if not watchers or result.rowcount == 0:
             return
+        if self._queue is not None and self._daemon is None:
+            self._runtime_pump()
         for view_name in sorted(watchers):
             state = self._views[view_name]
-            state.pending_changes += result.rowcount
+            if self._queue is None:
+                state.pending_changes += result.rowcount
             mode = state.compiled.model.flags.mode
             if mode is PropagationMode.EAGER:
                 self.refresh(view_name)
@@ -609,6 +769,7 @@ class IVMExtension:
         ]
         state = _ViewState(compiled=compiled, prepared=prepared)
         flags = compiled.model.flags
+        state.ladder = DegradationLadder(heal_after=flags.degradation_heal_after)
         if flags.adaptive:
             state.adaptive = AdaptivePlanner(
                 build_plan_arms(compiled.model, compiled.native_steps),
@@ -669,15 +830,44 @@ class IVMExtension:
 
         def capture(connection: Connection, event: str, table: str, rows) -> None:
             delta_rows = delta_capture_rows(event, rows)
-            if self._durability is not None:
-                # Write-ahead: the signed rows hit the log (and, with
-                # wal_sync, the disk) before they reach ΔT, so a crash
-                # after this point replays them instead of losing them.
-                self._durability.log_delta(base_table, delta_rows)
-            # One columnar append per statement (delta tables have no
-            # indexes, so this is a straight block extend).
-            delta.insert_batch(delta_rows, coerce=False)
             retractions = sum(1 for row in delta_rows if not row[-1])
+            if self._queue is not None:
+                # Async ingestion: park the batch in the bounded queue;
+                # WAL + ΔT happen at drain time.  The base mutation has
+                # already been applied (AFTER trigger), so a rejected or
+                # fault-injected enqueue flags the watching views for
+                # recompute before the error surfaces — shed load costs
+                # refresh work, never correctness.
+                try:
+                    self._queue.enqueue(base_table, delta_rows, retractions)
+                except BackpressureError:
+                    self._mark_watchers_recompute(
+                        base_table, "shed", "backpressure"
+                    )
+                    raise
+                except Exception as error:
+                    self._mark_watchers_recompute(
+                        base_table, "capture_failure", type(error).__name__
+                    )
+                    raise
+                return
+            try:
+                if self._durability is not None:
+                    # Write-ahead: the signed rows hit the log (and, with
+                    # wal_sync, the disk) before they reach ΔT, so a crash
+                    # after this point replays them instead of losing them.
+                    self._durability.log_delta(base_table, delta_rows)
+                # One columnar append per statement (delta tables have no
+                # indexes, so this is a straight block extend).
+                delta.insert_batch(delta_rows, coerce=False)
+            except Exception as error:
+                # Fault containment: the base rows are in, the delta is
+                # not — the views can no longer trust propagation, so
+                # flag them for the recompute self-heal and re-raise.
+                self._mark_watchers_recompute(
+                    base_table, "capture_failure", type(error).__name__
+                )
+                raise
             if retractions:
                 for watcher in self._watched.get(base_table.lower(), ()):
                     member = self._views.get(watcher)
@@ -691,11 +881,26 @@ class IVMExtension:
 
     def _lazy_refresh_for_select(self, statement: ast.Select) -> None:
         referenced = _referenced_tables(statement)
+        if self._queue is not None and any(
+            name in self._views for name in referenced
+        ):
+            # Deltas still parked in the ingest queue are invisible to
+            # the pending counters; a lazy read must see them.
+            self._drain_queue()
         for name in sorted(referenced):
             state = self._views.get(name)
-            if state is None or state.pending_changes == 0:
+            if state is None:
                 continue
-            if state.compiled.model.flags.mode is not PropagationMode.EAGER:
+            if state.needs_recompute:
+                # Repair before the read regardless of mode: a shed or
+                # contained capture failure left the view behind its
+                # base tables, and no future DML is guaranteed.
+                self.refresh(state.compiled.name)
+            elif (
+                state.pending_changes
+                and state.compiled.model.flags.mode
+                is not PropagationMode.EAGER
+            ):
                 self.refresh(state.compiled.name)
 
     # -- script store ---------------------------------------------------------
@@ -711,6 +916,123 @@ class IVMExtension:
         if self._connection is None:
             raise IVMError("extension is not loaded; call load_ivm(connection)")
         return self._connection
+
+    # -- the async ingestion runtime ----------------------------------------
+
+    @property
+    def queue(self) -> IngestQueue | None:
+        """The bounded ingest queue, or None when
+        ``CompilerFlags.ingest_queue`` is off."""
+        return self._queue
+
+    def _drain_queue(self) -> None:
+        """Move every queued delta batch to WAL + ΔT and update the
+        pending counters — the single funnel between the async capture
+        path and the refresh pipeline.
+
+        A batch that fails to land (WAL fault, ΔT error) marks its
+        watchers ``needs_recompute`` and is dropped — its base rows are
+        already applied, so the recompute self-heal converges the views;
+        the remaining batches still land.  The first error is re-raised
+        after the drain completes.
+        """
+        if self._queue is None or self._queue.depth() == 0:
+            return
+        con = self._require_connection()
+        with self._runtime_lock:
+            batches = self._queue.drain()
+            first_error: Exception | None = None
+            for batch in batches:
+                try:
+                    if self._durability is not None:
+                        self._durability.log_delta(batch.table, batch.rows)
+                    delta_name = self.flags.delta_table(batch.table)
+                    con.table(delta_name).insert_batch(
+                        batch.rows, coerce=False
+                    )
+                except Exception as error:
+                    self._mark_watchers_recompute(
+                        batch.table, "drain_failure", type(error).__name__
+                    )
+                    if first_error is None:
+                        first_error = error
+                    continue
+                for watcher in self._watched.get(batch.table.lower(), ()):
+                    member = self._views.get(watcher)
+                    if member is not None:
+                        member.pending_changes += len(batch.rows)
+                        member.pending_retractions += batch.retractions
+            if first_error is not None:
+                raise first_error
+
+    def _runtime_pump(self, force: bool = False) -> None:
+        """The synchronous refresher: drain when a trigger is due —
+        queued rows past the batch size (BATCH mode), the oldest batch
+        past ``queue_deadline``, or the high watermark crossed."""
+        if self._queue is None:
+            return
+        batch_rows = (
+            self.flags.batch_size
+            if self.flags.mode is PropagationMode.BATCH
+            else 0
+        )
+        if force or self._queue.drain_due(batch_rows, self.flags.queue_deadline):
+            self._drain_queue()
+
+    def _daemon_pump(self) -> None:
+        """The background refresher's tick (``queue_async``): same
+        triggers as the synchronous pump, on the daemon thread."""
+        self._runtime_pump()
+
+    def _mark_watchers_recompute(
+        self, base_table: str, kind: str, reason: str
+    ) -> None:
+        """Flag every view watching ``base_table`` for the recompute
+        self-heal and record the structured event."""
+        for watcher in self._watched.get(base_table.lower(), ()):
+            member = self._views.get(watcher)
+            if member is None:
+                continue
+            member.needs_recompute = True
+            member.stats.record_event(kind, table=base_table, reason=reason)
+
+    def health(self) -> dict:
+        """The live health report (the ``openivm health`` CLI shape):
+        per-view recompute/degradation status, ingest-queue counters,
+        durability facts, and the fault plan's firing counts."""
+        report: dict[str, Any] = {
+            "views": [],
+            "queue": None if self._queue is None else self._queue.snapshot(),
+            "durability": None,
+            "faults": None,
+        }
+        for name in self.views():
+            state = self._views[name]
+            ladder = state.ladder
+            report["views"].append(
+                {
+                    "view": state.compiled.name,
+                    "pending_changes": state.pending_changes,
+                    "needs_recompute": state.needs_recompute,
+                    "rung": ladder.rung,
+                    "rung_name": ladder.rung_name,
+                    "demotions": ladder.demotions,
+                    "heals": ladder.heals,
+                    "refresh_count": state.refresh_count,
+                    "recent_events": [
+                        dict(event) for event in state.stats.events[-8:]
+                    ],
+                }
+            )
+        if self._durability is not None:
+            report["durability"] = {
+                "directory": str(self._durability.directory),
+                "wal_last_lsn": self._durability.wal.last_lsn,
+                "checkpoint_failures": self._durability.checkpoint_failures,
+            }
+        if self.flags.fault_plan is not None:
+            report["faults"] = self.flags.fault_plan.snapshot()
+        return report
 
 
 def load_ivm(

@@ -136,6 +136,8 @@ def restore_state_row(row: tuple, schema: TableSchema) -> tuple:
 def flags_to_json(flags: CompilerFlags) -> dict:
     out = {}
     for spec in dataclass_fields(flags):
+        if spec.name == "fault_plan":
+            continue  # a live object, not config — never persisted
         value = getattr(flags, spec.name)
         if isinstance(value, enum.Enum):
             value = value.value
@@ -170,13 +172,12 @@ class Checkpoint:
     path: pathlib.Path | None = None
 
 
-def write_checkpoint(
-    path: pathlib.Path,
+def encode_checkpoint(
     lsn: int,
     meta: dict,
     sections: dict[str, Iterable[tuple]],
-) -> None:
-    """Serialize one checkpoint image to ``path`` in a single write."""
+) -> bytes:
+    """Serialize one checkpoint image (payload + CRC trailer) to bytes."""
     parts: list[bytes] = [MAGIC, _U64.pack(lsn)]
     meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
     parts.append(_U32.pack(len(meta_bytes)))
@@ -192,7 +193,17 @@ def write_checkpoint(
             parts.append(_U32.pack(len(row_bytes)))
             parts.append(row_bytes)
     payload = b"".join(parts)
-    path.write_bytes(payload + _U32.pack(crc32(payload)))
+    return payload + _U32.pack(crc32(payload))
+
+
+def write_checkpoint(
+    path: pathlib.Path,
+    lsn: int,
+    meta: dict,
+    sections: dict[str, Iterable[tuple]],
+) -> None:
+    """Serialize one checkpoint image to ``path`` in a single write."""
+    path.write_bytes(encode_checkpoint(lsn, meta, sections))
 
 
 def read_checkpoint(path: pathlib.Path) -> Checkpoint | None:
@@ -404,9 +415,18 @@ class DurabilityManager:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.extension = extension
-        self.wal = WriteAheadLog.open(self.directory / WAL_FILENAME, sync=sync)
+        self.wal = WriteAheadLog.open(
+            self.directory / WAL_FILENAME,
+            sync=sync,
+            fault_plan=getattr(extension.flags, "fault_plan", None),
+        )
         self.keep_checkpoints = KEEP_CHECKPOINTS
         self._refreshes_since_checkpoint = 0
+        # Set by the extension when the ingest queue is on: checkpoints
+        # must drain queued batches to WAL + ΔT first, or the image
+        # would cover base rows whose deltas exist nowhere durable.
+        self.pre_checkpoint_hook = None
+        self.checkpoint_failures = 0
 
     @property
     def wal_path(self) -> pathlib.Path:
@@ -418,23 +438,56 @@ class DurabilityManager:
         return self.wal.append(base_table, delta_rows)
 
     def note_refresh(self) -> None:
-        """Periodic-checkpoint hook, called after each completed refresh."""
+        """Periodic-checkpoint hook, called after each completed refresh.
+
+        A *periodic* checkpoint failure is swallowed (and counted in
+        ``checkpoint_failures``): the WAL still covers everything since
+        the last good image, and the reader skips a torn candidate, so
+        durability degrades only in recovery time, never correctness.
+        Explicit ``checkpoint()`` calls still raise.
+        """
         every = self.extension.flags.checkpoint_every
         if every <= 0:
             return
         self._refreshes_since_checkpoint += 1
         if self._refreshes_since_checkpoint >= every:
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except Exception:
+                self._refreshes_since_checkpoint = 0
 
     def checkpoint(self) -> pathlib.Path:
         """Write a new checkpoint covering everything up to the current
-        WAL LSN, then prune old ones."""
-        connection = self.extension._require_connection()
-        meta, sections = build_checkpoint_payload(connection, self.extension)
-        existing = _checkpoint_paths(self.directory)
-        seq = (existing[-1][0] + 1) if existing else 1
-        path = self.directory / f"checkpoint-{seq:08d}.ckpt"
-        write_checkpoint(path, self.wal.last_lsn, meta, sections)
+        WAL LSN, then prune old ones.
+
+        ``checkpoint.write`` is a named fault-injection site: ``error``
+        faults raise before any bytes are written; ``torn`` faults
+        persist a prefix of the image and then raise — the CRC trailer
+        cannot match, so the reader falls back to the previous sequence
+        number, exactly like a crash mid-write.
+        """
+        if self.pre_checkpoint_hook is not None:
+            self.pre_checkpoint_hook()
+        try:
+            connection = self.extension._require_connection()
+            meta, sections = build_checkpoint_payload(
+                connection, self.extension
+            )
+            existing = _checkpoint_paths(self.directory)
+            seq = (existing[-1][0] + 1) if existing else 1
+            path = self.directory / f"checkpoint-{seq:08d}.ckpt"
+            plan = getattr(self.extension.flags, "fault_plan", None)
+            torn = None
+            if plan is not None:
+                torn = plan.check("checkpoint.write", seq=seq)
+            data = encode_checkpoint(self.wal.last_lsn, meta, sections)
+            if torn is not None:
+                path.write_bytes(torn.cut(data))
+                raise torn.error
+            path.write_bytes(data)
+        except Exception:
+            self.checkpoint_failures += 1
+            raise
         self._refreshes_since_checkpoint = 0
         for _, old in _checkpoint_paths(self.directory)[: -self.keep_checkpoints]:
             try:
@@ -593,6 +646,53 @@ def _replay_record(connection, extension, record) -> None:
         delta.insert_batch(delta_rows, coerce=False)
     for view_name in extension._watched.get(record.table.lower(), ()):
         extension._views[view_name].pending_changes += len(record.rows)
+
+
+def durability_health(directory: str | pathlib.Path) -> dict:
+    """Offline inspection of one durability directory for the
+    ``openivm health`` report: WAL tail validity plus every checkpoint
+    candidate's decodability and the epoch recovery would load.  Never
+    mutates the directory (no tail truncation, no pruning)."""
+    from repro.storage.wal import wal_health
+
+    directory = pathlib.Path(directory)
+    report = {
+        "directory": str(directory),
+        "exists": directory.is_dir(),
+        "wal": wal_health(directory / WAL_FILENAME),
+        "checkpoints": [],
+        "latest_checkpoint": None,
+    }
+    if not report["exists"]:
+        return report
+    for seq, path in _checkpoint_paths(directory):
+        decoded = read_checkpoint(path)
+        report["checkpoints"].append(
+            {
+                "seq": seq,
+                "file": path.name,
+                "valid": decoded is not None,
+                "lsn": None if decoded is None else decoded.lsn,
+            }
+        )
+    latest = latest_checkpoint(directory)
+    if latest is not None:
+        report["latest_checkpoint"] = {
+            "seq": _checkpoint_seq(latest.path),
+            "file": latest.path.name,
+            "lsn": latest.lsn,
+            "views": [
+                view["name"] for view in latest.meta.get("views", [])
+            ],
+            "replay_records": sum(
+                1
+                for record in read_records(directory / WAL_FILENAME)[0]
+                if record.lsn > latest.lsn
+            )
+            if report["wal"]["valid"]
+            else None,
+        }
+    return report
 
 
 def _delete_one(base, values: tuple) -> None:

@@ -144,20 +144,31 @@ class WriteAheadLog:
     trade-off for CI and benchmarks.
     """
 
-    def __init__(self, path: str | pathlib.Path, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        sync: bool = False,
+        fault_plan: Any = None,
+    ) -> None:
         self.path = pathlib.Path(path)
         self.sync = bool(sync)
+        self.fault_plan = fault_plan
         self._last_lsn = 0
         self._file = None
 
     @classmethod
-    def open(cls, path: str | pathlib.Path, sync: bool = False) -> "WriteAheadLog":
+    def open(
+        cls,
+        path: str | pathlib.Path,
+        sync: bool = False,
+        fault_plan: Any = None,
+    ) -> "WriteAheadLog":
         """Open (or create) a log for appending.
 
         Scans any existing file, truncates a torn tail off the end, and
         resumes LSNs after the last complete record.
         """
-        wal = cls(path, sync=sync)
+        wal = cls(path, sync=sync, fault_plan=fault_plan)
         records, valid_size = read_records(wal.path)
         wal._last_lsn = records[-1].lsn if records else 0
         fresh = valid_size == 0
@@ -184,12 +195,41 @@ class WriteAheadLog:
         self._last_lsn = max(self._last_lsn, int(lsn))
 
     def append(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Log one delta batch; returns the record's LSN."""
+        """Log one delta batch; returns the record's LSN.
+
+        The append is atomic from the surviving process's perspective: a
+        failed (or fault-injected torn) write rolls the file back to the
+        pre-append offset before re-raising, so later appends can never
+        land behind a torn *middle* — which the reader would have to
+        treat as corruption rather than a crash tail.  A real crash
+        mid-append leaves the torn tail for :meth:`open` to truncate,
+        exactly as before.  ``wal.append`` is a named fault-injection
+        site: ``error`` faults raise before any bytes are written,
+        ``torn`` faults persist a prefix of the record and then fail
+        (rolled back as above, with the partial bytes having transiently
+        hit the file — the crash-simulation window)."""
         if self._file is None:
             raise WALError("write-ahead log is closed")
+        torn = None
+        if self.fault_plan is not None:
+            torn = self.fault_plan.check("wal.append", table=table)
         lsn = self._last_lsn + 1
-        self._file.write(encode_record(lsn, table, rows))
-        self._file.flush()
+        payload = encode_record(lsn, table, rows)
+        start = self._file.seek(0, os.SEEK_END)
+        try:
+            if torn is not None:
+                self._file.write(torn.cut(payload))
+                self._file.flush()
+                raise torn.error
+            self._file.write(payload)
+            self._file.flush()
+        except Exception:
+            try:
+                self._file.truncate(start)
+                self._file.seek(start)
+            except OSError:  # pragma: no cover - rollback best-effort
+                pass
+            raise
         if self.sync:
             os.fsync(self._file.fileno())
         self._last_lsn = lsn
@@ -199,3 +239,39 @@ class WriteAheadLog:
         if self._file is not None:
             self._file.close()
             self._file = None
+
+
+def wal_health(path: str | pathlib.Path) -> dict:
+    """Offline WAL inspection for the ``openivm health`` report.
+
+    Unlike :meth:`WriteAheadLog.open`, this never truncates — it reports
+    the torn tail (if any) so the operator sees the pre-recovery state of
+    the file.  A CRC mismatch on a complete record flips ``valid`` to
+    False with the error message attached.
+    """
+    path = pathlib.Path(path)
+    report = {
+        "path": str(path),
+        "exists": path.exists(),
+        "valid": True,
+        "records": 0,
+        "last_lsn": 0,
+        "size_bytes": 0,
+        "valid_bytes": 0,
+        "torn_tail_bytes": 0,
+        "error": None,
+    }
+    if not path.exists():
+        return report
+    report["size_bytes"] = path.stat().st_size
+    try:
+        records, valid_size = read_records(path)
+    except WALError as error:
+        report["valid"] = False
+        report["error"] = str(error)
+        return report
+    report["records"] = len(records)
+    report["last_lsn"] = records[-1].lsn if records else 0
+    report["valid_bytes"] = valid_size
+    report["torn_tail_bytes"] = max(0, report["size_bytes"] - valid_size)
+    return report

@@ -81,6 +81,7 @@ def test_pipeline_trajectory_artifact(tmp_path):
         minmax_rounds=2, ingestion_rows=(50,), ablation_rounds=2,
         sharding_orders=200, sharding_delta_rows=10, sharding_rounds=2,
         durability_rows=40, durability_batches=2,
+        queue_bursts=2, queue_statements=10,
     )
     on_disk = json.loads(target.read_text())
     assert on_disk == data
@@ -135,6 +136,15 @@ def test_pipeline_trajectory_artifact(tmp_path):
     for section in ("wal_append", "recovery_replay"):
         assert durability[section]["rows"] == 80
         assert durability[section]["rows_per_second"] > 0
+    queue = data["ingestion_queue"]
+    assert set(queue["configs"]) == {"sync", "queue_block", "queue_coalesce"}
+    assert queue["configs"]["sync"]["queue"] is None
+    for name in ("queue_block", "queue_coalesce"):
+        cfg = queue["configs"][name]
+        assert cfg["rows_per_second"] > 0
+        assert cfg["refresh_p99_seconds"] >= cfg["refresh_p50_seconds"] > 0
+        assert cfg["queue"]["enqueued_rows"] > 0
+    assert queue["queue_vs_sync_ingest_ratio"] > 0
     adaptive = data["adaptive"]
     assert set(adaptive) == {
         "pipeline", "minmax", "union_regroup", "expr_keyed", "sharding",
@@ -205,6 +215,23 @@ def test_durability_bench_stays_correct_at_tiny_scale():
     assert data["wal_append"]["rows_per_second"] > 0
     assert data["recovery_replay"]["rows_per_second"] > 0
     assert data["wal_append"]["rows"] == 60
+
+
+def test_ingestion_queue_bench_stays_correct_at_tiny_scale():
+    """The ingest-queue burst benchmark converges under every config and
+    its backpressure counters balance (enqueued = drained + coalesced +
+    still queued)."""
+    data = bench_join.collect_ingestion_queue_benchmark(
+        bursts=2, statements_per_burst=12, rows_per_statement=2,
+    )
+    for name, cfg in data["configs"].items():
+        assert cfg["rows_written"] > 0, name
+        assert len(cfg["refresh_seconds"]) == 2
+    counters = data["configs"]["queue_block"]["queue"]
+    assert (
+        counters["drained_rows"] + counters["depth_rows"]
+        == counters["enqueued_rows"]
+    )
 
 
 def test_regression_gate_baseline_is_well_formed():

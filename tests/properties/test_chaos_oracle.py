@@ -1,0 +1,424 @@
+"""Chaos oracle: randomized DML under seeded fault schedules.
+
+The robustness milestone's acceptance bar.  Four chaos campaigns replay
+seeded DML streams (the sales workload of the sharded oracle, plus a
+single-table churn stream for the ingest queue) while a deterministic
+:class:`~repro.core.faults.FaultPlan` injects failures at the four named
+sites:
+
+* ``shard.compute`` — worker exceptions (retryable and not) and latency
+  spikes that blow ``worker_timeout``, exercising bounded retry, pool
+  abandonment, and the degradation ladder;
+* ``wal.append`` — hard errors and torn writes on the capture path (the
+  base mutation survives; the delta is lost, so the watchers must
+  self-heal through recompute);
+* ``checkpoint.write`` — torn and failed checkpoint images (periodic
+  checkpoints swallow the error; recovery must fall back to the last
+  good image);
+* ``queue.enqueue`` — admission faults plus genuine overflow against a
+  tiny queue under each backpressure policy.
+
+After every few statements each engine must equal the full recompute of
+its view over its own base tables — whatever subset of faults fired, an
+injected failure may cost refresh work but never correctness.  The
+ladder campaign additionally asserts the structured ``demote``/``heal``
+events, and the durability campaign finishes with a real
+:meth:`Connection.recover` over the faulted directory.
+
+Total randomized DML steps across the campaigns exceed 200 (asserted at
+the bottom); every schedule is seeded, so failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CompilerFlags, Connection, PropagationMode, load_ivm
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.runtime import RUNG_PARALLEL, RUNG_UNSHARDED
+from repro.errors import ReproError
+from repro.workloads.generators import generate_sales_workload, zipf_group_keys
+
+SHARDED_STEPS = 120
+DURABILITY_STEPS = 60
+QUEUE_STEPS_PER_POLICY = 30
+LADDER_STEPS = 24
+
+VIEW = (
+    "CREATE MATERIALIZED VIEW sh AS "
+    "SELECT c.region, COUNT(*) AS n, SUM(o.amount) AS revenue, "
+    "MIN(o.amount) AS lo, MAX(o.amount) AS hi "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+RECOMPUTE = (
+    "SELECT c.region, COUNT(*), SUM(o.amount), MIN(o.amount), MAX(o.amount) "
+    "FROM orders o JOIN customers c ON o.cust_id = c.cust_id "
+    "GROUP BY c.region"
+)
+
+GROUPS_VIEW = (
+    "CREATE MATERIALIZED VIEW q AS "
+    "SELECT g, SUM(v) AS s, COUNT(*) AS n FROM t GROUP BY g"
+)
+GROUPS_RECOMPUTE = "SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g"
+
+
+def _build_sales_engine(**flag_overrides):
+    """A connection with the join view over the seeded sales workload."""
+    flag_overrides.setdefault("mode", PropagationMode.LAZY)
+    con = Connection()
+    ext = load_ivm(con, CompilerFlags(**flag_overrides))
+    workload = generate_sales_workload(
+        num_customers=40, num_orders=120, num_regions=6, seed=71
+    )
+    con.execute(workload.SCHEMA)
+    customers = con.table("customers")
+    for row in workload.customers:
+        customers.insert(row, coerce=False)
+    orders = con.table("orders")
+    for row in workload.orders:
+        orders.insert(row, coerce=False)
+    con.execute(VIEW)
+    return con, ext, workload
+
+
+def _execute_chaos(con, sql, params=None) -> bool:
+    """Run one DML statement, tolerating injected failures.
+
+    Returns True when the statement raised an injected/typed error.  The
+    base mutation has still been applied (capture and refresh run in
+    AFTER hooks), so the oracle's ground truth — recompute over this
+    connection's own base tables — stays valid either way."""
+    try:
+        if params is None:
+            con.execute(sql)
+        else:
+            con.execute(sql, params)
+        return False
+    except ReproError:
+        return True
+
+
+def _assert_converged(con, view_select: str, recompute_sql: str) -> None:
+    """The view must equal the recompute; reads retry past injected
+    refresh failures (each failed attempt demotes/flags, the next one
+    self-heals), and must converge within a handful of attempts."""
+    got = None
+    for _ in range(8):
+        try:
+            got = con.execute(view_select).sorted()
+            break
+        except ReproError:
+            continue
+    assert got is not None, "view read never survived the fault schedule"
+    want = con.execute(recompute_sql).sorted()
+    assert got == want, "view diverged from the recompute ground truth"
+
+
+# ---------------------------------------------------------------------------
+# Campaign 1: shard-worker chaos — exceptions, timeouts, retries, ladder
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_worker_chaos_converges():
+    """Parallel sharded refresh under worker exceptions and latency
+    spikes: retryable faults replay on the retry budget, non-retryable
+    and timed-out workers demote the ladder, and the view equals the
+    recompute after every burst regardless."""
+    plan = FaultPlan(seed=2024).add(
+        FaultSpec("shard.compute", kind="error", probability=0.10, times=8)
+    ).add(
+        FaultSpec(
+            "shard.compute", kind="error", probability=0.05, times=3,
+            retryable=False,
+        )
+    ).add(
+        # Sleeps past worker_timeout: the attempt is abandoned behind
+        # the round token and retried on a fresh pool.
+        FaultSpec(
+            "shard.compute", kind="latency", latency=0.25,
+            probability=0.04, times=2,
+        )
+    )
+    con, ext, workload = _build_sales_engine(
+        shard_count=4,
+        parallel_refresh=True,
+        worker_timeout=0.05,
+        worker_retries=2,
+        worker_backoff=0.001,
+        fault_plan=plan,
+    )
+    rng = random.Random(93)
+    picks = iter(
+        int(key[1:])
+        for key in zipf_group_keys(
+            SHARDED_STEPS * 2, num_groups=40, skew=1.3, seed=94
+        )
+    )
+    live = {row[0]: None for row in workload.orders}
+    next_oid = workload.next_order_id()
+    for step in range(1, SHARDED_STEPS + 1):
+        roll = rng.random()
+        if roll < 0.6 or not live:
+            cust = workload.customers[next(picks)][0]
+            _execute_chaos(
+                con, "INSERT INTO orders VALUES (?, ?, ?, ?)",
+                [next_oid, cust, "p", rng.randint(-200, 500)],
+            )
+            live[next_oid] = None
+            next_oid += 1
+        else:
+            victim = rng.choice(sorted(live))
+            del live[victim]
+            _execute_chaos(con, "DELETE FROM orders WHERE oid = ?", [victim])
+        if step % 5 == 0:
+            _assert_converged(
+                con, "SELECT region, n, revenue, lo, hi FROM sh", RECOMPUTE
+            )
+    assert plan.fired("shard.compute") > 0, "schedule never fired"
+    stats = ext.view_state("sh").stats
+    assert stats.events_of("refresh_failure"), "no refresh ever failed"
+    assert stats.events_of("demote"), "failures never demoted the ladder"
+    assert stats.events_of("recompute"), "self-heal never ran"
+    # Quiet phase: the schedule is exhausted (every spec is times-capped),
+    # so clean refreshes heal the ladder back to the full plan.
+    state = ext.view_state("sh")
+    for round_index in range(16):
+        if state.ladder.rung == RUNG_PARALLEL:
+            break
+        con.execute(
+            "INSERT INTO orders VALUES (?, ?, ?, ?)",
+            [next_oid, workload.customers[0][0], "p", round_index],
+        )
+        next_oid += 1
+        ext.refresh("sh")
+    assert state.ladder.rung == RUNG_PARALLEL, "ladder never healed"
+    assert stats.events_of("heal"), "heal left no structured event"
+    _assert_converged(
+        con, "SELECT region, n, revenue, lo, hi FROM sh", RECOMPUTE
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaign 2: WAL / checkpoint I/O chaos, then a real recovery
+# ---------------------------------------------------------------------------
+
+
+def test_durability_io_chaos_converges_and_recovers(tmp_path):
+    """Flaky WAL appends (hard + torn) and flaky checkpoint images under
+    a randomized stream: the live engine stays convergent (lost captures
+    self-heal through recompute), periodic checkpoint failures are
+    contained, and recovering the faulted directory yields an engine
+    whose views equal the recompute over the recovered base tables."""
+    plan = FaultPlan(seed=7).add(
+        FaultSpec("wal.append", kind="error", probability=0.10, times=5)
+    ).add(
+        FaultSpec("wal.append", kind="torn", probability=0.06, times=4)
+    ).add(
+        FaultSpec("checkpoint.write", kind="torn", probability=0.5, times=2)
+    ).add(
+        FaultSpec("checkpoint.write", kind="error", probability=0.4, times=2)
+    )
+    directory = tmp_path / "chaos-dur"
+    con = Connection()
+    ext = load_ivm(
+        con,
+        CompilerFlags(
+            mode=PropagationMode.LAZY,
+            durability=True,
+            checkpoint_every=3,
+            fault_plan=plan,
+        ),
+        durability_dir=directory,
+    )
+    con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+    con.execute(GROUPS_VIEW)
+    rng = random.Random(29)
+    for step in range(1, DURABILITY_STEPS + 1):
+        if rng.random() < 0.75:
+            _execute_chaos(
+                con, "INSERT INTO t VALUES (?, ?)",
+                [f"g{rng.randrange(8)}", float(rng.randint(-8, 8))],
+            )
+        else:
+            _execute_chaos(
+                con, "DELETE FROM t WHERE g = ? AND v = ?",
+                [f"g{rng.randrange(8)}", float(rng.randint(-8, 8))],
+            )
+        if step % 5 == 0:
+            _assert_converged(
+                con, "SELECT g, s, n FROM q", GROUPS_RECOMPUTE
+            )
+    assert plan.fired("wal.append") > 0
+    assert plan.fired("checkpoint.write") > 0
+    # Torn WAL appends rolled the file back, so the log on disk has no
+    # torn middle: a full scan must decode cleanly.
+    from repro.storage.wal import wal_health
+
+    health = wal_health(directory / "wal.log")
+    assert health["valid"] and health["torn_tail_bytes"] == 0
+    live_rows = con.execute("SELECT COUNT(*) FROM t").rows[0][0]
+    ext.shutdown()
+    # The recovered engine replays checkpoint + WAL: rows whose append
+    # faulted never reached the log, so the recovered base may trail the
+    # live one — but its views must equal ITS recompute exactly.
+    recovered = Connection.recover(directory)
+    recovered_rows = recovered.execute("SELECT COUNT(*) FROM t").rows[0][0]
+    assert recovered_rows <= live_rows
+    assert (
+        recovered.execute("SELECT g, s, n FROM q").sorted()
+        == recovered.execute(GROUPS_RECOMPUTE).sorted()
+    )
+    # And the recovered engine keeps working incrementally.
+    recovered.execute("INSERT INTO t VALUES ('post', 1.0), ('post', 2.0)")
+    assert (
+        recovered.execute("SELECT g, s, n FROM q").sorted()
+        == recovered.execute(GROUPS_RECOMPUTE).sorted()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaign 3: ingest-queue overflow chaos, one run per backpressure policy
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["block", "shed", "coalesce"])
+def test_queue_overflow_chaos_converges(policy):
+    """A churny stream against a deliberately tiny queue plus injected
+    admission faults: every policy converges — block pays with inline
+    drains, shed pays with typed rejections + recompute self-heal,
+    coalesce annihilates opposite-sign churn in place."""
+    plan = FaultPlan(seed=11).add(
+        FaultSpec("queue.enqueue", kind="error", probability=0.2, times=4)
+    )
+    con = Connection()
+    ext = load_ivm(
+        con,
+        CompilerFlags(
+            mode=PropagationMode.LAZY,
+            ingest_queue=True,
+            queue_capacity=10,
+            queue_policy=policy,
+            queue_high_watermark=1.0,
+            queue_low_watermark=0.5,
+            fault_plan=plan,
+        ),
+    )
+    con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+    con.execute(GROUPS_VIEW)
+    rng = random.Random({"block": 101, "shed": 202, "coalesce": 303}[policy])
+    shed_or_injected = 0
+    for step in range(1, QUEUE_STEPS_PER_POLICY + 1):
+        if rng.random() < 0.65:
+            count = rng.randint(1, 6)
+            values = ", ".join(
+                f"('g{rng.randrange(4)}', {rng.randint(-5, 5)})"
+                for _ in range(count)
+            )
+            failed = _execute_chaos(con, f"INSERT INTO t VALUES {values}")
+        else:
+            failed = _execute_chaos(
+                con, "DELETE FROM t WHERE g = ?", [f"g{rng.randrange(4)}"]
+            )
+        shed_or_injected += failed
+        if step % 5 == 0:
+            _assert_converged(con, "SELECT g, s, n FROM q", GROUPS_RECOMPUTE)
+    counters = ext.queue.counters
+    if policy == "shed":
+        assert counters["shed_batches"] > 0, "tiny queue never overflowed"
+        assert shed_or_injected > 0
+    if policy == "block":
+        assert counters["inline_drains"] > 0, "blocked writer never drained"
+    if policy == "coalesce":
+        assert counters["coalesced_rows"] > 0, "churn never coalesced"
+    assert plan.fired("queue.enqueue") > 0
+    _assert_converged(con, "SELECT g, s, n FROM q", GROUPS_RECOMPUTE)
+
+
+# ---------------------------------------------------------------------------
+# Campaign 4: the degradation ladder demotes rung by rung, then heals back
+# ---------------------------------------------------------------------------
+
+
+def test_degradation_ladder_demotes_and_heals_deterministically():
+    """Non-retryable worker faults, one armed per phase, walk the ladder
+    down one rung per failure (parallel → serial → unsharded), every
+    rung is visible as a structured ``demote`` event, and once the
+    faults stop, consecutive clean refreshes emit ``heal`` events until
+    the view is back on the full parallel plan — with the native states
+    reseeded and the results still exact."""
+    plan = FaultPlan(seed=3)
+    con, ext, workload = _build_sales_engine(
+        shard_count=2,
+        parallel_refresh=True,
+        degradation_heal_after=2,
+        fault_plan=plan,
+    )
+    state = ext.view_state("sh")
+    next_oid = workload.next_order_id()
+    steps = 0
+
+    def dml_and_refresh(expect_fail: bool) -> None:
+        nonlocal next_oid, steps
+        con.execute(
+            "INSERT INTO orders VALUES (?, ?, ?, ?)",
+            [next_oid, workload.customers[steps % 20][0], "p", steps * 3 - 20],
+        )
+        next_oid += 1
+        steps += 1
+        failed = False
+        try:
+            ext.refresh("sh")
+        except ReproError:
+            failed = True
+        assert failed == expect_fail
+        _assert_converged(
+            con, "SELECT region, n, revenue, lo, hi FROM sh", RECOMPUTE
+        )
+
+    # Phase 1: one non-retryable fault demotes the parallel plan.
+    plan.add(FaultSpec("shard.compute", kind="error", times=1, retryable=False))
+    dml_and_refresh(expect_fail=True)
+    assert state.ladder.rung == 1
+    # Phase 2: the next fault hits the serial rung and demotes again.
+    plan.add(FaultSpec("shard.compute", kind="error", times=1, retryable=False))
+    dml_and_refresh(expect_fail=True)
+    assert state.ladder.rung == RUNG_UNSHARDED
+    # Phase 3: no faults armed — clean refreshes heal rung by rung, and
+    # further cleans at the top stay there.
+    while steps < LADDER_STEPS:
+        dml_and_refresh(expect_fail=False)
+    assert plan.fired("shard.compute") == 2
+    stats = state.stats
+    demotes = stats.events_of("demote")
+    heals = stats.events_of("heal")
+    assert [(e["from_rung"], e["to_rung"]) for e in demotes] == [(0, 1), (1, 2)]
+    assert [(e["from_rung"], e["to_rung"]) for e in heals] == [(2, 1), (1, 0)]
+    assert state.ladder.rung == RUNG_PARALLEL
+    assert stats.degradation_rung == RUNG_PARALLEL
+    assert state.ladder.demotions == 2 and state.ladder.heals == 2
+    assert steps == LADDER_STEPS
+    # The reseeded native states keep propagating exactly after the heal.
+    con.execute(
+        "INSERT INTO orders VALUES (?, ?, ?, ?)",
+        [next_oid, workload.customers[1][0], "p", 999],
+    )
+    ext.refresh("sh")
+    _assert_converged(
+        con, "SELECT region, n, revenue, lo, hi FROM sh", RECOMPUTE
+    )
+
+
+def test_chaos_step_budget():
+    """The milestone requires 200+ randomized DML steps under fault
+    schedules across the campaigns above."""
+    total = (
+        SHARDED_STEPS
+        + DURABILITY_STEPS
+        + 3 * QUEUE_STEPS_PER_POLICY
+        + LADDER_STEPS
+    )
+    assert total >= 200
