@@ -60,10 +60,14 @@ class ViewClass(enum.Enum):
 
 @dataclass
 class SourceTable:
-    """One base table feeding the view."""
+    """One source feeding the view: a base table, or — when the
+    compiler's ``cascade_views`` flag is on — another materialized view,
+    in which case ``is_view`` is set and deltas arrive through the
+    upstream view's cascade feed instead of a base ΔT."""
 
     name: str
     alias: str
+    is_view: bool = False
 
 
 @dataclass
@@ -100,6 +104,11 @@ class ViewAnalysis:
     keys: list[KeyColumn]
     aggregates: list[AggregateColumn]
     sql: str = ""
+    # Base tables read only by uncorrelated IN-subqueries in WHERE.  DML
+    # against them never produces ΔT rows for this view, so the
+    # extension watches them separately to invalidate the pinned
+    # subquery snapshot (``CompilerFlags.subquery_snapshot``).
+    subquery_tables: list[str] = field(default_factory=list)
 
     @property
     def single_table(self) -> bool:
@@ -191,6 +200,7 @@ def analyze_view(
     join_ast = None
     if not single:
         join_ast = _join_condition_ast(query)
+    subquery_tables = _subquery_source_tables(query.where)
     return ViewAnalysis(
         view_name=view_name,
         view_class=view_class,
@@ -201,6 +211,7 @@ def analyze_view(
         join_condition=join_ast,
         keys=keys,
         aggregates=aggregates,
+        subquery_tables=subquery_tables,
     )
 
 
@@ -275,9 +286,53 @@ def _reject_unsupported_query_shape(query: ast.Select) -> None:
     if query.having is not None:
         raise UnsupportedError("HAVING clauses are not supported in views")
     if query.where is not None:
+        # The one supported subquery shape is an uncorrelated
+        # ``col [NOT] IN (SELECT ...)`` — parsed as an InList whose sole
+        # item is a ScalarSubquery.  The binder binds its SELECT in a
+        # fresh scope, so correlation is impossible by construction.
+        allowed: set[int] = set()
         for node in ast.walk_expression(query.where):
-            if isinstance(node, (ast.ScalarSubquery, ast.Exists)):
-                raise UnsupportedError("subqueries in view WHERE are not supported")
+            if (
+                isinstance(node, ast.InList)
+                and len(node.items) == 1
+                and isinstance(node.items[0], ast.ScalarSubquery)
+            ):
+                allowed.add(id(node.items[0]))
+        for node in ast.walk_expression(query.where):
+            if isinstance(node, ast.Exists):
+                raise UnsupportedError(
+                    "EXISTS subqueries in view WHERE are not supported"
+                )
+            if isinstance(node, ast.ScalarSubquery) and id(node) not in allowed:
+                raise UnsupportedError(
+                    "subqueries in view WHERE are only supported as "
+                    "[NOT] IN (SELECT ...)"
+                )
+
+
+def _subquery_source_tables(where: ast.Expression | None) -> list[str]:
+    """Names of the tables read by IN-subqueries in ``where`` (deduped,
+    in first-appearance order)."""
+    if where is None:
+        return []
+    names: list[str] = []
+    seen: set[str] = set()
+
+    def collect_from(ref: ast.TableRef | None) -> None:
+        if ref is None:
+            return
+        if isinstance(ref, ast.BaseTableRef):
+            if ref.name.lower() not in seen:
+                seen.add(ref.name.lower())
+                names.append(ref.name)
+        elif isinstance(ref, ast.JoinRef):
+            collect_from(ref.left)
+            collect_from(ref.right)
+
+    for node in ast.walk_expression(where):
+        if isinstance(node, ast.ScalarSubquery):
+            collect_from(node.query.from_clause)
+    return names
 
 
 def _join_condition_ast(query: ast.Select) -> ast.Expression | None:

@@ -122,7 +122,13 @@ from repro.execution.expression import (
     compile_batch_expression,
     true_mask,
 )
-from repro.planner.expressions import BoundBinary, BoundColumn, BoundConstant
+from repro.planner.expressions import (
+    BoundBinary,
+    BoundColumn,
+    BoundConstant,
+    BoundExpression,
+    BoundInSubquery,
+)
 from repro.zset.batch import ZSetBatch
 from repro.zset.incremental import (
     GroupExtremaState,
@@ -152,6 +158,57 @@ class _Source:
 
 class _Unsupported(Exception):
     """Internal: view shape outside the batched kernel surface."""
+
+
+@dataclass
+class _SubquerySnapshot:
+    """One pinned IN-subquery result inside a compiled WHERE predicate.
+
+    ``plan`` is the bound logical plan of the subquery SELECT (the same
+    object the compiled evaluator looks up by identity through
+    ``ExecutionContext.subquery_rows``); ``rows`` is the pinned result,
+    seeded at ``initialize()`` (lazily on the first run after recovery)
+    and re-evaluated at the start of every refresh.  ``signature``
+    summarizes the result as a set — IN only cares about membership and
+    NULL presence, so value order and duplicates never force a repair.
+    """
+
+    plan: Any
+    rows: list | None = None
+    signature: Any = None
+
+
+def _snapshot_signature(rows: list) -> tuple:
+    values = [row[0] for row in rows]
+    return (
+        any(value is None for value in values),
+        frozenset(value for value in values if value is not None),
+    )
+
+
+class _SnapshotContext:
+    """ExecutionContext wrapper that pins subquery results by plan id.
+
+    The compiled IN-subquery evaluator calls ``subquery_rows(plan)``;
+    answering from the pinned map (instead of re-executing the plan)
+    is what makes the snapshot the *predicate's* view of the subquery —
+    the delta batch and the stored rows are always filtered under the
+    same pinned result, and repair swaps the pin explicitly.
+    """
+
+    def __init__(self, inner, pinned: dict) -> None:
+        self._inner = inner
+        self._pinned = pinned
+        self.catalog = inner.catalog
+
+    def subquery_rows(self, plan):
+        rows = self._pinned.get(id(plan))
+        if rows is not None:
+            return rows
+        return self._inner.subquery_rows(plan)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
 @dataclass
@@ -209,6 +266,14 @@ class BatchedDeltaStep:
     # join views — the indexed state integrates the unfiltered
     # relations), through ``batch_filter``.
     where_eval: Any = None
+    # Pinned IN-subquery results referenced by ``where_eval`` (single-
+    # table views under ``CompilerFlags.subquery_snapshot``).  The
+    # predicate is only piecewise-linear: between snapshot changes the
+    # filter is linear and deltas flow as usual; when a re-evaluation at
+    # the start of ``run()`` finds the membership set changed, the step
+    # injects the retract/insert delta for integrated rows whose
+    # predicate verdict flipped — all in-memory, zero SQL.
+    snapshots: list = field(default_factory=list)
 
     @property
     def is_join(self) -> bool:
@@ -228,8 +293,11 @@ class BatchedDeltaStep:
 
         Any rows already pending in the delta tables are rewound out, so
         the state always equals ``base − unconsumed ΔT`` — the integrated
-        state as of the last refresh.
+        state as of the last refresh.  Subquery snapshots are seeded here
+        too, so the pinned predicate matches the state the populate query
+        materialized.
         """
+        self._seed_snapshots(connection)
         if not self.is_join:
             return
         left, right = self.model.analysis.tables
@@ -251,6 +319,12 @@ class BatchedDeltaStep:
         Returns the number of ΔV rows written.
         """
         self.refresh_rounds += 1
+        # Snapshot repair first: re-pin each IN-subquery result and, when
+        # the membership set moved, compute the retract/insert delta for
+        # integrated rows whose verdict flipped.  The ΔT batch below is
+        # then filtered under the *new* pin, so the two compose to
+        # exactly the new predicate's view.
+        injected = self._repair_snapshots(connection)
         batches = [
             connection.read_delta_batch(name) for name in self.delta_tables
         ]
@@ -269,6 +343,8 @@ class BatchedDeltaStep:
                 source,
                 mask=true_mask(batch_eval(self.where_eval, source, ctx)),
             )
+        if injected is not None and len(injected):
+            source = source + injected
         if len(source) == 0:
             return 0
 
@@ -304,11 +380,81 @@ class BatchedDeltaStep:
 
     # -- helpers -------------------------------------------------------------
 
-    @staticmethod
-    def _context(connection: "Connection"):
+    def _context(self, connection: "Connection"):
         from repro.execution.executor import ExecutionContext
 
-        return ExecutionContext(connection.catalog)
+        ctx = ExecutionContext(connection.catalog)
+        if self.snapshots:
+            return _SnapshotContext(
+                ctx, {id(spec.plan): spec.rows for spec in self.snapshots}
+            )
+        return ctx
+
+    def _seed_snapshots(self, connection: "Connection") -> None:
+        from repro.execution.executor import ExecutionContext, execute_plan
+
+        if not self.snapshots:
+            return
+        ctx = ExecutionContext(connection.catalog)
+        for spec in self.snapshots:
+            spec.rows = execute_plan(spec.plan, ctx)
+            spec.signature = _snapshot_signature(spec.rows)
+
+    def _repair_snapshots(self, connection: "Connection"):
+        """Re-evaluate every pinned subquery (in memory, via the plan
+        executor); when a membership set changed, return the signed
+        :class:`ZSetBatch` of integrated source rows whose predicate
+        verdict flipped (+row newly passing, −row no longer passing).
+
+        The integrated state is ``base − pending ΔT`` — the rows the
+        stored view was last refreshed from — so the injected delta plus
+        the ΔT batch (filtered under the new pin) lands the view exactly
+        on the new predicate's answer.
+        """
+        from repro.execution.executor import ExecutionContext, execute_plan
+
+        if not self.snapshots:
+            return None
+        base_ctx = ExecutionContext(connection.catalog)
+        old_pins: dict[int, list] = {}
+        changed = False
+        for spec in self.snapshots:
+            rows = execute_plan(spec.plan, base_ctx)
+            signature = _snapshot_signature(rows)
+            if spec.rows is None:
+                # Lazy first seed (recovery path): checkpoints are
+                # quiescent and non-watched subquery tables replay no
+                # WAL, so the fresh result is the one the stored view
+                # was built under.
+                old_pins[id(spec.plan)] = rows
+            else:
+                old_pins[id(spec.plan)] = spec.rows
+                if signature != spec.signature:
+                    changed = True
+            spec.rows = rows
+            spec.signature = signature
+        if not changed or self.where_eval is None:
+            return None
+        source = self.model.analysis.tables[0]
+        table = connection.table(source.name)
+        base_rows = [tuple(row) for row in table.scan()]
+        arity = len(table.schema.columns)
+        integrated = (
+            ZSetBatch.from_rows(base_rows, arity=arity)
+            + (-connection.read_delta_batch(self.delta_tables[0]))
+        ).consolidate()
+        if len(integrated) == 0:
+            return None
+        ctx_old = _SnapshotContext(
+            ExecutionContext(connection.catalog), old_pins
+        )
+        ctx_new = self._context(connection)
+        mask_old = true_mask(batch_eval(self.where_eval, integrated, ctx_old))
+        mask_new = true_mask(batch_eval(self.where_eval, integrated, ctx_new))
+        gained = integrated.mask(mask_new & ~mask_old)
+        lost = integrated.mask(mask_old & ~mask_new)
+        injected = gained + (-lost)
+        return injected if len(injected) else None
 
     def _with_computed_columns(
         self, source: ZSetBatch, connection: "Connection", ctx
@@ -380,8 +526,11 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
         offset += len(schema.columns)
 
     where_eval = None
+    snapshots: list[_SubquerySnapshot] = []
     if analysis.where is not None:
-        where_eval = _compile_where_predicate(analysis.where, sources, catalog)
+        where_eval, snapshots = _compile_where_predicate(
+            analysis.where, sources, catalog, model
+        )
 
     join_left_key: list[int] = []
     join_right_key: list[int] = []
@@ -427,7 +576,7 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
     return BatchedDeltaStep(
         model=model,
         delta_tables=[
-            model.flags.delta_table(table.name) for table in analysis.tables
+            model.source_delta_table(table) for table in analysis.tables
         ],
         key_ordinals=key_ordinals,
         computed=computed.evaluators,
@@ -437,6 +586,7 @@ def _build(model: MVModel, catalog) -> BatchedDeltaStep:
         join_right_key=join_right_key,
         aggregate_ordinals=aggregate_ordinals,
         where_eval=where_eval,
+        snapshots=snapshots,
     )
 
 
@@ -499,27 +649,60 @@ def _source_output_columns(sources: list[_Source], catalog):
     return output
 
 
-def _compile_where_predicate(where, sources: list[_Source], catalog):
+def _compile_where_predicate(where, sources: list[_Source], catalog, model):
     """Compile a WHERE clause into a vectorized batch evaluator over the
     combined source row, via the engine's own binder and the batch
     expression compiler — selection is linear over Z-sets, so the delta
-    batch is filtered exactly as the base relation would be.
+    batch is filtered exactly as the base relation would be.  Returns
+    ``(evaluator, snapshots)``.
 
-    Subqueries are rejected: their results shift with the base data, so
-    filtering the delta with them is not linear (the SQL step 1 has the
-    same limitation; keeping it the fallback preserves behaviour).
+    Uncorrelated IN-subqueries are linearized by *snapshotting*: each
+    bound subquery plan becomes a :class:`_SubquerySnapshot` whose
+    pinned rows answer the evaluator's ``subquery_rows`` lookups, and
+    :meth:`BatchedDeltaStep._repair_snapshots` injects the verdict-flip
+    delta when the pinned set changes (``subquery_snapshot`` flag;
+    single-table views only — a join's indexed state integrates the
+    unfiltered relations, so it keeps the SQL step 1).  Other subquery
+    shapes stay on SQL: their results shift with the base data, so
+    filtering the delta with them is not linear.
     """
     from repro.planner.binder import Binder
 
     if _contains_subquery(where):
-        raise _Unsupported("subquery in WHERE uses the SQL path")
+        if not model.flags.subquery_snapshot:
+            raise _Unsupported("subquery in WHERE uses the SQL path")
+        if len(sources) != 1:
+            raise _Unsupported(
+                "subquery in a join view's WHERE uses the SQL path"
+            )
     try:
         bound = Binder(catalog).bind_scalar(
             copy.deepcopy(where), _source_output_columns(sources, catalog)
         )
-        return compile_batch_expression(bound)
+        evaluator = compile_batch_expression(bound)
     except Exception:
         raise _Unsupported("WHERE predicate outside the kernel surface")
+    snapshots = [
+        _SubquerySnapshot(plan=node.plan)
+        for node in _walk_bound(bound)
+        if isinstance(node, BoundInSubquery)
+    ]
+    return evaluator, snapshots
+
+
+def _walk_bound(node):
+    """Yield a bound-expression tree pre-order (dataclass recursion)."""
+    yield node
+    for name in getattr(node, "__dataclass_fields__", ()):
+        value = getattr(node, name)
+        values = value if isinstance(value, (list, tuple)) else [value]
+        for item in values:
+            if isinstance(item, BoundExpression):
+                yield from _walk_bound(item)
+            elif isinstance(item, tuple):
+                for sub in item:
+                    if isinstance(sub, BoundExpression):
+                        yield from _walk_bound(sub)
 
 
 def _contains_subquery(node) -> bool:

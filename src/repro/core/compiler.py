@@ -57,11 +57,17 @@ class CompiledView:
 
     @property
     def delta_tables(self) -> dict[str, str]:
-        """base table → delta table name."""
-        flags = self.model.flags
+        """source table → delta table the view reads it through (the
+        shared base ΔT, or the upstream cascade feed for view sources)."""
         return {
-            t.name: flags.delta_table(t.name) for t in self.model.analysis.tables
+            t.name: self.model.source_delta_table(t)
+            for t in self.model.analysis.tables
         }
+
+    @property
+    def view_sources(self) -> list[str]:
+        """Names of sources that are themselves materialized views."""
+        return [t.name for t in self.model.analysis.tables if t.is_view]
 
     @property
     def delta_view_table(self) -> str:
@@ -105,9 +111,18 @@ class CompiledView:
 class OpenIVMCompiler:
     """Compile ``CREATE MATERIALIZED VIEW`` definitions into IVM SQL."""
 
-    def __init__(self, catalog: Catalog, flags: CompilerFlags | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        flags: CompilerFlags | None = None,
+        known_views: set[str] | None = None,
+    ) -> None:
         self.catalog = catalog
         self.flags = flags or CompilerFlags()
+        # Lower-cased names of already-materialized views: sources found
+        # here compile against the upstream's cascade feed instead of a
+        # base ΔT (CompilerFlags.cascade_views).
+        self.known_views = {v.lower() for v in (known_views or set())}
 
     @classmethod
     def from_schema(
@@ -129,14 +144,36 @@ class OpenIVMCompiler:
         return self.compile_query(statement.name, statement.query)
 
     def compile_query(self, name: str, query: ast.Select) -> CompiledView:
+        from repro.errors import UnsupportedError
+
         dialect = dialect_by_name(self.flags.dialect)
         analysis = analyze_view(name, query, self.catalog)
         analysis.sql = render_select(query, dialect)
+        for source in analysis.tables:
+            if source.name.lower() in self.known_views:
+                if not self.flags.cascade_views:
+                    raise UnsupportedError(
+                        f"view {name} reads materialized view "
+                        f"{source.name}; set cascade_views=True to allow "
+                        "view-over-view definitions"
+                    )
+                source.is_view = True
+        if analysis.subquery_tables and not self.flags.subquery_snapshot:
+            raise UnsupportedError(
+                "subqueries in view WHERE require subquery_snapshot=True"
+            )
         model = build_model(analysis, self.flags)
 
         ddl: list[str] = [metadata_ddl(dialect)]
         for source in analysis.tables:
-            ddl.append(delta_table_ddl(model, self.catalog.table(source.name), dialect))
+            ddl.append(
+                delta_table_ddl(
+                    model,
+                    self.catalog.table(source.name),
+                    dialect,
+                    name=model.source_delta_table(source),
+                )
+            )
         ddl.append(matview_table_ddl(model, dialect))
         ddl.append(delta_view_table_ddl(model, dialect))
         emit_index = self.flags.emit_key_index

@@ -40,16 +40,21 @@ def render_create_table(
     return f"CREATE TABLE {exists}{quoted(name)} ({body})"
 
 
-def delta_table_ddl(model: MVModel, table: Table, dialect: Dialect) -> str:
-    """ΔT for one base table: the base columns plus the multiplicity column.
+def delta_table_ddl(
+    model: MVModel, table: Table, dialect: Dialect, name: str | None = None
+) -> str:
+    """ΔT for one source table: its columns plus the multiplicity column.
 
-    Emitted with IF NOT EXISTS because several views over the same base
-    table share one delta table.
+    Emitted with IF NOT EXISTS because several views over the same
+    source share one delta table.  ``name`` overrides the default
+    ``delta_<table>`` — the compiler passes the cascade-feed name
+    (``delta_<view>__out``) when the source is itself a materialized
+    view, whose stored columns (hidden ones included) the feed mirrors.
     """
     columns = [(c.name, c.type) for c in table.schema.columns]
     columns.append((model.multiplicity, BOOLEAN))
     return render_create_table(
-        model.flags.delta_table(table.schema.name),
+        name or model.flags.delta_table(table.schema.name),
         columns,
         dialect,
         if_not_exists=True,

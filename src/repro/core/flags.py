@@ -86,6 +86,16 @@ class CompilerFlags:
                                  so concurrent readers scan a
                                  consistent copy-on-write snapshot
                                  (True)
+    ``cascade_views``            allow views defined over other
+                                 materialized views; upstream refreshes
+                                 emit their stored-row deltas into
+                                 per-view cascade feeds consumed by
+                                 dependents (True)
+    ``subquery_snapshot``        support uncorrelated IN-subqueries in
+                                 a view's WHERE by snapshotting the
+                                 subquery result into the compiled
+                                 batch predicate, re-seeding on
+                                 invalidation (True)
     ``adaptive``                 pick the refresh plan per round with
                                  the cost-based adaptive planner
                                  (core/adaptive.py) instead of the
@@ -229,6 +239,22 @@ class CompilerFlags:
     # epoch and never observe a half-applied refresh.  The refreshing
     # thread always sees its own writes.
     snapshot_reads: bool = True
+    # Allow a view's FROM clause to name another materialized view.  The
+    # upstream view's refresh emits its stored-row delta (retract old
+    # physical row / insert new physical row) into a cascade feed table
+    # (``cascade_delta_table``) that every dependent reads like a base
+    # ΔT, so one base-table DML propagates through an N-level DAG with
+    # no recomputation.  Off rejects view-over-view definitions with
+    # UnsupportedError (the pre-cascade behaviour).
+    cascade_views: bool = True
+    # Support ``WHERE col [NOT] IN (SELECT ...)`` with an uncorrelated
+    # subquery by pinning the subquery's result rows into the compiled
+    # batch predicate at initialize time.  DML against the subquery's
+    # source tables marks the snapshot dirty; the next native refresh
+    # re-evaluates the subquery (zero SQL) and injects the retract /
+    # insert delta for stored rows whose predicate verdict flipped.  Off
+    # rejects subqueries in WHERE with UnsupportedError.
+    subquery_snapshot: bool = True
     # Pick the refresh plan per round: before run_pipeline, the adaptive
     # planner (core/adaptive.py) ranks the view's interchangeable plan
     # arms — step-2 kernel (upsert / regroup / outer-merge / SQL), the
@@ -405,3 +431,12 @@ class CompilerFlags:
 
     def delta_table(self, table: str) -> str:
         return f"{self.delta_prefix}{table}"
+
+    def cascade_delta_table(self, view: str) -> str:
+        """Feed table an upstream view's stored-row deltas land in.
+
+        Distinct from ``delta_table(view)``, which is the view's *own*
+        ΔV staging table; the ``__out`` suffix keeps the two namespaces
+        apart.  One feed per upstream view, shared by all dependents —
+        mirroring how base tables share one ΔT across watchers."""
+        return f"{self.delta_prefix}{view}__out"

@@ -97,6 +97,14 @@ class MVModel:
     def delta_view_table(self) -> str:
         return self.flags.delta_table(self.analysis.view_name)
 
+    def source_delta_table(self, source) -> str:
+        """The delta table this view reads for one source: the shared
+        base ΔT, or — when the source is itself a materialized view —
+        the upstream view's cascade feed (``delta_<view>__out``)."""
+        if getattr(source, "is_view", False):
+            return self.flags.cascade_delta_table(source.name)
+        return self.flags.delta_table(source.name)
+
     @property
     def multiplicity(self) -> str:
         return self.flags.multiplicity_column

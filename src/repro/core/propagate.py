@@ -110,6 +110,12 @@ class RefreshStats:
     event_history: int = 64
     degradation_rung: int = 0
     queue: dict | None = None
+    # Cascade (view-over-view) observability: the view's depth in the
+    # dependency DAG (0 = reads base tables only) and how many times an
+    # upstream demote/recompute/failure invalidated this view and forced
+    # it to recompute.
+    dag_depth: int = 0
+    upstream_invalidations: int = 0
 
     def begin_round(self) -> None:
         self.last_step_seconds = {}
@@ -200,6 +206,8 @@ class RefreshStats:
             "events": [dict(event) for event in self.events],
             "degradation_rung": self.degradation_rung,
             "queue": None if self.queue is None else dict(self.queue),
+            "dag_depth": self.dag_depth,
+            "upstream_invalidations": self.upstream_invalidations,
         }
 
 
@@ -303,9 +311,10 @@ def build_propagation(model: MVModel, dialect: Dialect) -> list[Statement]:
     if invalid is not None:
         statements.append(("step3: delete invalid rows from view", invalid))
     for table in model.analysis.tables:
+        delta_name = model.source_delta_table(table)
         statements.append(
-            (f"step4: clear delta table {model.flags.delta_table(table.name)}",
-             _clear(model.flags.delta_table(table.name), dialect))
+            (f"step4: clear delta table {delta_name}",
+             _clear(delta_name, dialect))
         )
     statements.append(
         ("step4: clear delta view", _clear(model.delta_view_table, dialect))
@@ -337,9 +346,9 @@ def _delete_invalid_rows(model: MVModel, dialect: Dialect) -> str | None:
 
 
 def clear_deltas(model: MVModel, dialect: Dialect) -> list[str]:
-    """Step 4 — empty ΔT for every base table, then ΔV."""
+    """Step 4 — empty ΔT for every source table, then ΔV."""
     statements = [
-        _clear(model.flags.delta_table(table.name), dialect)
+        _clear(model.source_delta_table(table), dialect)
         for table in model.analysis.tables
     ]
     statements.append(_clear(model.delta_view_table, dialect))

@@ -79,11 +79,13 @@ def _single_table_delta_select(model: MVModel) -> ast.Select:
     source = analysis.tables[0]
     mult = flags.multiplicity_column
 
-    # Leaf substitution: scan the delta table under the original alias so
-    # every column reference in the view expressions keeps resolving.
+    # Leaf substitution: scan the delta table (the cascade feed when the
+    # source is itself a view) under the original alias so every column
+    # reference in the view expressions keeps resolving.
+    delta_name = model.source_delta_table(source)
     from_clause = d.base_table(
-        flags.delta_table(source.name),
-        alias=source.alias if source.alias.lower() != flags.delta_table(source.name).lower() else None,
+        delta_name,
+        alias=source.alias if source.alias.lower() != delta_name.lower() else None,
     )
 
     items = [_aggregate_item(column) for column in model.delta_columns()]
@@ -134,8 +136,8 @@ def _join_delta_select(model: MVModel) -> ast.Select:
             where=copy.deepcopy(analysis.where),
         )
 
-    delta_left = flags.delta_table(left.name)
-    delta_right = flags.delta_table(right.name)
+    delta_left = model.source_delta_table(left)
+    delta_right = model.source_delta_table(right)
     term1 = term(delta_left, right.name, d.col(mult, table=left.alias))
     term2 = term(left.name, delta_right, d.col(mult, table=right.alias))
     term3 = term(

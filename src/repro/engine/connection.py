@@ -131,28 +131,64 @@ class Connection:
         return ZSetBatch([_object_array(c) for c in columns[:-1]], weights)
 
     def insert_rows(self, table_name: str, rows) -> int:
-        """Bulk-append pre-shaped rows (no coercion, no triggers) — the
-        write half of the batched propagation path."""
+        """Bulk-append pre-shaped rows (no coercion) — the write half of
+        the batched propagation path.  AFTER INSERT triggers fire when the
+        table has any (cascade capture on materialized-view tables); plain
+        delta/staging tables have none, so the common path stays
+        trigger-free."""
         table = self.catalog.table(table_name)
-        return table.insert_batch(list(rows), coerce=False)
+        rows = list(rows)
+        count = table.insert_batch(rows, coerce=False)
+        if self.triggers.triggers_on(table.schema.name):
+            self.triggers.fire(self, "INSERT", table.schema.name, rows)
+        return count
 
     def upsert_rows(self, table_name: str, rows) -> int:
-        """Bulk INSERT OR REPLACE over the table's primary key (no
-        triggers) — the native step-2 fold writes merged view rows here."""
+        """Bulk INSERT OR REPLACE over the table's primary key — the
+        native step-2 fold writes merged view rows here.  When the table
+        carries triggers (cascade capture on a view another view reads
+        from), the exact stored-row delta is reported: DELETE fires with
+        the displaced old rows, INSERT with the deduped survivors."""
         table = self.catalog.table(table_name)
+        if self.triggers.triggers_on(table.schema.name):
+            replaced: list[tuple] = []
+            survivors: list[tuple] = []
+            count = table.upsert_batch(
+                list(rows), replaced_out=replaced, survivors_out=survivors
+            )
+            self.triggers.fire(self, "DELETE", table.schema.name, replaced)
+            self.triggers.fire(self, "INSERT", table.schema.name, survivors)
+            return count
         return table.upsert_batch(list(rows))
 
     def delete_keys(self, table_name: str, keys) -> int:
-        """Bulk delete by primary-key values (no triggers) — the native
-        step-3 liveness kernel removes dead groups here.  Keys absent from
-        the table are ignored; returns the number of rows removed."""
+        """Bulk delete by primary-key values — the native step-3 liveness
+        kernel removes dead groups here.  Keys absent from the table are
+        ignored; returns the number of rows removed.  AFTER DELETE
+        triggers fire with the removed rows when the table has any."""
         table = self.catalog.table(table_name)
+        if self.triggers.triggers_on(table.schema.name):
+            victims: list[tuple] = []
+            for key in keys:
+                for row_id in list(table.lookup_row_ids("__pk__", key)):
+                    victims.append(table.delete_row(row_id))
+            self.triggers.fire(self, "DELETE", table.schema.name, victims)
+            return len(victims)
         return sum(table.delete_by_key(key) for key in keys)
 
     def truncate_table(self, table_name: str) -> int:
-        """Empty a table in-memory (no scan, no triggers) — step 4 of the
-        native pipeline clears ΔV and ΔT through here."""
-        return self.catalog.table(table_name).truncate()
+        """Empty a table in-memory — step 4 of the native pipeline clears
+        ΔV and ΔT through here.  A table with AFTER DELETE triggers (a
+        view feeding dependents) reports every removed row so downstream
+        retractions stay exact; trigger-free tables truncate without a
+        scan."""
+        table = self.catalog.table(table_name)
+        if self.triggers.triggers_on(table.schema.name):
+            victims = [tuple(row) for row in table.scan()]
+            removed = table.truncate()
+            self.triggers.fire(self, "DELETE", table.schema.name, victims)
+            return removed
+        return table.truncate()
 
     def begin_table_snapshot(self, table_name: str) -> None:
         """Epoch-pin a table for the calling (refresher) thread: until
@@ -399,10 +435,19 @@ class Connection:
         # Whole-statement columnar ingestion: one batch append with a
         # single sorted index pass, instead of per-row insert calls.
         if statement.or_replace:
-            table.upsert_batch(rows)
+            # Report the stored-row delta, not the raw input: replaced
+            # old rows retract (DELETE) and only the deduped survivors
+            # insert, so delta captures never double-count a replace.
+            replaced: list[tuple] = []
+            survivors: list[tuple] = []
+            table.upsert_batch(
+                rows, replaced_out=replaced, survivors_out=survivors
+            )
+            self.triggers.fire(self, "DELETE", schema.name, replaced)
+            self.triggers.fire(self, "INSERT", schema.name, survivors)
         else:
             table.insert_batch(rows, coerce=False)
-        self.triggers.fire(self, "INSERT", schema.name, rows)
+            self.triggers.fire(self, "INSERT", schema.name, rows)
         return Result(statement_type="INSERT", rowcount=len(rows))
 
     @staticmethod

@@ -102,3 +102,14 @@ class FaultInjectedError(ReproError):
 
 class UnsupportedError(IVMError):
     """Raised for SQL constructs outside the compiler's supported surface."""
+
+
+class DependencyCycleError(IVMError):
+    """Raised at CREATE MATERIALIZED VIEW time when a view definition
+    would close a cycle in the view dependency DAG (including the
+    degenerate self-reference).  ``cycle`` carries the offending path as
+    a tuple of view names, first == last."""
+
+    def __init__(self, message: str, cycle: tuple = ()) -> None:
+        super().__init__(message)
+        self.cycle = tuple(cycle)

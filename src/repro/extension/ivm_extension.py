@@ -39,6 +39,7 @@ from typing import Any
 from repro.core.adaptive import AdaptivePlanner, build_plan_arms, planner_seed
 from repro.core.compiler import CompiledView, OpenIVMCompiler
 from repro.core.costmodel import RefreshSignals
+from repro.core.dag import ViewDependencyGraph
 from repro.core.flags import CompilerFlags, PropagationMode
 from repro.core.propagate import RefreshStats, run_pipeline
 from repro.core.runtime import (
@@ -54,7 +55,12 @@ from repro.core.runtime import (
 from repro.engine.connection import Connection
 from repro.engine.triggers import delta_capture_rows
 from repro.engine.result import Result
-from repro.errors import BackpressureError, IVMError, ParserError
+from repro.errors import (
+    BackpressureError,
+    DependencyCycleError,
+    IVMError,
+    ParserError,
+)
 from repro.sql import ast
 from repro.sql.parser import parse_script
 from repro.zset.incremental import IndexedJoinState
@@ -85,6 +91,11 @@ class _ViewState:
     # The escalating degradation ladder (parallel → serial → unsharded
     # SQL → recompute); every view gets one, even when it never demotes.
     ladder: DegradationLadder = field(default_factory=DegradationLadder)
+    # Set when a table referenced only inside the view's WHERE subquery
+    # changed: the pinned snapshot verdicts are stale, so the next
+    # refresh must repair them (natively, via the snapshot-diff
+    # injection) or fall back to a recompute (SQL rungs).
+    snapshot_dirty: bool = False
 
 
 class _MaterializedViewParser:
@@ -127,6 +138,19 @@ class IVMExtension:
         self._watched: dict[str, set[str]] = {}
         # delta table name (lower) -> view names reading it
         self._delta_readers: dict[str, set[str]] = {}
+        # The cascaded-view dependency DAG: every registered view is a
+        # node; an edge upstream -> dependent exists when the dependent
+        # is defined over the upstream's materialized rows.  Refresh
+        # order, CREATE-time cycle rejection, drop protection, and the
+        # depth/invalidation reporting all read this graph.
+        self._dag = ViewDependencyGraph()
+        # table (lower) referenced inside a WHERE subquery -> view names
+        # whose snapshot verdicts depend on it (CompilerFlags.
+        # subquery_snapshot); DML on these tables marks snapshot_dirty.
+        self._snapshot_watch: dict[str, set[str]] = {}
+        # Depth of the _refresh_into call stack: the policy hooks must
+        # not start a nested refresh off the pipeline's own writes.
+        self._refresh_depth = 0
         # WAL + checkpoints; opening the manager truncates a torn WAL tail.
         self._durability = None
         if self.flags.durability and self.durability_dir is not None:
@@ -208,8 +232,88 @@ class IVMExtension:
         return self.view_state(name).compiled
 
     def refresh(self, name: str) -> None:
-        """Run the propagation pipeline for ``name`` (and for every view
-        sharing one of its delta tables, so shared ΔT are consumed once).
+        """Refresh ``name`` through the view dependency DAG.
+
+        Three phases, all funneling into :meth:`_refresh_into`:
+
+        * **pull** — stale upstream views refresh first, in topological
+          order, so their output deltas land in the cascade feeds;
+        * **target** — ``name`` (and every view sharing one of its input
+          delta tables, so shared ΔT/feeds are consumed exactly once)
+          runs its propagation pipeline over those feeds;
+        * **push** — dependents whose policy asks for it (EAGER, BATCH
+          past its threshold, or flagged for recompute) refresh in
+          topological order, consuming the feed rows the target's
+          refresh just emitted.
+
+        One base-table change thereby cascades through every DAG level
+        with zero recomputation; LAZY dependents simply stay pending.
+        """
+        state = self.view_state(name)
+        if self._refresh_depth:
+            # Policy hook re-entered off the pipeline's own writes (e.g.
+            # a refresh statement touching a snapshot-watched table);
+            # the counters are already updated, the outer refresh owns
+            # the pipeline.
+            return
+        # Queued capture batches must reach ΔT before the pipeline reads
+        # it (a drain failure marks the watchers and raises — the
+        # recompute below then repairs them on the next call).
+        self._drain_queue()
+        target = state.compiled.name.lower()
+        self._refresh_depth += 1
+        try:
+            for upstream in self._dag.upstream_closure(target):
+                member = self._views.get(upstream)
+                if member is not None and self._is_stale(member):
+                    self._refresh_into(member)
+            self._refresh_into(state)
+            for downstream in self._dag.dependents_closure(target):
+                member = self._views.get(downstream)
+                if member is None:
+                    continue
+                if member.needs_recompute:
+                    self._refresh_into(member)
+                    continue
+                flags = member.compiled.model.flags
+                if member.pending_changes and (
+                    flags.mode is PropagationMode.EAGER
+                    or (
+                        flags.mode is PropagationMode.BATCH
+                        and member.pending_changes >= flags.batch_size
+                    )
+                ):
+                    self._refresh_into(member)
+        finally:
+            self._refresh_depth -= 1
+
+    @staticmethod
+    def _is_stale(member: _ViewState) -> bool:
+        """True when ``member``'s stored rows lag its inputs: unconsumed
+        delta rows, a pending recompute repair, or moved snapshot pins."""
+        return bool(
+            member.pending_changes
+            or member.needs_recompute
+            or member.snapshot_dirty
+        )
+
+    def _snapshot_repairable(self, member: _ViewState) -> bool:
+        """True when this round can repair moved subquery snapshots
+        natively — a native step 1 carrying snapshot specs will run (the
+        SQL rungs re-evaluate the subquery per statement against *live*
+        tables, which would silently diverge from the stored rows'
+        pinned verdicts, so they recompute instead)."""
+        if member.ladder.rung >= RUNG_UNSHARDED:
+            return False
+        return any(
+            getattr(step, "snapshots", None)
+            for step in member.compiled.native_steps
+        )
+
+    def _refresh_into(self, state: _ViewState) -> None:
+        """Run the propagation pipeline for one view's refresh closure
+        (every view sharing one of its input delta tables, in
+        topological order, so shared ΔT are consumed once).
 
         Each view runs its :class:`~repro.core.propagate.NativeStep`
         pipeline interleaved with the compiled SQL, per step: steps the
@@ -218,13 +322,13 @@ class IVMExtension:
         the rest execute their SQL statements.  All propagation modes —
         eager, lazy, and batch — funnel through here.
         """
-        state = self.view_state(name)
-        # Queued capture batches must reach ΔT before the pipeline reads
-        # it (a drain failure marks the watchers and raises — the
-        # recompute below then repairs them on the next call).
-        self._drain_queue()
         closure = self._refresh_closure(state)
         con = self._require_connection()
+        for member in closure:
+            if member.snapshot_dirty and not self._snapshot_repairable(
+                member
+            ):
+                member.needs_recompute = True
         if any(
             member.needs_recompute or member.ladder.rung == RUNG_RECOMPUTE
             for member in closure
@@ -325,10 +429,17 @@ class IVMExtension:
                         reason=type(error).__name__,
                     )
                 stats.degradation_rung = member.ladder.rung
+                # The cascade feed may hold captures from the pipeline
+                # the rollback just discarded, so the dependents can no
+                # longer trust it: flag them for the recompute self-heal
+                # (their recompute truncates the feed before re-reading
+                # the upstream's stored rows wholesale).
+                self._invalidate_dependents(member, type(error).__name__)
                 raise
             if pinned:
                 con.commit_table_snapshot(member.compiled.name)
             member.pending_changes = 0
+            member.snapshot_dirty = False
             member.refresh_count += 1
             rows_in = pending_before
             skew = 0.0
@@ -429,6 +540,9 @@ class IVMExtension:
                 flagged=member.needs_recompute,
             )
             member.needs_recompute = False
+            # step.initialize reseeded the subquery snapshots against the
+            # just-recomputed state, so the pins are current again.
+            member.snapshot_dirty = False
             member.refresh_count += 1
             # A successful recompute is a clean round for the ladder —
             # it is how the last rung ever heals.  The reseed above
@@ -438,11 +552,19 @@ class IVMExtension:
             self._durability.note_refresh()
 
     def refresh_all(self) -> None:
+        """Refresh every stale view, in DAG topological order — an
+        upstream's refresh lands its output deltas in the cascade feeds
+        before its dependents (later in the order) consume them, so one
+        sweep converges the whole DAG."""
         self._drain_queue()
-        for name in self.views():
-            state = self._views[name]
-            if state.pending_changes or state.needs_recompute:
-                self.refresh(name)
+        self._refresh_depth += 1
+        try:
+            for name in self._dag.topo_sort():
+                state = self._views.get(name)
+                if state is not None and self._is_stale(state):
+                    self._refresh_into(state)
+        finally:
+            self._refresh_depth -= 1
 
     def refresh_stats(self, name: str) -> dict:
         """JSON-shaped per-refresh counters for ``name`` (wall seconds,
@@ -511,6 +633,12 @@ class IVMExtension:
                     "refresh_count": state.refresh_count,
                     "rows": len(con.table(compiled.name)),
                     "base_tables": sorted(compiled.delta_tables),
+                    "depth": self._dag.depth(name),
+                    "upstreams": sorted(self._dag.upstream(name)),
+                    "dependents": sorted(self._dag.dependents(name)),
+                    "upstream_invalidations": (
+                        state.stats.upstream_invalidations
+                    ),
                 }
             )
         return report
@@ -544,11 +672,20 @@ class IVMExtension:
         """
         con = self._require_connection()
         statement = parse_script(create_sql, allow_materialized=True)[0]
-        compiler = OpenIVMCompiler(con.catalog, self.flags)
+        compiler = OpenIVMCompiler(
+            con.catalog, self.flags, known_views=set(self._views)
+        )
         compiled = compiler.compile_query(statement.name, statement.query)
         for sql in compiled.ddl:
             con.execute(sql)
-        self._register_compiled(compiled)
+        state = self._register_compiled(compiled)
+        if compiled.model.analysis.subquery_tables:
+            # The checkpoint image carries no subquery-snapshot pins: the
+            # WAL tail may have moved the subquery source past the
+            # verdicts the stored rows were filtered under, so the
+            # recovery refresh rebuilds the view wholesale instead of
+            # trusting propagation against a silently re-pinned snapshot.
+            state.needs_recompute = True
 
     def restore_view_state(
         self, name: str, sections: dict, pending_changes: int = 0
@@ -666,6 +803,11 @@ class IVMExtension:
         state.pending_changes = int(pending_changes)
 
     def _refresh_closure(self, state: _ViewState) -> list[_ViewState]:
+        """Every view sharing one of ``state``'s input delta tables
+        (transitively), in DAG topological order — a closure can span
+        levels when a view joins an upstream with that upstream's own
+        source, and the upstream must then consume the shared ΔT (and
+        emit its feed rows) before the joining view reads both."""
         names: set[str] = set()
         frontier = [state.compiled.name.lower()]
         while frontier:
@@ -678,7 +820,27 @@ class IVMExtension:
                 for reader in self._delta_readers.get(delta.lower(), ()):
                     if reader not in names:
                         frontier.append(reader)
-        return [self._views[n] for n in sorted(names)]
+        order = {n: i for i, n in enumerate(self._dag.topo_sort())}
+        return [
+            self._views[n]
+            for n in sorted(names, key=lambda n: (order.get(n, -1), n))
+        ]
+
+    def _invalidate_dependents(self, member: _ViewState, reason: str) -> None:
+        """An upstream refresh failed (or was rolled back): flag every
+        direct dependent for the recompute self-heal and count the
+        invalidation — the cascade feed may carry captures from the
+        discarded pipeline, so propagating from it is no longer safe."""
+        name = member.compiled.name.lower()
+        for dependent in self._dag.dependents(name):
+            dep = self._views.get(dependent)
+            if dep is None:
+                continue
+            dep.needs_recompute = True
+            dep.stats.upstream_invalidations += 1
+            dep.stats.record_event(
+                "upstream_invalidate", upstream=name, reason=reason
+            )
 
     # -- hooks ----------------------------------------------------------------
 
@@ -712,14 +874,30 @@ class IVMExtension:
         """
         if not isinstance(statement, (ast.Insert, ast.Delete, ast.Update)):
             return
-        watchers = self._watched.get(statement.table.lower())
-        if not watchers or result.rowcount == 0:
+        table_key = statement.table.lower()
+        watchers = self._watched.get(table_key, set())
+        snapshot_watchers = self._snapshot_watch.get(table_key, set())
+        if (not watchers and not snapshot_watchers) or result.rowcount == 0:
+            return
+        for view_name in sorted(snapshot_watchers):
+            member = self._views.get(view_name)
+            if member is not None:
+                # The table only feeds the view's WHERE subquery: no ΔT
+                # rows, but the pinned verdicts are stale — the next
+                # refresh repairs them (or recomputes on the SQL rungs).
+                member.snapshot_dirty = True
+        if self._refresh_depth:
+            # Statement issued by a running pipeline (e.g. a recompute
+            # populate touching a snapshot-watched table): the flags are
+            # set, the owning refresh finishes the work.
             return
         if self._queue is not None and self._daemon is None:
             self._runtime_pump()
-        for view_name in sorted(watchers):
-            state = self._views[view_name]
-            if self._queue is None:
+        for view_name in sorted(watchers | snapshot_watchers):
+            state = self._views.get(view_name)
+            if state is None:
+                continue
+            if view_name in watchers and self._queue is None:
                 state.pending_changes += result.rowcount
             mode = state.compiled.model.flags.mode
             if mode is PropagationMode.EAGER:
@@ -739,8 +917,25 @@ class IVMExtension:
             if statement.if_not_exists:
                 return Result(statement_type="CREATE MATERIALIZED VIEW")
             raise IVMError(f"materialized view {name!r} already exists")
-        compiler = OpenIVMCompiler(con.catalog, self.flags)
+        if name.lower() in _referenced_tables(statement.query):
+            raise DependencyCycleError(
+                f"materialized view {name!r} references itself",
+                cycle=(name.lower(), name.lower()),
+            )
+        compiler = OpenIVMCompiler(
+            con.catalog, self.flags, known_views=set(self._views)
+        )
         compiled = compiler.compile_query(name, statement.query)
+        # Cascade protocol: bring every upstream view current and let the
+        # existing readers of its feed consume (and truncate) any parked
+        # feed rows first — the populate below reads the upstream's
+        # stored rows directly, so feed deltas left pending would later
+        # be applied on top of state that already includes them.
+        for source in compiled.view_sources:
+            self.refresh(source)
+            feed = self.flags.cascade_delta_table(source)
+            for reader in sorted(self._delta_readers.get(feed.lower(), ())):
+                self.refresh(reader)
         for sql in compiled.ddl:
             con.execute(sql)
         con.execute(compiled.populate)
@@ -763,6 +958,9 @@ class IVMExtension:
         parse the propagation statements once, register the view state,
         and install the capture triggers."""
         name = compiled.name
+        # Register the DAG node first: the cycle check must reject the
+        # view before any runtime bookkeeping is installed.
+        self._dag.add_view(name, upstream=compiled.view_sources)
         self._store_script(compiled)
         prepared = [
             (label, parse_script(sql)[0]) for label, sql in compiled.propagation
@@ -779,20 +977,58 @@ class IVMExtension:
             )
             state.stats.decision_history = flags.adaptive_history
         self._views[name.lower()] = state
+        state.stats.dag_depth = self._dag.depth(name)
+        view_sources = {source.lower() for source in compiled.view_sources}
         for base_table, delta_table in compiled.delta_tables.items():
-            self._watched.setdefault(base_table.lower(), set()).add(name.lower())
             self._delta_readers.setdefault(delta_table.lower(), set()).add(
                 name.lower()
             )
-            self._install_capture_triggers(base_table, delta_table)
+            if base_table.lower() in view_sources:
+                # View-over-view source: deltas arrive through the
+                # upstream's cascade feed, written by the cascade trigger
+                # on the upstream's stored table.  Not in _watched — the
+                # post-statement policy hook must never mistake refresh
+                # writes for base DML.
+                self._install_cascade_trigger(base_table, delta_table)
+            else:
+                self._watched.setdefault(base_table.lower(), set()).add(
+                    name.lower()
+                )
+                self._install_capture_triggers(base_table, delta_table)
+        for table in compiled.model.analysis.subquery_tables:
+            self._snapshot_watch.setdefault(table.lower(), set()).add(
+                name.lower()
+            )
         return state
 
     def _handle_drop(self, statement: ast.DropView) -> Result:
         con = self._require_connection()
         name = statement.name.lower()
+        dependents = self._dag.dependents(name)
+        if dependents:
+            raise IVMError(
+                f"cannot drop materialized view {statement.name!r}: "
+                f"{sorted(dependents)} are defined over it"
+            )
         state = self._views.pop(name)
         compiled = state.compiled
+        view_sources = {
+            source.lower() for source in compiled.view_sources
+        }
         for base_table, delta_table in compiled.delta_tables.items():
+            if base_table.lower() in view_sources:
+                # The last reader of an upstream's cascade feed takes
+                # the feed table and the capture trigger with it.
+                readers = self._delta_readers.get(delta_table.lower())
+                if readers:
+                    readers.discard(name)
+                    if not readers:
+                        del self._delta_readers[delta_table.lower()]
+                        con.triggers.unregister(
+                            f"__ivm_cascade_{base_table.lower()}"
+                        )
+                        con.execute(f"DROP TABLE IF EXISTS {delta_table}")
+                continue
             watchers = self._watched.get(base_table.lower())
             if watchers:
                 watchers.discard(name)
@@ -805,6 +1041,13 @@ class IVMExtension:
                 if not readers:
                     del self._delta_readers[delta_table.lower()]
                     con.execute(f"DROP TABLE IF EXISTS {delta_table}")
+        for table in compiled.model.analysis.subquery_tables:
+            snapshot_watchers = self._snapshot_watch.get(table.lower())
+            if snapshot_watchers:
+                snapshot_watchers.discard(name)
+                if not snapshot_watchers:
+                    del self._snapshot_watch[table.lower()]
+        self._dag.remove_view(name)
         con.execute(f"DROP TABLE IF EXISTS {compiled.delta_view_table}")
         con.execute(f"DROP TABLE IF EXISTS {compiled.name}")
         con.execute(
@@ -877,6 +1120,41 @@ class IVMExtension:
         for event in ("INSERT", "DELETE", "UPDATE"):
             con.triggers.register(trigger_name, base_table, event, capture)
 
+    def _install_cascade_trigger(self, upstream: str, feed_table: str) -> None:
+        """AFTER triggers on an upstream materialized view's stored table,
+        writing its refresh-applied row changes (with multiplicity) into
+        the shared cascade feed ``delta_<view>__out`` — the downstream
+        views' ΔT.  One feed per upstream, shared by all dependents,
+        exactly like a base table's shared ΔT.
+
+        Unlike the base-table capture path this bypasses both the WAL and
+        the ingest queue on purpose: feed rows are *derived* state — a
+        recovery regenerates them by refreshing the DAG in topological
+        order — and routing them through the base-table queue would
+        re-order them against the refresh that produced them.
+        """
+        con = self._require_connection()
+        trigger_name = f"__ivm_cascade_{upstream.lower()}"
+        if trigger_name in con.triggers.triggers_on(upstream):
+            return
+        feed = con.table(feed_table)
+        feed_key = feed_table.lower()
+
+        def capture(connection: Connection, event: str, table: str, rows) -> None:
+            delta_rows = delta_capture_rows(event, rows)
+            if not delta_rows:
+                return
+            retractions = sum(1 for row in delta_rows if not row[-1])
+            feed.insert_batch(delta_rows, coerce=False)
+            for reader in self._delta_readers.get(feed_key, ()):
+                member = self._views.get(reader)
+                if member is not None:
+                    member.pending_changes += len(delta_rows)
+                    member.pending_retractions += retractions
+
+        for event in ("INSERT", "DELETE", "UPDATE"):
+            con.triggers.register(trigger_name, upstream, event, capture)
+
     # -- lazy refresh -----------------------------------------------------------
 
     def _lazy_refresh_for_select(self, statement: ast.Select) -> None:
@@ -891,10 +1169,17 @@ class IVMExtension:
             state = self._views.get(name)
             if state is None:
                 continue
-            if state.needs_recompute:
+            upstream_stale = any(
+                self._is_stale(self._views[upstream])
+                for upstream in self._dag.upstream_closure(name)
+                if upstream in self._views
+            )
+            if state.needs_recompute or state.snapshot_dirty or upstream_stale:
                 # Repair before the read regardless of mode: a shed or
-                # contained capture failure left the view behind its
-                # base tables, and no future DML is guaranteed.
+                # contained capture failure (or a stale upstream whose
+                # deltas have not cascaded down yet, or a moved subquery
+                # snapshot) left the view behind, and no future DML is
+                # guaranteed.
                 self.refresh(state.compiled.name)
             elif (
                 state.pending_changes
@@ -1019,6 +1304,13 @@ class IVMExtension:
                     "demotions": ladder.demotions,
                     "heals": ladder.heals,
                     "refresh_count": state.refresh_count,
+                    "depth": self._dag.depth(name),
+                    "upstreams": sorted(self._dag.upstream(name)),
+                    "dependents": sorted(self._dag.dependents(name)),
+                    "upstream_invalidations": (
+                        state.stats.upstream_invalidations
+                    ),
+                    "snapshot_dirty": state.snapshot_dirty,
                     "recent_events": [
                         dict(event) for event in state.stats.events[-8:]
                     ],

@@ -377,7 +377,12 @@ class Table:
             self.delete_row(existing[0])
         return self.insert(row, coerce=False)
 
-    def upsert_batch(self, rows: Sequence[Sequence[Any]]) -> int:
+    def upsert_batch(
+        self,
+        rows: Sequence[Sequence[Any]],
+        replaced_out: list | None = None,
+        survivors_out: list | None = None,
+    ) -> int:
         """INSERT OR REPLACE a block of rows over the primary key.
 
         Matches a sequence of :meth:`upsert` calls — later rows win on
@@ -387,6 +392,11 @@ class Table:
         insert half fails (NOT NULL, secondary unique), the replaced rows
         are restored before the error propagates.  Returns the number of
         input rows.
+
+        ``replaced_out`` / ``survivors_out``, when given, receive the old
+        rows this batch displaced and the deduped rows it inserted —
+        extended only on success, so trigger-firing callers can report
+        the exact stored-row delta (retract replaced, insert survivors).
         """
         if not self.schema.primary_key:
             raise ExecutionError(
@@ -433,6 +443,10 @@ class Table:
             self._live_count += len(replaced)
             self._invalidate_cache()
             raise
+        if replaced_out is not None:
+            replaced_out.extend(row for _, row in replaced)
+        if survivors_out is not None:
+            survivors_out.extend(deduped.values())
         return count
 
     def delete_row(self, row_id: int) -> Row:

@@ -131,6 +131,17 @@ def test_pipeline_trajectory_artifact(tmp_path):
         assert len(cfg["refresh_seconds"]) == (6 if name == "adaptive" else 2)
         assert cfg["refresh_stats"]["refreshes"] > 0
     assert shard["speedup_4_shards_vs_1"] > 0
+    dag = data["view_dag"]
+    assert set(dag["depths"]) == {"depth1", "depth2", "depth3"}
+    for d, entry in enumerate(
+        (dag["depths"]["depth1"], dag["depths"]["depth2"],
+         dag["depths"]["depth3"])
+    ):
+        assert entry["leaf"] == f"dag{d + 1}"
+        assert entry["dag_depth"] == d
+        assert len(entry["refresh_seconds"]) == 2
+        assert entry["best_seconds"] == min(entry["refresh_seconds"])
+    assert dag["overhead_depth3_vs_depth1"] > 0
     durability = data["durability"]
     assert durability["workload"]["wal_sync"] is False
     for section in ("wal_append", "recovery_replay"):
@@ -192,6 +203,19 @@ def test_sharding_bench_stays_correct_at_tiny_scale():
             assert cfg["native_steps"] == ["sharded"]
             assert cfg["refresh_stats"]["last_shard_skew"] >= 1.0
     assert data["configs"]["adaptive"]["refresh_stats"]["decisions"]
+
+
+def test_view_dag_bench_stays_correct_at_tiny_scale():
+    """Every chain depth agrees with the per-level recompute (asserted
+    inside the collector) and records its DAG depth from RefreshStats."""
+    data = bench_join.collect_view_dag_trajectory(
+        orders=150, delta_rows=5, rounds=2
+    )
+    assert [
+        data["depths"][f"depth{d}"]["dag_depth"] for d in (1, 2, 3)
+    ] == [0, 1, 2]
+    for entry in data["depths"].values():
+        assert len(entry["refresh_seconds"]) == 2
 
 
 def test_minmax_bench_stays_correct_at_tiny_scale():

@@ -45,6 +45,8 @@ SHARDED_STEPS = 120
 DURABILITY_STEPS = 60
 QUEUE_STEPS_PER_POLICY = 30
 LADDER_STEPS = 24
+DAG_SHARD_STEPS = 40
+DAG_DURABILITY_STEPS = 30
 
 VIEW = (
     "CREATE MATERIALIZED VIEW sh AS "
@@ -412,6 +414,204 @@ def test_degradation_ladder_demotes_and_heals_deterministically():
     )
 
 
+# ---------------------------------------------------------------------------
+# Campaign 5: faults at an INTERIOR node of a view-over-view DAG
+# ---------------------------------------------------------------------------
+
+
+def _dag_levels():
+    """(view select, recompute over the upstream's stored table) per level."""
+    return [
+        ("SELECT cust_id, rev, n FROM by_cust",
+         "SELECT cust_id, SUM(amount), COUNT(*) FROM orders GROUP BY cust_id"),
+        ("SELECT region, revenue, nc FROM by_region",
+         "SELECT c.region, SUM(o.rev), COUNT(*) "
+         "FROM by_cust o JOIN customers c ON o.cust_id = c.cust_id "
+         "GROUP BY c.region"),
+        ("SELECT grand FROM grand_total",
+         "SELECT SUM(revenue) FROM by_region"),
+    ]
+
+
+def _assert_dag_converged(con) -> None:
+    """Read the leaf first (one read pulls the whole chain fresh in topo
+    order, retrying past injected failures), then hold every level to
+    the recompute of its own defining query over its upstream."""
+    for _ in range(8):
+        try:
+            con.execute("SELECT grand FROM grand_total")
+            break
+        except ReproError:
+            continue
+    for view_select, recompute_sql in _dag_levels():
+        _assert_converged(con, view_select, recompute_sql)
+
+
+def test_dag_interior_node_chaos_converges_and_invalidates_downstream():
+    """Worker faults aimed at the *interior* node of a 3-level DAG: only
+    ``by_region`` is a join view, so every ``shard.compute`` firing lands
+    mid-cascade.  A failed interior refresh must flag its dependents
+    (``upstream_invalidate`` events + counter) instead of letting them
+    consume a polluted feed, the ladder demotes and heals at the interior
+    rung, and all three levels equal their recompute throughout."""
+    plan = FaultPlan(seed=4096).add(
+        FaultSpec("shard.compute", kind="error", probability=0.25, times=6)
+    ).add(
+        FaultSpec(
+            "shard.compute", kind="error", probability=0.15, times=3,
+            retryable=False,
+        )
+    )
+    con, ext, workload = _build_sales_engine(
+        shard_count=2,
+        parallel_refresh=True,
+        worker_retries=1,
+        worker_backoff=0.001,
+        degradation_heal_after=2,
+        fault_plan=plan,
+    )
+    con.execute("DROP MATERIALIZED VIEW sh")
+    con.execute(
+        "CREATE MATERIALIZED VIEW by_cust AS "
+        "SELECT cust_id, SUM(amount) AS rev, COUNT(*) AS n "
+        "FROM orders GROUP BY cust_id"
+    )
+    con.execute(
+        "CREATE MATERIALIZED VIEW by_region AS "
+        "SELECT c.region, SUM(o.rev) AS revenue, COUNT(*) AS nc "
+        "FROM by_cust o JOIN customers c ON o.cust_id = c.cust_id "
+        "GROUP BY c.region"
+    )
+    con.execute(
+        "CREATE MATERIALIZED VIEW grand_total AS "
+        "SELECT SUM(revenue) AS grand FROM by_region"
+    )
+    rng = random.Random(57)
+    live = {row[0]: None for row in workload.orders}
+    next_oid = workload.next_order_id()
+    for step in range(1, DAG_SHARD_STEPS + 1):
+        if rng.random() < 0.6 or not live:
+            cust = workload.customers[rng.randrange(40)][0]
+            _execute_chaos(
+                con, "INSERT INTO orders VALUES (?, ?, ?, ?)",
+                [next_oid, cust, "p", rng.randint(-200, 500)],
+            )
+            live[next_oid] = None
+            next_oid += 1
+        else:
+            victim = rng.choice(sorted(live))
+            del live[victim]
+            _execute_chaos(con, "DELETE FROM orders WHERE oid = ?", [victim])
+        if step % 5 == 0:
+            _assert_dag_converged(con)
+    assert plan.fired("shard.compute") > 0, "schedule never fired"
+    mid = ext.view_state("by_region")
+    assert mid.stats.events_of("refresh_failure"), "interior never failed"
+    assert mid.stats.events_of("demote"), "interior failures never demoted"
+    # The failed interior refreshes flagged the leaf, visibly.
+    leaf_stats = ext.view_state("grand_total").stats
+    assert leaf_stats.upstream_invalidations > 0
+    events = leaf_stats.events_of("upstream_invalidate")
+    assert events and all(e["upstream"] == "by_region" for e in events)
+    assert ext.refresh_stats("grand_total")["upstream_invalidations"] > 0
+    # Heal phase: keep refreshing until the schedule (times-capped at 9
+    # firings) runs dry, after which consecutive clean refreshes walk the
+    # interior ladder back up — and the healed DAG still converges.
+    for round_index in range(40):
+        if mid.ladder.rung == RUNG_PARALLEL:
+            break
+        con.execute(
+            "INSERT INTO orders VALUES (?, ?, ?, ?)",
+            [next_oid, workload.customers[0][0], "p", round_index],
+        )
+        next_oid += 1
+        try:
+            ext.refresh("grand_total")
+        except ReproError:
+            continue
+    assert mid.ladder.rung == RUNG_PARALLEL, "interior ladder never healed"
+    assert mid.stats.events_of("heal")
+    _assert_dag_converged(con)
+
+
+def test_dag_durability_chaos_recovers_all_levels(tmp_path):
+    """WAL-append and queue-admission faults under a 3-level chain with
+    durability on: the live DAG stays convergent at every level, and
+    recovering the faulted directory rebuilds the whole chain — each
+    recovered level equals the recompute over the recovered base."""
+    plan = FaultPlan(seed=19).add(
+        FaultSpec("wal.append", kind="error", probability=0.08, times=4)
+    ).add(
+        FaultSpec("wal.append", kind="torn", probability=0.05, times=3)
+    ).add(
+        FaultSpec("queue.enqueue", kind="error", probability=0.15, times=3)
+    )
+    directory = tmp_path / "chaos-dag"
+    con = Connection()
+    ext = load_ivm(
+        con,
+        CompilerFlags(
+            mode=PropagationMode.LAZY,
+            durability=True,
+            checkpoint_every=4,
+            ingest_queue=True,
+            queue_capacity=12,
+            queue_policy="shed",
+            fault_plan=plan,
+        ),
+        durability_dir=directory,
+    )
+    con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+    con.execute(GROUPS_VIEW)
+    con.execute(
+        "CREATE MATERIALIZED VIEW q2 AS SELECT g, s FROM q WHERE s > 0"
+    )
+    con.execute(
+        "CREATE MATERIALIZED VIEW q3 AS SELECT g, s FROM q2 WHERE s > 10"
+    )
+    levels = [
+        ("SELECT g, s, n FROM q", GROUPS_RECOMPUTE),
+        ("SELECT g, s FROM q2", "SELECT g, s FROM q WHERE s > 0"),
+        ("SELECT g, s FROM q3", "SELECT g, s FROM q2 WHERE s > 10"),
+    ]
+    rng = random.Random(23)
+    for step in range(1, DAG_DURABILITY_STEPS + 1):
+        if rng.random() < 0.75:
+            _execute_chaos(
+                con, "INSERT INTO t VALUES (?, ?)",
+                [f"g{rng.randrange(6)}", float(rng.randint(-8, 12))],
+            )
+        else:
+            _execute_chaos(
+                con, "DELETE FROM t WHERE g = ? AND v = ?",
+                [f"g{rng.randrange(6)}", float(rng.randint(-8, 12))],
+            )
+        if step % 5 == 0:
+            for _ in range(8):
+                try:
+                    con.execute("SELECT g, s FROM q3")
+                    break
+                except ReproError:
+                    continue
+            for view_select, recompute_sql in levels:
+                _assert_converged(con, view_select, recompute_sql)
+    assert plan.fired("wal.append") > 0
+    ext.shutdown()
+    recovered = Connection.recover(directory)
+    for view_select, recompute_sql in levels:
+        assert (
+            recovered.execute(view_select).sorted()
+            == recovered.execute(recompute_sql).sorted()
+        ), f"recovered {view_select!r} diverged"
+    # The recovered DAG keeps cascading incrementally.
+    recovered.execute("INSERT INTO t VALUES ('post', 50.0), ('post', 2.0)")
+    for view_select, recompute_sql in levels:
+        assert (
+            recovered.execute(view_select).sorted()
+            == recovered.execute(recompute_sql).sorted()
+        )
+
+
 def test_chaos_step_budget():
     """The milestone requires 200+ randomized DML steps under fault
     schedules across the campaigns above."""
@@ -420,5 +620,7 @@ def test_chaos_step_budget():
         + DURABILITY_STEPS
         + 3 * QUEUE_STEPS_PER_POLICY
         + LADDER_STEPS
+        + DAG_SHARD_STEPS
+        + DAG_DURABILITY_STEPS
     )
     assert total >= 200

@@ -133,3 +133,39 @@ class TestRecover:
     def test_recover_missing_dir_fails(self, tmp_path, capsys):
         assert main(["recover", "--dir", str(tmp_path / "nope")]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestHealth:
+    def _build_durable_dag(self, directory):
+        from repro import CompilerFlags, Connection, load_ivm
+
+        con = Connection()
+        load_ivm(
+            con,
+            flags=CompilerFlags(durability=True),
+            durability_dir=directory,
+        )
+        con.execute("CREATE TABLE t (g VARCHAR, v INTEGER)")
+        con.execute(
+            "CREATE MATERIALIZED VIEW q AS SELECT g, SUM(v) AS s "
+            "FROM t GROUP BY g"
+        )
+        con.execute(
+            "CREATE MATERIALIZED VIEW q2 AS SELECT g, s FROM q WHERE s > 0"
+        )
+        con.execute("INSERT INTO t VALUES ('a', 1), ('b', 2), ('a', 3)")
+
+    def test_health_reports_dag_depth_per_view(self, tmp_path, capsys):
+        import json
+
+        self._build_durable_dag(tmp_path)
+        assert main(["health", "--dir", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        views = {v["view"]: v for v in report["runtime"]["views"]}
+        assert views["q"]["depth"] == 0
+        assert views["q2"]["depth"] == 1
+        assert views["q2"]["upstreams"] == ["q"]
+        assert views["q"]["dependents"] == ["q2"]
+        for entry in views.values():
+            assert entry["upstream_invalidations"] == 0
+            assert entry["snapshot_dirty"] is False

@@ -1,0 +1,125 @@
+"""Property tests for cascaded (composed) delta propagation.
+
+The cascade runtime never recomputes a downstream view: it feeds the
+*stored-row delta* of the upstream view — ΔV = V(T+ΔT) − V(T) — through
+the dependent's own operators. These properties pin down the algebra
+that makes that sound, on randomized weighted batches:
+
+1. Linear operators (σ, π) commute with delta extraction, so a chained
+   linear view can consume ΔV directly.
+2. The join delta is exactly ΔA⋈(B+ΔB) + A⋈ΔB — the bilinear rule the
+   diamond topology relies on to avoid double-applying a base change
+   that arrives through both arms.
+3. For a *nonlinear* upstream (GROUP BY aggregate), the emitted
+   stored-row delta composed through a linear dependent still equals
+   the dependent's recompute delta — the level-k feed is a faithful
+   substitute for recomputing level k−1.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.zset import (
+    ZSet,
+    ZSetBatch,
+    batch_aggregate,
+    batch_filter,
+    batch_join,
+    batch_project,
+)
+
+_key = st.one_of(st.none(), st.sampled_from("abcde"))
+_value = st.one_of(st.none(), st.integers(-50, 50))
+_weight = st.integers(-4, 4)
+
+_entries = st.lists(
+    st.tuples(st.tuples(_key, _value), _weight), max_size=30
+)
+
+
+def _batch(entries) -> ZSetBatch:
+    if not entries:
+        return ZSetBatch.empty(2)
+    rows = [row for row, _ in entries]
+    weights = [weight for _, weight in entries]
+    return ZSetBatch.from_rows(rows, weights)
+
+
+def _delta(after: ZSetBatch, before: ZSetBatch) -> ZSet:
+    return (after + (-before)).consolidate().to_zset()
+
+
+def _linear(batch: ZSetBatch) -> ZSetBatch:
+    """A two-stage linear view body: σ(v > 0) then π(key)."""
+    kept = batch_filter(batch, lambda row: row[1] is not None and row[1] > 0)
+    return batch_project(kept, [0])
+
+
+def _aggregate(batch: ZSetBatch) -> ZSetBatch:
+    """A GROUP BY key aggregate view body (nonlinear in the input)."""
+    return batch_aggregate(batch, [0], [("SUM", 1), ("COUNT", None)])
+
+
+@settings(max_examples=80, deadline=None)
+@given(_entries, _entries)
+def test_linear_chain_delta_equals_delta_of_chain(base, delta):
+    """Δ(π(σ(T))) == π(σ(ΔT)) — a linear 2-level chain needs only ΔT."""
+    t, dt = _batch(base), _batch(delta)
+    recompute_delta = _delta(_linear(t + dt), _linear(t))
+    composed_delta = _linear(dt).consolidate().to_zset()
+    assert recompute_delta == composed_delta
+
+
+@settings(max_examples=80, deadline=None)
+@given(_entries, _entries, _entries)
+def test_join_delta_is_bilinear(left, right, change):
+    """Δ(A⋈B) == ΔA⋈(B+ΔB) + A⋈ΔB when both inputs change at once."""
+    a, b = _batch(left), _batch(right)
+    da, db = _batch(change), _batch(change[::-1])
+    recompute_delta = _delta(
+        batch_join(a + da, b + db, [0], [0]), batch_join(a, b, [0], [0])
+    )
+    rule_delta = (
+        batch_join(da, b + db, [0], [0]) + batch_join(a, db, [0], [0])
+    ).consolidate().to_zset()
+    assert recompute_delta == rule_delta
+
+
+@settings(max_examples=80, deadline=None)
+@given(_entries, _entries)
+def test_aggregate_feed_composes_through_linear_dependent(base, delta):
+    """The stored-row delta an aggregate view emits, pushed through a
+    linear dependent, equals the dependent's recompute delta:
+
+        L(U(T+Δ)) − L(U(T)) == L( U(T+Δ) − U(T) )
+    """
+    t, dt = _batch(base), _batch(delta)
+    before, after = _aggregate(t), _aggregate(t + dt)
+    recompute_delta = _delta(_linear(after), _linear(before))
+    feed = after + (-before)  # what the cascade trigger captures
+    composed_delta = _linear(feed).consolidate().to_zset()
+    assert recompute_delta == composed_delta
+
+
+@settings(max_examples=60, deadline=None)
+@given(_entries, _entries)
+def test_diamond_feeds_do_not_double_apply_shared_base_change(base, delta):
+    """Both diamond arms observe the same ΔT; combining each arm's feed
+    via the bilinear join rule equals recomputing the join of the two
+    arm outputs — one base change, applied exactly once."""
+    t, dt = _batch(base), _batch(delta)
+    arm1_before, arm1_after = _aggregate(t), _aggregate(t + dt)
+    arm2_before = batch_aggregate(t, [0], [("COUNT", None)])
+    arm2_after = batch_aggregate(t + dt, [0], [("COUNT", None)])
+    recompute_delta = _delta(
+        batch_join(arm1_after, arm2_after, [0], [0]),
+        batch_join(arm1_before, arm2_before, [0], [0]),
+    )
+    feed1 = arm1_after + (-arm1_before)
+    feed2 = arm2_after + (-arm2_before)
+    rule_delta = (
+        batch_join(feed1, arm2_after, [0], [0])
+        + batch_join(arm1_before, feed2, [0], [0])
+    ).consolidate().to_zset()
+    assert recompute_delta == rule_delta
